@@ -1,0 +1,21 @@
+"""Ablation: the PA pulling strategy's contribution, bound held fixed.
+
+FRPA vs FRPA_RR (same FR* bound, round-robin pulls).  Reproduced shape:
+PA never pulls more in total, and the savings come from not over-pulling
+the less promising input (Theorem 4.2's mechanism).
+"""
+
+from repro.experiments.figures import ablation_pulling
+
+
+def test_ablation_pulling(benchmark, figure_config, save_table):
+    table = benchmark.pedantic(
+        lambda: ablation_pulling(figure_config), rounds=1, iterations=1
+    )
+    save_table("ablation_pulling", table)
+
+    headers = table.headers
+    rows = {row[0]: row for row in table.rows}
+    pa = rows["FRPA"][headers.index("sumDepths")]
+    rr = rows["FRPA_RR"][headers.index("sumDepths")]
+    assert pa <= rr

@@ -1,0 +1,37 @@
+"""Figure 10: a-FRPA sensitivity to the cover-size threshold maxCRSize.
+
+Reproduced shape: as the threshold grows, sumDepths falls toward FRPA's
+instance-optimal depth while the bound-computation time rises — the
+adaptive cover trades bound quality for maintenance cost.
+"""
+
+from repro.experiments.figures import figure_10
+
+
+def test_figure_10(benchmark, figure_config, save_table):
+    table = benchmark.pedantic(
+        lambda: figure_10(figure_config), rounds=1, iterations=1
+    )
+    save_table("figure_10", table)
+
+    sizes = table.column("maxCRSize")
+    depths = table.column("sumDepths")
+    bounds = table.column("bound_time")
+
+    sweep = {
+        size: (depth, bound)
+        for size, depth, bound in zip(sizes, depths, bounds)
+        if size != "FRPA"
+    }
+    frpa_depth = depths[sizes.index("FRPA")]
+    numeric = sorted(sweep)
+
+    # Shape 1: depth is non-increasing in the threshold.
+    depth_series = [sweep[s][0] for s in numeric]
+    assert all(a >= b for a, b in zip(depth_series, depth_series[1:]))
+    # Shape 2: the largest threshold reaches FRPA's instance-optimal depth.
+    assert sweep[numeric[-1]][0] == frpa_depth
+    # Shape 3: small thresholds are strictly worse in depth than FRPA.
+    assert sweep[numeric[0]][0] > frpa_depth
+    # Shape 4: bound time grows with the threshold (compare extremes).
+    assert sweep[numeric[0]][1] < sweep[numeric[-1]][1]

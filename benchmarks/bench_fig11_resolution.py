@@ -1,0 +1,19 @@
+"""Figure 11: a-FRPA sensitivity to the initial grid resolution L0.
+
+Reproduced shape: sumDepths is essentially insensitive to L0 (the final
+resolution is dictated by maxCRSize), so a lower L0 is never worse on I/O.
+"""
+
+from repro.experiments.figures import figure_11
+
+
+def test_figure_11(benchmark, figure_config, save_table):
+    table = benchmark.pedantic(
+        lambda: figure_11(figure_config), rounds=1, iterations=1
+    )
+    save_table("figure_11", table)
+
+    depths = table.column("sumDepths")
+    # Shape: depth varies by at most a few percent across resolutions.
+    spread = (max(depths) - min(depths)) / max(depths)
+    assert spread < 0.10

@@ -1,0 +1,42 @@
+"""Figure 12: effect of the score cut c on all four operators.
+
+Reproduced shape: the corner bound's ideal-vector assumption degrades as c
+shrinks — HRJN*'s depth gap versus the feasible-region operators grows to
+several-fold by c=.25, while at c=1 the operators nearly converge.  The
+adaptive pulling of FRPA/a-FRPA keeps them at or below PBRJ_FR^RR.
+"""
+
+import math
+
+from repro.experiments.figures import figure_12
+
+
+def test_figure_12(benchmark, figure_config, save_table):
+    table = benchmark.pedantic(
+        lambda: figure_12(figure_config), rounds=1, iterations=1
+    )
+    save_table("figure_12", table)
+
+    by_cut = {row[0]: row for row in table.rows}
+    headers = table.headers
+
+    def depth(c, op):
+        return by_cut[c][headers.index(f"{op}:sumDepths")]
+
+    for c in (0.25, 0.5, 0.75):
+        # Depth ordering: FRPA = a-FRPA <= PBRJ_FR^RR <= HRJN*.
+        assert depth(c, "FRPA") <= depth(c, "PBRJ_FR^RR") <= depth(c, "HRJN*")
+        assert depth(c, "a-FRPA") <= depth(c, "PBRJ_FR^RR")
+
+    # The HRJN* gap grows as c shrinks.
+    gap = {
+        c: depth(c, "HRJN*") / depth(c, "FRPA") for c in (0.25, 0.5, 0.75, 1.0)
+    }
+    assert gap[0.25] > gap[1.0]
+    assert gap[0.25] > 2.0  # several-fold at the strongest cut
+    assert gap[1.0] < 1.5  # near-parity without a cut
+
+    # No run should have been capped in this sweep.
+    for column in table.headers[1:]:
+        if column.endswith("sumDepths"):
+            assert all(not math.isnan(float(v)) for v in table.column(column))

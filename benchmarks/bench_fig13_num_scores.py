@@ -1,0 +1,41 @@
+"""Figure 13: effect of the number of score attributes e.
+
+Reproduced shape: the feasible-region operators win by an order of
+magnitude at e=1 and the margin narrows as e grows; at e=4 the exact-cover
+operators (PBRJ_FR^RR, FRPA) blow their budget and are omitted — the
+paper's ">10 hours" — while a-FRPA's bounded covers let it finish with
+HRJN*-like depth.
+"""
+
+import math
+
+from repro.experiments.figures import figure_13
+
+
+def test_figure_13(benchmark, figure_config, save_table):
+    table = benchmark.pedantic(
+        lambda: figure_13(figure_config), rounds=1, iterations=1
+    )
+    save_table("figure_13", table)
+
+    by_e = {row[0]: row for row in table.rows}
+    headers = table.headers
+
+    def depth(e, op):
+        return by_e[e][headers.index(f"{op}:sumDepths")]
+
+    # e=1: order-of-magnitude win for the feasible-region bound.
+    assert depth(1, "HRJN*") / depth(1, "FRPA") > 8
+    # e<=3: FRPA never deeper than PBRJ_FR^RR (Theorem 4.2) when both run.
+    for e in (1, 2, 3):
+        fr = depth(e, "PBRJ_FR^RR")
+        frpa = depth(e, "FRPA")
+        if not (math.isnan(fr) or math.isnan(frpa)):
+            assert frpa <= fr
+    # e=4: the exact-cover operators are capped/omitted...
+    assert math.isnan(depth(4, "PBRJ_FR^RR"))
+    assert math.isnan(depth(4, "FRPA"))
+    # ...while a-FRPA and HRJN* complete, at comparable depth.
+    afrpa, corner = depth(4, "a-FRPA"), depth(4, "HRJN*")
+    assert not math.isnan(afrpa) and not math.isnan(corner)
+    assert afrpa <= corner * 1.05

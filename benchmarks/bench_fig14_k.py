@@ -1,0 +1,32 @@
+"""Figure 14: effect of the result count K.
+
+Reproduced shape: FRPA/a-FRPA dominate HRJN* and PBRJ_FR^RR in depths for
+every K, with depths growing monotonically in K for every operator.
+"""
+
+from repro.experiments.figures import figure_14
+
+
+def test_figure_14(benchmark, figure_config, save_table):
+    table = benchmark.pedantic(
+        lambda: figure_14(figure_config), rounds=1, iterations=1
+    )
+    save_table("figure_14", table)
+
+    by_k = {row[0]: row for row in table.rows}
+    headers = table.headers
+    ks = sorted(by_k)
+
+    def depth(k, op):
+        return by_k[k][headers.index(f"{op}:sumDepths")]
+
+    for k in ks:
+        assert depth(k, "FRPA") <= depth(k, "PBRJ_FR^RR")
+        assert depth(k, "FRPA") <= depth(k, "HRJN*")
+        assert depth(k, "a-FRPA") <= depth(k, "HRJN*")
+
+    for op in ("HRJN*", "FRPA", "a-FRPA", "PBRJ_FR^RR"):
+        series = [depth(k, op) for k in ks]
+        assert all(a <= b for a, b in zip(series, series[1:])), (
+            f"{op} depths not monotone in K: {series}"
+        )

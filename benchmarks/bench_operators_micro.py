@@ -1,0 +1,45 @@
+"""Micro-benchmarks: single-operator throughput on a fixed small instance.
+
+Unlike the figure benchmarks (one expensive run each), these exercise the
+pytest-benchmark machinery properly — several rounds over a small instance
+— so per-operator overhead regressions are visible in the benchmark table.
+"""
+
+import pytest
+
+from repro.core.operators import make_operator
+from repro.data.workload import WorkloadParams, lineitem_orders_instance
+
+PARAMS = WorkloadParams(e=2, c=0.5, z=0.5, k=10, scale=0.0005, seed=0)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return lineitem_orders_instance(PARAMS)
+
+
+@pytest.mark.parametrize(
+    "operator", ["HRJN", "HRJN*", "PBRJ_FR^RR", "FRPA", "FRPA_RR", "a-FRPA"]
+)
+def test_operator_top10(benchmark, instance, operator):
+    def run():
+        op = make_operator(operator, instance, track_time=False)
+        return op.top_k(10)
+
+    results = benchmark(run)
+    assert len(results) == 10
+
+
+def test_instance_generation(benchmark):
+    result = benchmark(lineitem_orders_instance, PARAMS)
+    assert len(result.left) > 0
+
+
+def test_naive_baseline_top10(benchmark, instance):
+    from repro.core.naive import naive_top_k
+
+    results = benchmark(
+        naive_top_k, instance.left.tuples, instance.right.tuples,
+        instance.scoring, 10,
+    )
+    assert len(results) == 10

@@ -1,0 +1,52 @@
+"""Extension benchmark: depth scaling with data size.
+
+Section 6.1 asserts that data size "is not a parameter" of the study
+because a rank join reads only a prefix, its length driven by K and the
+score distribution.  That is exactly testable: as the relations grow, the
+*fraction* of the input a robust operator reads should fall sharply, while
+the absolute depth grows sublinearly (a bigger pool of candidates makes
+the terminal score higher, which truncates the prefix).
+
+Reproduced shape: FRPA's read fraction decreases monotonically with scale,
+and its absolute depth grows much slower than the data.
+"""
+
+from repro.data.workload import WorkloadParams, lineitem_orders_instance
+from repro.experiments.harness import run_operator
+from repro.experiments.report import ExperimentTable
+
+SCALES = (0.0005, 0.001, 0.002, 0.004)
+
+
+def run_comparison() -> ExperimentTable:
+    table = ExperimentTable(
+        title="Extension: depth vs data scale (e=2, c=.5, K=10, FRPA)",
+        headers=["scale", "input_size", "sumDepths", "fraction"],
+    )
+    for scale in SCALES:
+        params = WorkloadParams(e=2, c=0.5, z=0.5, k=10, scale=scale, seed=0)
+        instance = lineitem_orders_instance(params)
+        size = len(instance.left) + len(instance.right)
+        result = run_operator("FRPA", instance)
+        table.add_row(scale, size, result.sum_depths, result.sum_depths / size)
+    table.notes.append(
+        "paper §6.1: data size is not a parameter — operators read a "
+        "prefix whose length is set by K and the score distribution"
+    )
+    return table
+
+
+def test_depth_scaling(benchmark, save_table):
+    table = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    save_table("extension_scaling", table)
+
+    fractions = table.column("fraction")
+    sizes = table.column("input_size")
+    depths = table.column("sumDepths")
+
+    # Read fraction falls as data grows.
+    assert fractions[-1] < fractions[0]
+    # Depth grows sublinearly in the data size.
+    growth = depths[-1] / depths[0]
+    data_growth = sizes[-1] / sizes[0]
+    assert growth < 0.8 * data_growth

@@ -1,0 +1,21 @@
+"""Score-skew sweep (Section 6.2.2: "qualitatively the same results").
+
+Reproduced shape: the depth ordering FRPA <= PBRJ_FR^RR <= HRJN* holds at
+every skew level z ∈ {0, .5, 1}.
+"""
+
+from repro.experiments.figures import skew_sweep
+
+
+def test_skew_sweep(benchmark, figure_config, save_table):
+    table = benchmark.pedantic(
+        lambda: skew_sweep(figure_config), rounds=1, iterations=1
+    )
+    save_table("skew_sweep", table)
+
+    headers = table.headers
+    for row in table.rows:
+        by = {h: v for h, v in zip(headers, row)}
+        assert by["FRPA:sumDepths"] <= by["PBRJ_FR^RR:sumDepths"]
+        assert by["FRPA:sumDepths"] <= by["HRJN*:sumDepths"]
+        assert by["a-FRPA:sumDepths"] <= by["HRJN*:sumDepths"]

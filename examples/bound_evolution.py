@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Visualize how each bounding scheme's threshold converges.
+
+Attaches a :class:`~repro.stats.trace.BoundTrace` to each operator on the
+same instance and prints sparklines of the bound's descent.  The corner
+bound (HRJN*) starts from the ideal-vector assumption and descends slowly;
+the feasible-region bounds learn the input's actual score geometry and dive
+— which is exactly why they stop reading earlier.
+
+Run:  python examples/bound_evolution.py
+"""
+
+from repro import WorkloadParams, lineitem_orders_instance, make_operator
+from repro.stats.trace import BoundTrace
+
+OPERATORS = ["HRJN*", "FRPA", "a-FRPA"]  # PBRJ_FR^RR omitted: slow bound
+
+
+def main() -> None:
+    params = WorkloadParams(e=2, c=0.25, z=0.5, k=10, scale=0.004, seed=0)
+    instance = lineitem_orders_instance(params)
+    print(f"instance: {instance}  (score cut c={params.c})\n")
+
+    for name in OPERATORS:
+        trace = BoundTrace()
+        operator = make_operator(name, instance, trace=trace)
+        results = operator.top_k(params.k)
+        final_bound = trace.bounds()[-1] if len(trace) else float("nan")
+        print(f"{name}")
+        print(f"  pulls={operator.pulls:5d}  "
+              f"10th score={results[-1].score:.3f}  "
+              f"final bound={final_bound:.3f}")
+        print(f"  bound descent: {trace.sparkline(width=64)}")
+        print()
+
+    print("the corner bound must wait for the input frontier to fall below")
+    print("the K-th score + the ideal-partner assumption; the feasible-region")
+    print("bounds learn early that no high-scoring partners exist.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The rank join's ancestry: Fagin's middleware aggregation (TA vs NRA).
+
+Several ranked lists grade the *same* objects (say, restaurants graded by
+food, service and ambience); the goal is the top-K under a monotone
+aggregate.  TA may look grades up by object id (random access); NRA may
+not.  Their access counts illustrate the trade the rank join literature
+inherited: random access buys much earlier termination.
+
+Run:  python examples/middleware_aggregation.py
+"""
+
+import numpy as np
+
+from repro.aggregation import RankedList, no_random_access, threshold_algorithm
+from repro.core.scoring import SumScore
+
+
+def make_lists(n_restaurants: int, seed: int) -> list[RankedList]:
+    rng = np.random.default_rng(seed)
+    aspects = ("food", "service", "ambience")
+    # Correlated quality: a base niceness plus per-aspect noise.
+    base = rng.beta(2, 4, n_restaurants)
+    lists = []
+    for aspect in aspects:
+        grades = np.clip(base + rng.normal(0, 0.15, n_restaurants), 0, 1)
+        lists.append(
+            RankedList(
+                [(f"restaurant-{i}", float(g)) for i, g in enumerate(grades)],
+                name=aspect,
+            )
+        )
+    return lists
+
+
+def main() -> None:
+    n = 5000
+    scoring = SumScore()
+
+    print(f"{n} restaurants, 3 ranked lists (food / service / ambience), top-5\n")
+    for label, algorithm in (
+        ("TA  (sorted + random access)", threshold_algorithm),
+        ("NRA (sorted access only)", no_random_access),
+    ):
+        lists = make_lists(n, seed=7)
+        result = algorithm(lists, scoring, 5)
+        print(f"{label}")
+        for obj, score in result.top:
+            print(f"    {obj:16s} score={score:.3f}")
+        print(f"    sorted accesses: {result.sorted_accesses:6d}   "
+              f"random accesses: {result.random_accesses:6d}\n")
+
+    print("TA terminates as soon as K seen objects beat the threshold of the")
+    print("current list frontiers; NRA must keep reading until the bookkeeping")
+    print("bounds close — the price of forgoing random access.  The rank join")
+    print("operators in this library generalize exactly this trade to joins.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Robustness (instance-optimality) in action.
+
+The corner bound assumes a perfect ``(1, …, 1)`` partner may still appear,
+so HRJN* keeps reading long after the feasible region rules such partners
+out.  This example builds inputs with a score cut — no tuple scores above
+``c`` in every coordinate — and shows the corner-bound operator reading an
+order of magnitude more than the feasible-region operators, while a naive
+join reads everything.  It also prints the simulated I/O cost under a
+network-stream cost model, where robustness decides total cost.
+
+Run:  python examples/robustness.py
+"""
+
+from repro import CostModel, WorkloadParams, lineitem_orders_instance, make_operator
+
+OPERATORS = ["HRJN", "HRJN*", "PBRJ_FR^RR", "FRPA", "a-FRPA"]
+
+
+def main() -> None:
+    print("score cut c = 0.25, e = 1, K = 10 — the corner bound's nightmare\n")
+    params = WorkloadParams(e=1, c=0.25, z=0.5, k=10, scale=0.002, seed=7)
+    instance = lineitem_orders_instance(
+        params, cost_model=CostModel.network_stream()
+    )
+    available = len(instance.left) + len(instance.right)
+
+    print(f"{'operator':12s} {'sumDepths':>10s} {'% of input':>11s} "
+          f"{'sim. I/O cost':>14s}")
+    baseline = None
+    for name in OPERATORS:
+        operator = make_operator(name, instance)
+        operator.top_k(instance.k)
+        stats = operator.stats()
+        if name == "FRPA":
+            baseline = stats.sum_depths
+        print(
+            f"{name:12s} {stats.sum_depths:>10d} "
+            f"{100 * stats.sum_depths / available:>10.1f}% "
+            f"{stats.io_cost:>14,.0f}"
+        )
+
+    print(f"\nnaive join would read {available:,} tuples "
+          f"(cost {available * CostModel.network_stream().per_tuple:,.0f})")
+    if baseline:
+        print("instance-optimality bounds FRPA within a constant factor of "
+              "*any* rank join operator on *any* input — the corner bound "
+              "enjoys no such guarantee, as the gap above shows.")
+
+
+if __name__ == "__main__":
+    main()

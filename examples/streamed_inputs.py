@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Rank joins over streamed (single-pass, never-materialized) inputs.
+
+The paper's setting assumes single-pass sequential access — exactly what a
+network stream provides.  This example feeds a PBRJ operator from lazy
+generators: tuples are *produced on demand*, the stream is never
+materialized, and the operator's early termination means most of it is
+never even generated.  A `VerifyingSource` asserts the decreasing-score
+contract as tuples flow by, and the network cost model prices each pull.
+
+Run:  python examples/streamed_inputs.py
+"""
+
+import numpy as np
+
+from repro import CostModel, RankTuple, SumScore
+from repro.core.bounds import CornerBound
+from repro.core.frstar_bound import FRStarBound
+from repro.core.pbrj import PBRJ
+from repro.core.pulling import PotentialAdaptive
+from repro.relation.sources import StreamSource, VerifyingSource
+
+
+def score_stream(name: str, n: int, num_keys: int, cut: float, seed: int):
+    """A lazy generator of tuples in decreasing score order.
+
+    Scores follow a deterministic decreasing schedule (as an index on a
+    remote server would produce); keys arrive pseudo-randomly.
+    """
+    rng = np.random.default_rng(seed)
+    produced = 0
+    for i in range(n):
+        score = cut * (1.0 - i / n) ** 0.5  # decreasing, capped at `cut`
+        produced += 1
+        yield RankTuple(
+            key=int(rng.integers(0, num_keys)),
+            scores=(round(score, 6),),
+            payload={"stream": name, "position": i},
+        )
+
+
+def build_operator(bound, n=50_000):
+    left = VerifyingSource(
+        StreamSource(
+            score_stream("left", n, 500, cut=0.5, seed=1),
+            dimension=1,
+            cost_model=CostModel.network_stream(),
+        ),
+        score_bound=lambda t: t.scores[0] + 1.0,
+    )
+    right = VerifyingSource(
+        StreamSource(
+            score_stream("right", n, 500, cut=0.5, seed=2),
+            dimension=1,
+            cost_model=CostModel.network_stream(),
+        ),
+        score_bound=lambda t: 1.0 + t.scores[0],
+    )
+    return PBRJ(left, right, SumScore(), bound, PotentialAdaptive(),
+                name=type(bound).__name__)
+
+
+def main() -> None:
+    n = 50_000
+    print(f"two remote streams of {n:,} tuples each (never materialized), "
+          "top-5 join results\n")
+    for bound in (FRStarBound(), CornerBound()):
+        operator = build_operator(bound, n)
+        results = operator.top_k(5)
+        stats = operator.stats()
+        print(f"{operator.name}")
+        print(f"  top scores    : {[round(r.score, 3) for r in results]}")
+        print(f"  tuples pulled : {stats.sum_depths:,} of {2 * n:,} "
+              f"({100 * stats.sum_depths / (2 * n):.2f}%)")
+        print(f"  sim. net cost : {stats.io_cost:,.0f} units\n")
+    print("the feasible-region bound learns the 0.5 score ceiling from the")
+    print("stream itself and stops; the corner bound keeps paying network")
+    print("round-trips for a perfect partner that never comes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables editable installs in offline environments
+(where pip's isolated PEP 517/660 build cannot download setuptools/wheel)."""
+
+from setuptools import setup
+
+setup()

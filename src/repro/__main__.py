@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figures``   regenerate one or all of the paper's evaluation figures
+``run``       run one operator on a synthetic workload and report metrics
+``compare``   run every operator on one workload and tabulate the results
+``info``      print the library inventory (operators, figures, defaults)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.operators import OPERATORS
+from repro.data.workload import WorkloadParams, lineitem_orders_instance
+from repro.experiments import figures as figure_module
+from repro.experiments.figures import FigureConfig
+from repro.experiments.harness import run_comparison, run_operator
+from repro.experiments.report import ExperimentTable
+
+FIGURES = {
+    "2": figure_module.figure_02,
+    "10": figure_module.figure_10,
+    "11": figure_module.figure_11,
+    "12": figure_module.figure_12,
+    "13": figure_module.figure_13,
+    "14": figure_module.figure_14,
+    "15": figure_module.figure_15,
+    "skew": figure_module.skew_sweep,
+    "ablation-cover": figure_module.ablation_cover,
+    "ablation-pulling": figure_module.ablation_pulling,
+}
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--e", type=int, default=2, help="score attributes per input")
+    parser.add_argument("--c", type=float, default=0.5, help="score cut")
+    parser.add_argument("--z", type=float, default=0.5, help="score skew")
+    parser.add_argument("--k", type=int, default=10, help="results requested")
+    parser.add_argument("--scale", type=float, default=0.002, help="data scale factor")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _workload(args: argparse.Namespace) -> WorkloadParams:
+    return WorkloadParams(
+        e=args.e, c=args.c, z=args.z, k=args.k, scale=args.scale, seed=args.seed
+    )
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    names = list(FIGURES) if args.name == "all" else [args.name]
+    config = FigureConfig(scale=args.scale, num_seeds=args.seeds)
+    for name in names:
+        if name not in FIGURES:
+            print(f"unknown figure {name!r}; choose from {sorted(FIGURES)}")
+            return 2
+        table: ExperimentTable = FIGURES[name](config)
+        print()
+        print(table.render())
+        if args.chart:
+            numeric = [
+                h for h in table.headers[1:]
+                if any(isinstance(v, (int, float)) for v in table.column(h))
+            ]
+            if numeric:
+                print()
+                print(table.chart(table.headers[0], numeric[0]))
+        if args.out:
+            out_dir = Path(args.out)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            stem = name.replace("-", "_")
+            table.save(out_dir / f"figure_{stem}.{args.format}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.operator not in OPERATORS:
+        print(f"unknown operator {args.operator!r}; choose from {sorted(OPERATORS)}")
+        return 2
+    instance = lineitem_orders_instance(_workload(args))
+    result = run_operator(args.operator, instance)
+    stats = result.stats
+    print(f"operator     : {args.operator}")
+    print(f"instance     : L={len(instance.left)} O={len(instance.right)} K={instance.k}")
+    print(f"top scores   : {[round(s, 4) for s in result.scores]}")
+    print(f"depths       : left={stats.depths.left} right={stats.depths.right} "
+          f"sum={stats.sum_depths}")
+    print(f"time         : io={stats.timing.io:.4f}s bound={stats.timing.bound:.4f}s "
+          f"total={stats.timing.total:.4f}s")
+    print(f"sim. I/O cost: {stats.io_cost:,.0f}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    instance = lineitem_orders_instance(_workload(args))
+    results = run_comparison(instance, sorted(OPERATORS))
+    table = ExperimentTable(
+        title=f"Operator comparison (e={args.e}, c={args.c}, z={args.z}, K={args.k})",
+        headers=["operator", "left", "right", "sumDepths", "total_time"],
+    )
+    for name, result in results.items():
+        table.add_row(
+            name,
+            result.stats.depths.left,
+            result.stats.depths.right,
+            result.sum_depths,
+            result.stats.timing.total,
+        )
+    print(table.render())
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro import __version__
+
+    print(f"repro {__version__} — SIGMOD 2009 rank join reproduction")
+    print(f"operators : {', '.join(sorted(OPERATORS))}")
+    print(f"figures   : {', '.join(sorted(FIGURES))}")
+    print("defaults  : e=2 c=.5 z=.5 K=10 (the paper's Table 2)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figures", help="regenerate evaluation figures")
+    p_fig.add_argument("name", nargs="?", default="all",
+                       help="figure id (2, 10-15, skew, ablation-*) or 'all'")
+    p_fig.add_argument("--scale", type=float, default=0.002)
+    p_fig.add_argument("--seeds", type=int, default=1)
+    p_fig.add_argument("--out", help="directory to save tables into")
+    p_fig.add_argument("--format", choices=["txt", "csv", "json"], default="txt")
+    p_fig.add_argument("--chart", action="store_true",
+                       help="also print an ASCII chart of the first series")
+    p_fig.set_defaults(func=cmd_figures)
+
+    p_run = sub.add_parser("run", help="run one operator on a workload")
+    p_run.add_argument("operator")
+    _add_workload_args(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="run every operator on a workload")
+    _add_workload_args(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_info = sub.add_parser("info", help="library inventory")
+    p_info.set_defaults(func=cmd_info)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

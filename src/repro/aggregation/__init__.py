@@ -1,0 +1,26 @@
+"""Ranked-list aggregation (Fagin et al.) — the rank join's ancestry.
+
+The paper grounds rank join evaluation in the seminal middleware work of
+Fagin, Lotem and Naor ("Optimal aggregation algorithms for middleware",
+PODS 2001): m sorted lists grade the *same* objects, and the goal is the
+top-K objects under a monotone aggregate.  Rank join generalizes this to
+joins; several rank-join ideas (thresholds, instance-optimality) originate
+here.  This subpackage implements the two classic algorithms as a
+self-contained substrate:
+
+* :func:`threshold_algorithm` (TA) — sorted access plus random access,
+  stopping at Fagin's threshold.
+* :func:`no_random_access` (NRA) — sorted access only, maintaining
+  lower/upper score bounds per object.
+"""
+
+from repro.aggregation.lists import GradedObject, RankedList
+from repro.aggregation.ta import AggregationResult, no_random_access, threshold_algorithm
+
+__all__ = [
+    "AggregationResult",
+    "GradedObject",
+    "RankedList",
+    "no_random_access",
+    "threshold_algorithm",
+]

@@ -1,0 +1,77 @@
+"""Ranked lists: the access model of the middleware aggregation problem."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True)
+class GradedObject:
+    """One entry of a ranked list: an object id and its grade in [0, 1]."""
+
+    obj: Hashable
+    grade: float
+
+
+class RankedList:
+    """One attribute's ranked list with sorted and random access.
+
+    Sorted access returns entries in non-increasing grade order and counts
+    toward ``sorted_accesses``; random access looks a grade up by object id
+    and counts toward ``random_accesses`` (the TA cost model charges both).
+    """
+
+    def __init__(self, entries: list[tuple[Hashable, float]], name: str = "") -> None:
+        self.name = name
+        ordered = sorted(entries, key=lambda e: e[1], reverse=True)
+        self._entries = [GradedObject(obj, float(grade)) for obj, grade in ordered]
+        self._grades: dict[Hashable, float] = {
+            obj: float(grade) for obj, grade in entries
+        }
+        if len(self._grades) != len(entries):
+            raise ValueError(f"ranked list {name!r} grades an object twice")
+        self._position = 0
+        self.sorted_accesses = 0
+        self.random_accesses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._position >= len(self._entries)
+
+    @property
+    def last_grade(self) -> float:
+        """Grade of the last sorted-accessed entry (1.0 before any access)."""
+        if self._position == 0:
+            return 1.0
+        return self._entries[self._position - 1].grade
+
+    def next(self) -> GradedObject | None:
+        """Sorted access: the next entry, or None when exhausted."""
+        if self.exhausted:
+            return None
+        entry = self._entries[self._position]
+        self._position += 1
+        self.sorted_accesses += 1
+        return entry
+
+    def grade_of(self, obj: Hashable) -> float:
+        """Random access: the object's grade (0.0 if absent, per Fagin)."""
+        self.random_accesses += 1
+        return self._grades.get(obj, 0.0)
+
+    def peek_grade(self, obj: Hashable) -> float | None:
+        """Uncharged lookup for tests/diagnostics."""
+        return self._grades.get(obj)
+
+    def reset(self) -> None:
+        """Rewind and clear counters (each algorithm run gets fresh lists)."""
+        self._position = 0
+        self.sorted_accesses = 0
+        self.random_accesses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RankedList({self.name!r}, n={len(self)}, pos={self._position})"

@@ -1,0 +1,179 @@
+"""The TA and NRA aggregation algorithms (Fagin, Lotem & Naor).
+
+Both return the top-K objects of m ranked lists under a monotone scoring
+function over the grade vector ``(g_1, …, g_m)``.
+
+* **TA** interleaves sorted accesses round-robin across the lists; each
+  newly seen object's missing grades are fetched by random access and its
+  exact score computed.  The stopping threshold is
+  ``S(last_grade_1, …, last_grade_m)`` — once K seen objects score at or
+  above it, no unseen object can beat them.  TA is instance-optimal among
+  algorithms that use random access.
+* **NRA** uses sorted access only.  Each partially seen object keeps a
+  lower bound (missing grades → 0) and an upper bound (missing grades →
+  the list's current frontier); the algorithm stops when the K-th best
+  lower bound is at least every other object's upper bound.  NRA is
+  instance-optimal among algorithms without random access.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.aggregation.lists import RankedList
+from repro.core.scoring import ScoringFunction
+
+
+@dataclass(frozen=True)
+class AggregationResult:
+    """Top-K answer plus the access counts the algorithms are judged by."""
+
+    top: list[tuple[Hashable, float]]
+    sorted_accesses: int
+    random_accesses: int
+
+    @property
+    def total_accesses(self) -> int:
+        """Fagin's middleware cost (unit costs for both access kinds)."""
+        return self.sorted_accesses + self.random_accesses
+
+
+def _validate(lists: list[RankedList], k: int) -> None:
+    if not lists:
+        raise ValueError("need at least one ranked list")
+    if k < 1:
+        raise ValueError("k must be positive")
+
+
+def threshold_algorithm(
+    lists: list[RankedList],
+    scoring: ScoringFunction,
+    k: int,
+) -> AggregationResult:
+    """Fagin's TA: sorted access round-robin + random access completion."""
+    _validate(lists, k)
+    m = len(lists)
+    scores: dict[Hashable, float] = {}
+    # Max-heap free: track the current top-k in a small sorted list.
+    while True:
+        progressed = False
+        for index, ranked in enumerate(lists):
+            entry = ranked.next()
+            if entry is None:
+                continue
+            progressed = True
+            if entry.obj not in scores:
+                grades = [0.0] * m
+                grades[index] = entry.grade
+                for other_index, other in enumerate(lists):
+                    if other_index != index:
+                        grades[other_index] = other.grade_of(entry.obj)
+                scores[entry.obj] = scoring(tuple(grades))
+        threshold = scoring(tuple(ranked.last_grade for ranked in lists))
+        best = heapq.nlargest(k, scores.items(), key=lambda item: item[1])
+        if len(best) >= k and best[-1][1] >= threshold - 1e-12:
+            break
+        if not progressed:
+            break  # all lists exhausted
+    top = heapq.nlargest(k, scores.items(), key=lambda item: item[1])
+    return AggregationResult(
+        top=[(obj, score) for obj, score in top],
+        sorted_accesses=sum(l.sorted_accesses for l in lists),
+        random_accesses=sum(l.random_accesses for l in lists),
+    )
+
+
+@dataclass
+class _Partial:
+    """NRA bookkeeping for one partially seen object."""
+
+    grades: list[float | None]
+
+    def lower(self, scoring: ScoringFunction) -> float:
+        return scoring(tuple(0.0 if g is None else g for g in self.grades))
+
+    def upper(self, scoring: ScoringFunction, frontiers: list[float]) -> float:
+        return scoring(
+            tuple(
+                frontiers[i] if g is None else g
+                for i, g in enumerate(self.grades)
+            )
+        )
+
+    @property
+    def complete(self) -> bool:
+        return all(g is not None for g in self.grades)
+
+
+def no_random_access(
+    lists: list[RankedList],
+    scoring: ScoringFunction,
+    k: int,
+    *,
+    check_every: int = 1,
+) -> AggregationResult:
+    """Fagin's NRA: sorted access only, lower/upper bound bookkeeping.
+
+    ``check_every`` batches the (quadratic-ish) stopping test over several
+    rounds, trading a few extra accesses for less bookkeeping — with the
+    default 1 the algorithm is the textbook NRA.
+    """
+    _validate(lists, k)
+    m = len(lists)
+    partials: dict[Hashable, _Partial] = {}
+    rounds = 0
+    while True:
+        progressed = False
+        for index, ranked in enumerate(lists):
+            entry = ranked.next()
+            if entry is None:
+                continue
+            progressed = True
+            partial = partials.get(entry.obj)
+            if partial is None:
+                partial = _Partial(grades=[None] * m)
+                partials[entry.obj] = partial
+            partial.grades[index] = entry.grade
+        rounds += 1
+        frontiers = [
+            0.0 if ranked.exhausted else ranked.last_grade for ranked in lists
+        ]
+        if rounds % check_every == 0 or not progressed:
+            lowers = {
+                obj: p.lower(scoring) for obj, p in partials.items()
+            }
+            best = heapq.nlargest(k, lowers.items(), key=lambda item: item[1])
+            if len(best) >= k:
+                kth_lower = best[-1][1]
+                top_ids = {obj for obj, __ in best}
+                contender = max(
+                    (
+                        p.upper(scoring, frontiers)
+                        for obj, p in partials.items()
+                        if obj not in top_ids
+                    ),
+                    default=float("-inf"),
+                )
+                unseen_upper = scoring(tuple(frontiers))
+                top_uppers_ok = all(
+                    partials[obj].upper(scoring, frontiers) <= kth_lower + 1e-12
+                    or partials[obj].complete
+                    for obj, __ in best
+                )
+                if (
+                    kth_lower >= contender - 1e-12
+                    and kth_lower >= unseen_upper - 1e-12
+                    and top_uppers_ok
+                ):
+                    break
+        if not progressed:
+            break
+    lowers = {obj: p.lower(scoring) for obj, p in partials.items()}
+    top = heapq.nlargest(k, lowers.items(), key=lambda item: item[1])
+    return AggregationResult(
+        top=[(obj, score) for obj, score in top],
+        sorted_accesses=sum(l.sorted_accesses for l in lists),
+        random_accesses=sum(l.random_accesses for l in lists),
+    )

@@ -1,0 +1,116 @@
+"""Bounding-scheme interface and the corner bound.
+
+A bounding scheme is one of the two pluggable components of the PBRJ
+template (Figure 1 of the paper).  After every pulled tuple it returns an
+upper bound ``t`` on the score of any join result that still involves an
+unseen input tuple; the operator may emit a buffered result only once its
+score reaches ``t``.
+
+This module defines the interface plus the **corner bound** of HRJN*: keep a
+per-input threshold ``thr_i = S̄(ρ_i)`` (score bound of the last tuple pulled
+from input ``i``) and report ``max(thr_1, thr_2)``.  The corner bound
+implicitly assumes the ideal vector ``(1, …, 1)`` may appear in each input,
+which is what makes HRJN* non-robust on inputs with a score cut.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.core.scoring import NEG_INF, ScoringFunction
+from repro.core.tuples import RankTuple
+
+POS_INF = float("inf")
+
+LEFT = 0
+RIGHT = 1
+
+
+@dataclass(frozen=True)
+class BoundContext:
+    """Static problem information handed to a bounding scheme.
+
+    ``dims`` holds the per-input score dimensionalities ``(e_1, e_2)``;
+    ``scoring`` is the monotone aggregate over the concatenated vector.
+    """
+
+    scoring: ScoringFunction
+    dims: tuple[int, int]
+
+    def score_bound(self, side: int, scores: tuple[float, ...]) -> float:
+        """``S̄`` of a tuple from ``side``: substitute 1 for missing scores."""
+        other = self.dims[1 - side]
+        if side == LEFT:
+            return self.scoring.bound_with_ones(scores, other)
+        return self.scoring((1.0,) * self.dims[LEFT] + tuple(scores))
+
+    def combine(self, left_scores, right_scores) -> float:
+        """Score of a (possibly hypothetical) combined vector."""
+        return self.scoring(tuple(left_scores) + tuple(right_scores))
+
+
+class BoundingScheme(ABC):
+    """Pluggable bound computation for the PBRJ template."""
+
+    def __init__(self) -> None:
+        self.context: BoundContext | None = None
+
+    def bind(self, context: BoundContext) -> None:
+        """Attach problem information; called once by the operator."""
+        self.context = context
+
+    @abstractmethod
+    def update(self, side: int, tup: RankTuple) -> float:
+        """Process a newly pulled tuple; return the updated bound ``t``."""
+
+    @abstractmethod
+    def current(self) -> float:
+        """The bound value as of the last update."""
+
+    @abstractmethod
+    def potential(self, side: int) -> float:
+        """Max score of an unseen-involving result drawing from ``side``.
+
+        Drives adaptive pulling: HRJN*'s threshold strategy and the PA
+        strategy are both 'pull the side with the larger potential'; they
+        differ only in how their bounding scheme defines it.
+        """
+
+    def notify_exhausted(self, side: int) -> float:
+        """Input ``side`` has no more tuples; collapse its contribution."""
+        raise NotImplementedError
+
+    # Statistics hook: number of "expensive" bound computations (cover-bound
+    # cross products for the FR family; trivially 0 for the corner bound).
+    @property
+    def cover_recomputations(self) -> int:
+        return 0
+
+
+class CornerBound(BoundingScheme):
+    """HRJN*'s corner bound (Section 3.1)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._thr = [POS_INF, POS_INF]
+
+    def update(self, side: int, tup: RankTuple) -> float:
+        assert self.context is not None, "bind() must be called first"
+        self._thr[side] = self.context.score_bound(side, tup.scores)
+        return self.current()
+
+    def current(self) -> float:
+        return max(self._thr)
+
+    def potential(self, side: int) -> float:
+        return self._thr[side]
+
+    def notify_exhausted(self, side: int) -> float:
+        self._thr[side] = NEG_INF
+        return self.current()
+
+    @property
+    def thresholds(self) -> tuple[float, float]:
+        """The per-input thresholds ``(thr_1, thr_2)``."""
+        return (self._thr[0], self._thr[1])

@@ -1,0 +1,101 @@
+"""The FR* bound: the fast feasible-region bound of FRPA (Section 4.2.1).
+
+FR* keeps the tightness of FR while attacking its two cost sources:
+
+1. **Skylines everywhere.**  Cover bounds are computed over ``SL(CR_i)`` and
+   ``SL(b[HR_i])`` instead of the raw sets — monotonicity of ``S`` makes this
+   lossless.  The seen-side skyline ``SHR_i`` is maintained incrementally
+   and benefits from the *early freeze* property (dominating tuples arrive
+   first under decreasing-``S̄`` access).
+2. **Caching via the decision matrix (Table 1).**  A pulled tuple ``ρ_i``
+   can invalidate ``t_ī^cover`` only if it changed ``SHR_i``, and can
+   invalidate ``t_i^cover`` / ``t_both^cover`` only if it closed a group
+   (changing ``CR_i`` and ``g_i``).  Everything else is reused.
+
+The result is bit-identical bound values to FR (Theorem 4.1's tightness is
+preserved) at a fraction of the computation.
+"""
+
+from __future__ import annotations
+
+from repro.core.bounds import LEFT, RIGHT, POS_INF, BoundContext
+from repro.core.fr_bound import FRBound
+from repro.core.scoring import NEG_INF, PreparedPoints
+from repro.core.tuples import RankTuple
+from repro.geometry.dominance import ones
+from repro.geometry.skyline import IncrementalSkyline
+
+
+class FRStarBound(FRBound):
+    """Skyline-optimized, cached feasible-region bound."""
+
+    def __init__(self) -> None:
+        super().__init__(prune_covers=True)
+        self._shr = [IncrementalSkyline(), IncrementalSkyline()]
+        self._shr_prep: list[PreparedPoints | None] = [None, None]
+        self._t_cover = [NEG_INF, NEG_INF]
+        self._t_both_cover = POS_INF
+
+    def bind(self, context: BoundContext) -> None:
+        super().bind(context)
+        offsets = (0, context.dims[LEFT])
+        for side in (LEFT, RIGHT):
+            self._shr_prep[side] = context.scoring.prepare(
+                self._shr[side].points, offset=offsets[side]
+            )
+        self._t_both_cover = context.combine(
+            ones(context.dims[LEFT]), ones(context.dims[RIGHT])
+        )
+
+    # ------------------------------------------------------------------
+    def update(self, side: int, tup: RankTuple) -> float:
+        assert self.context is not None, "bind() must be called first"
+        skyline_changed = self._shr[side].add(tup.scores)
+        if skyline_changed:
+            # Rebuild the prepared operand; SHR stays small (early freeze).
+            self._shr_prep[side].replace(self._shr[side].points)
+        group_closed = self._absorb(side, tup)
+        other = 1 - side
+        # Decision matrix (Table 1): recompute only invalidated components.
+        if skyline_changed:
+            self._t_cover[other] = self._cover_bound(other)
+        if group_closed:
+            self._t_cover[side] = self._cover_bound(side)
+            self._t_both_cover = self._both_cover_bound()
+        self._bound = self._recombine()
+        return self._bound
+
+    def notify_exhausted(self, side: int) -> float:
+        self._g[side] = NEG_INF
+        self._bound = self._recombine()
+        return self._bound
+
+    # ------------------------------------------------------------------
+    def _cover_bound(self, unseen_side: int) -> float:
+        """Cover bound over skylines only (the FR* redefinition)."""
+        assert self.context is not None
+        self._recomputations += 1
+        if unseen_side == LEFT:
+            left_prep = self._cr_prep[LEFT]
+            right_prep = self._shr_prep[RIGHT]
+        else:
+            left_prep = self._shr_prep[LEFT]
+            right_prep = self._cr_prep[RIGHT]
+        return self.context.scoring.max_prepared(left_prep, right_prep)
+
+    def _recombine(self) -> float:
+        """Assemble the bound from cached covers and current order bounds."""
+        t0 = min(self._t_cover[LEFT], self._g[LEFT])
+        t1 = min(self._t_cover[RIGHT], self._g[RIGHT])
+        t_both = min(self._t_both_cover, min(self._g[LEFT], self._g[RIGHT]))
+        self._components = {"t0": t0, "t1": t1, "t_both": t_both}
+        return max(t0, t1, t_both)
+
+    # FR* never calls the eager full recomputation of the parent class.
+    def _result_bound(self) -> float:  # pragma: no cover - defensive
+        raise AssertionError("FR* recombines cached components; see update()")
+
+    @property
+    def seen_skyline_sizes(self) -> tuple[int, int]:
+        """Current ``(|SHR_1|, |SHR_2|)`` — early-freeze diagnostics."""
+        return (len(self._shr[LEFT]), len(self._shr[RIGHT]))

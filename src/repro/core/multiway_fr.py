@@ -1,0 +1,194 @@
+"""Multiway bounding schemes — the paper's "extends naturally" claim.
+
+Section 2.1 remarks that some of the paper's techniques extend naturally
+to the n-ary rank join.  This module supplies two bounds for
+:class:`~repro.core.multiway.MultiwayRankJoin`:
+
+* :class:`MultiwayCornerBound` — the HRJN\\*-style generalization:
+  ``thr_i = S̄(ρ_i)`` with 1-substitution for *all* other relations.
+* :class:`MultiwayFeasibleBound` — the feasible-region generalization for
+  **additive** scoring: per-relation covers of the unseen score vectors
+  (size-bounded, reusing the aFR machinery) make each of the ``2^n − 1``
+  unseen-subset cases computable as a sum of per-relation maxima, each
+  capped by the subset's order bound ``min_{i∈U} g_i``.
+
+The subset-case structure mirrors the binary FR bound's three cases
+(t_1, t_2, t_both); additivity is what keeps the cover combination from
+exploding combinatorially — the restriction is enforced at construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+
+from repro.core.afr_bound import AdaptiveCover
+from repro.core.scoring import NEG_INF, ScoringFunction, SumScore, WeightedSum
+from repro.core.tuples import RankTuple
+from repro.errors import InstanceError
+from repro.geometry.skyline import IncrementalSkyline
+
+POS_INF = float("inf")
+
+
+class MultiwayBound(ABC):
+    """Bound interface for the n-ary operator."""
+
+    @abstractmethod
+    def bind(self, dims: list[int], scoring: ScoringFunction) -> None: ...
+
+    @abstractmethod
+    def update(self, index: int, tup: RankTuple, score_bound: float) -> float:
+        """Process a pulled tuple (with its S̄); return the new bound."""
+
+    @abstractmethod
+    def current(self) -> float: ...
+
+    @abstractmethod
+    def potential(self, index: int) -> float:
+        """Max score of a result using an unseen tuple of relation index."""
+
+    @abstractmethod
+    def notify_exhausted(self, index: int) -> float: ...
+
+
+class MultiwayCornerBound(MultiwayBound):
+    """Per-relation thresholds; bound = max_i S̄(ρ_i)."""
+
+    def __init__(self) -> None:
+        self._thr: list[float] = []
+
+    def bind(self, dims, scoring) -> None:
+        self._thr = [POS_INF] * len(dims)
+
+    def update(self, index, tup, score_bound) -> float:
+        self._thr[index] = score_bound
+        return self.current()
+
+    def current(self) -> float:
+        return max(self._thr) if self._thr else NEG_INF
+
+    def potential(self, index) -> float:
+        return self._thr[index]
+
+    def notify_exhausted(self, index) -> float:
+        self._thr[index] = NEG_INF
+        return self.current()
+
+
+class MultiwayFeasibleBound(MultiwayBound):
+    """Additive-scoring feasible-region bound over n inputs.
+
+    Per relation: an adaptive cover ``CR_i`` of the unseen score vectors,
+    the seen-side skyline max-sum, the group buffer ``G_i`` and frontier
+    ``g_i``.  For each non-empty subset ``U`` of "unseen" relations the
+    case bound is::
+
+        min(  Σ_{i∈U} maxsum(CR_i) + Σ_{i∉U} maxsum(seen_i),
+              min_{i∈U} g_i  )
+
+    and the overall bound is the maximum over the cases — exactly the
+    binary FR structure (Figure 3) generalized.
+    """
+
+    def __init__(self, *, max_cr_size: int = 500, resolution: int = 64) -> None:
+        self.max_cr_size = max_cr_size
+        self.resolution = resolution
+        self._n = 0
+        self._covers: list[AdaptiveCover] = []
+        self._seen_sky: list[IncrementalSkyline] = []
+        self._groups: list[list[tuple[float, ...]]] = []
+        self._g: list[float] = []
+        self._bound = POS_INF
+        self._cases: dict[frozenset, float] = {}
+
+    def bind(self, dims, scoring) -> None:
+        if not isinstance(scoring, (SumScore, WeightedSum)):
+            raise InstanceError(
+                "MultiwayFeasibleBound requires an additive scoring function"
+            )
+        if isinstance(scoring, WeightedSum):
+            offsets = [sum(dims[:i]) for i in range(len(dims))]
+            self._weights = [
+                scoring.weights[offsets[i]: offsets[i] + dims[i]]
+                for i in range(len(dims))
+            ]
+        else:
+            self._weights = [None] * len(dims)
+        self._n = len(dims)
+        self._covers = [
+            AdaptiveCover(d, max_size=self.max_cr_size, resolution=self.resolution)
+            for d in dims
+        ]
+        self._seen_sky = [IncrementalSkyline() for __ in dims]
+        self._groups = [[] for __ in dims]
+        self._g = [POS_INF] * self._n
+
+    # ------------------------------------------------------------------
+    def _partial(self, index: int, scores) -> float:
+        weights = self._weights[index]
+        if weights is None:
+            return float(sum(scores))
+        return float(sum(w * s for w, s in zip(weights, scores)))
+
+    def _max_cover(self, index: int) -> float:
+        points = self._covers[index].points
+        if not points:
+            return NEG_INF
+        return max(self._partial(index, p) for p in points)
+
+    def _max_seen(self, index: int) -> float:
+        points = self._seen_sky[index].points
+        if not points:
+            return NEG_INF
+        return max(self._partial(index, p) for p in points)
+
+    def update(self, index, tup, score_bound) -> float:
+        self._seen_sky[index].add(tup.scores)
+        if score_bound < self._g[index]:
+            self._covers[index].update(self._groups[index])
+            self._g[index] = score_bound
+            self._groups[index] = [tup.scores]
+        else:
+            self._groups[index].append(tup.scores)
+        self._bound = self._recompute()
+        return self._bound
+
+    def _recompute(self) -> float:
+        unseen_max = [self._max_cover(i) for i in range(self._n)]
+        seen_max = [self._max_seen(i) for i in range(self._n)]
+        best = NEG_INF
+        self._cases = {}
+        for size in range(1, self._n + 1):
+            for subset in itertools.combinations(range(self._n), size):
+                chosen = frozenset(subset)
+                cover = 0.0
+                feasible = True
+                for i in range(self._n):
+                    part = unseen_max[i] if i in chosen else seen_max[i]
+                    if part == NEG_INF:
+                        feasible = False
+                        break
+                    cover += part
+                order = min(self._g[i] for i in chosen)
+                value = min(cover, order) if feasible else NEG_INF
+                self._cases[chosen] = value
+                best = max(best, value)
+        return best
+
+    def current(self) -> float:
+        return self._bound
+
+    def potential(self, index) -> float:
+        """Max case value among subsets containing ``index``."""
+        if not self._cases:
+            return POS_INF
+        return max(
+            (value for subset, value in self._cases.items() if index in subset),
+            default=NEG_INF,
+        )
+
+    def notify_exhausted(self, index) -> float:
+        self._g[index] = NEG_INF
+        self._bound = self._recompute()
+        return self._bound

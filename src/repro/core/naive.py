@@ -1,0 +1,54 @@
+"""Naive rank join: materialize the full join, sort, take the top.
+
+This is the correctness oracle for every operator in the library, and the
+"conventional join" baseline the paper's introduction contrasts rank join
+operators against (it always reads both inputs completely).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable
+
+from repro.core.scoring import ScoringFunction
+from repro.core.tuples import JoinResult, RankTuple
+
+
+def full_join(
+    left: Iterable[RankTuple],
+    right: Iterable[RankTuple],
+    scoring: ScoringFunction,
+) -> list[JoinResult]:
+    """Hash-join the inputs completely and score every result."""
+    buckets: dict = {}
+    for tup in left:
+        buckets.setdefault(tup.key, []).append(tup)
+    results = []
+    for rtup in right:
+        for ltup in buckets.get(rtup.key, ()):
+            score = scoring(ltup.scores + rtup.scores)
+            results.append(JoinResult.combine(ltup, rtup, score))
+    return results
+
+
+def naive_top_k(
+    left: Iterable[RankTuple],
+    right: Iterable[RankTuple],
+    scoring: ScoringFunction,
+    k: int,
+) -> list[JoinResult]:
+    """The top ``k`` join results in decreasing score order.
+
+    Ties are broken arbitrarily but deterministically; callers comparing
+    against incremental operators should compare score sequences, which
+    Definition 2.1 notes are fully determined by the instance.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    everything = full_join(left, right, scoring)
+    return heapq.nlargest(k, everything, key=lambda r: r.score)
+
+
+def top_scores(results: Iterable[JoinResult]) -> list[float]:
+    """Extract the score sequence of a result list (for comparisons)."""
+    return [r.score for r in results]

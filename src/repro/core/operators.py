@@ -1,0 +1,158 @@
+"""Named rank join operators as PBRJ instantiations.
+
+Factory functions build each operator the paper studies from a
+:class:`~repro.relation.relation.RankJoinInstance` (fresh scans every call,
+so repeated runs are independent):
+
+=============  =====================  =====================
+operator       bounding scheme        pulling strategy
+=============  =====================  =====================
+HRJN           corner                 round-robin
+HRJN*          corner                 threshold-adaptive
+PBRJ_FR^RR     FR (exact, uncached)   round-robin
+FRPA           FR* (skyline, cached)  potential-adaptive
+FRPA_RR        FR*                    round-robin (ablation)
+a-FRPA         aFR (adaptive covers)  potential-adaptive
+=============  =====================  =====================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.afr_bound import (
+    DEFAULT_MAX_CR_SIZE,
+    DEFAULT_RESOLUTION,
+    AFRBound,
+)
+from repro.core.bounds import BoundingScheme, CornerBound
+from repro.core.fr_bound import FRBound
+from repro.core.frstar_bound import FRStarBound
+from repro.core.pbrj import PBRJ
+from repro.core.pulling import PotentialAdaptive, PullingStrategy, RoundRobin
+from repro.relation.relation import RankJoinInstance
+
+OperatorFactory = Callable[..., PBRJ]
+
+
+def build(
+    instance: RankJoinInstance,
+    bound: BoundingScheme,
+    strategy: PullingStrategy,
+    *,
+    name: str,
+    track_time: bool = True,
+    max_pulls: int | None = None,
+    max_seconds: float | None = None,
+    trace=None,
+) -> PBRJ:
+    """Assemble a PBRJ operator over fresh scans of ``instance``."""
+    left, right = instance.scans()
+    return PBRJ(
+        left,
+        right,
+        instance.scoring,
+        bound,
+        strategy,
+        name=name,
+        track_time=track_time,
+        max_pulls=max_pulls,
+        max_seconds=max_seconds,
+        trace=trace,
+    )
+
+
+def hrjn(instance: RankJoinInstance, **kwargs) -> PBRJ:
+    """HRJN: corner bound + round-robin pulling (Ilyas et al.)."""
+    return build(instance, CornerBound(), RoundRobin(), name="HRJN", **kwargs)
+
+
+def hrjn_star(instance: RankJoinInstance, **kwargs) -> PBRJ:
+    """HRJN*: corner bound + threshold-adaptive pulling (Ilyas et al.)."""
+    return build(instance, CornerBound(), PotentialAdaptive(), name="HRJN*", **kwargs)
+
+
+def pbrj_fr_rr(instance: RankJoinInstance, **kwargs) -> PBRJ:
+    """PBRJ_FR^RR: exact FR bound + round-robin (Schnaitter & Polyzotis)."""
+    return build(instance, FRBound(), RoundRobin(), name="PBRJ_FR^RR", **kwargs)
+
+
+def frpa(instance: RankJoinInstance, **kwargs) -> PBRJ:
+    """FRPA: FR* bound + potential-adaptive pulling (this paper, Section 4)."""
+    return build(instance, FRStarBound(), PotentialAdaptive(), name="FRPA", **kwargs)
+
+
+def frpa_rr(instance: RankJoinInstance, **kwargs) -> PBRJ:
+    """FR* bound + round-robin: isolates the PA strategy's contribution."""
+    return build(instance, FRStarBound(), RoundRobin(), name="FRPA_RR", **kwargs)
+
+
+def a_frpa(
+    instance: RankJoinInstance,
+    *,
+    max_cr_size: int = DEFAULT_MAX_CR_SIZE,
+    resolution: int = DEFAULT_RESOLUTION,
+    cover_strategy: str = "adaptive",
+    **kwargs,
+) -> PBRJ:
+    """a-FRPA: adaptive feasible-region bound + PA (this paper, Section 5)."""
+    bound = AFRBound(
+        max_cr_size=max_cr_size,
+        resolution=resolution,
+        cover_strategy=cover_strategy,
+    )
+    return build(instance, bound, PotentialAdaptive(), name="a-FRPA", **kwargs)
+
+
+#: Registry used by the experiment harness and the benchmarks.
+OPERATORS: dict[str, OperatorFactory] = {
+    "HRJN": hrjn,
+    "HRJN*": hrjn_star,
+    "PBRJ_FR^RR": pbrj_fr_rr,
+    "FRPA": frpa,
+    "FRPA_RR": frpa_rr,
+    "a-FRPA": a_frpa,
+}
+
+
+def make_components(
+    name: str,
+    *,
+    max_cr_size: int = DEFAULT_MAX_CR_SIZE,
+    resolution: int = DEFAULT_RESOLUTION,
+    cover_strategy: str = "adaptive",
+) -> tuple[BoundingScheme, PullingStrategy]:
+    """Fresh (bounding scheme, pulling strategy) for an operator name.
+
+    Used by pipelined plans, which assemble PBRJ stages over operator
+    sources rather than over a :class:`RankJoinInstance`.
+    """
+    if name == "HRJN":
+        return CornerBound(), RoundRobin()
+    if name == "HRJN*":
+        return CornerBound(), PotentialAdaptive()
+    if name == "PBRJ_FR^RR":
+        return FRBound(), RoundRobin()
+    if name == "FRPA":
+        return FRStarBound(), PotentialAdaptive()
+    if name == "FRPA_RR":
+        return FRStarBound(), RoundRobin()
+    if name == "a-FRPA":
+        bound = AFRBound(
+            max_cr_size=max_cr_size,
+            resolution=resolution,
+            cover_strategy=cover_strategy,
+        )
+        return bound, PotentialAdaptive()
+    raise KeyError(f"unknown operator {name!r}; choose from {sorted(OPERATORS)}")
+
+
+def make_operator(name: str, instance: RankJoinInstance, **kwargs) -> PBRJ:
+    """Look up an operator by its paper name and build it."""
+    try:
+        factory = OPERATORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown operator {name!r}; choose from {sorted(OPERATORS)}"
+        ) from None
+    return factory(instance, **kwargs)

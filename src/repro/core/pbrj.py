@@ -1,0 +1,245 @@
+"""The Pull-Bound Rank Join (PBRJ) template — Figure 1 of the paper.
+
+PBRJ is the algorithm template every deterministic rank join operator can be
+expressed in (the equivalence result of Schnaitter & Polyzotis).  It is
+instantiated with a :class:`~repro.core.bounds.BoundingScheme` ``B`` and a
+:class:`~repro.core.pulling.PullingStrategy` ``P`` and exposes the iterator
+interface: ``get_next()`` returns the next join result in decreasing score
+order, or ``None`` when the output is exhausted.
+
+Per loop iteration: ``P`` chooses an input, one tuple is pulled, joined
+against the opposite hash buffer, the new results enter the ordered output
+buffer, and ``B`` refreshes the bound ``t`` on undiscovered results.  The
+buffered top is emitted once its score reaches ``t``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections.abc import Iterator
+
+from repro.core.bounds import LEFT, RIGHT, BoundContext, BoundingScheme
+from repro.core.pulling import PullingStrategy
+from repro.core.scoring import ScoringFunction
+from repro.core.tuples import JoinResult, RankTuple
+from repro.errors import PullBudgetExceeded, TimeBudgetExceeded
+from repro.relation.sources import TupleSource
+from repro.stats.metrics import (
+    DepthReport,
+    MemoryHighWater,
+    OperatorStats,
+    TimingBreakdown,
+)
+from repro.stats.timing import ComponentTimer
+from repro.stats.trace import BoundTrace
+
+#: Tolerance for the emit test ``S(O.top()) >= t``.  Scores are sums of a few
+#: floats, so genuine differences are far larger than accumulated error.
+SCORE_EPS = 1e-9
+
+
+class PBRJ:
+    """The Pull-Bound Rank Join operator template.
+
+    Parameters
+    ----------
+    left, right:
+        Sequential sources sorted in decreasing ``S̄`` order.
+    scoring:
+        Monotone aggregate over the concatenated score vector.
+    bound:
+        The bounding scheme ``B`` (fresh instance, not shared).
+    strategy:
+        The pulling strategy ``P`` (fresh instance, not shared).
+    name:
+        Label used in reports.
+    track_time:
+        Record the Figure 2(b) wall-clock breakdown (small overhead).
+    max_pulls:
+        Optional pull budget; exceeding it raises
+        :class:`~repro.errors.PullBudgetExceeded` (used to reproduce the
+        paper's aborted e=4 runs).
+    max_seconds:
+        Optional wall-clock budget measured from the first ``get_next``;
+        exceeding it raises :class:`~repro.errors.TimeBudgetExceeded`.
+    """
+
+    def __init__(
+        self,
+        left: TupleSource,
+        right: TupleSource,
+        scoring: ScoringFunction,
+        bound: BoundingScheme,
+        strategy: PullingStrategy,
+        *,
+        name: str = "PBRJ",
+        track_time: bool = True,
+        max_pulls: int | None = None,
+        max_seconds: float | None = None,
+        trace: "BoundTrace | None" = None,
+    ) -> None:
+        self.name = name
+        self.scoring = scoring
+        self._sources = (left, right)
+        self._bound = bound
+        self._strategy = strategy
+        self._bound.bind(BoundContext(scoring, (left.dimension, right.dimension)))
+        self._buffers: tuple[dict, dict] = ({}, {})
+        self._output: list[tuple[float, int, JoinResult]] = []
+        self._sequence = 0
+        self._t = float("inf")
+        self._exhausted = [False, False]
+        self._pulls = 0
+        self._max_pulls = max_pulls
+        self._max_seconds = max_seconds
+        self._started_at: float | None = None
+        self._emitted = 0
+        self._max_output = 0
+        self._trace = trace
+        self._timer = ComponentTimer(enabled=track_time)
+
+    # ------------------------------------------------------------------
+    # OperatorView protocol (consumed by pulling strategies)
+    # ------------------------------------------------------------------
+    def depth(self, side: int) -> int:
+        """Tuples pulled so far from ``side``."""
+        return self._sources[side].depth
+
+    def is_exhausted(self, side: int) -> bool:
+        return self._exhausted[side]
+
+    def potential(self, side: int) -> float:
+        return self._bound.potential(side)
+
+    # ------------------------------------------------------------------
+    # Iterator interface
+    # ------------------------------------------------------------------
+    def get_next(self) -> JoinResult | None:
+        """Return the next result of ``R1 ⋈ R2`` in decreasing score order."""
+        with self._timer.measure("total"):
+            return self._get_next_inner()
+
+    def _get_next_inner(self) -> JoinResult | None:
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+        while True:
+            self._refresh_exhausted()
+            if self._output and self._peek_score() >= self._t - SCORE_EPS:
+                break
+            if all(self._exhausted):
+                break
+            if self._max_seconds is not None:
+                elapsed = time.perf_counter() - self._started_at
+                if elapsed > self._max_seconds:
+                    raise TimeBudgetExceeded(elapsed, self._max_seconds)
+            side = self._strategy.choose(self)
+            with self._timer.measure("io"):
+                rho = self._sources[side].next()
+            if rho is None:  # concurrent exhaustion guard
+                continue
+            self._pulls += 1
+            if self._max_pulls is not None and self._pulls > self._max_pulls:
+                raise PullBudgetExceeded(self._pulls, self._max_pulls)
+            self._join_and_buffer(side, rho)
+            with self._timer.measure("bound"):
+                self._t = self._bound.update(side, rho)
+            if self._trace is not None:
+                self._trace.record(
+                    self._pulls, side, self._t, len(self._output), self._emitted
+                )
+        if self._output:
+            self._emitted += 1
+            return heapq.heappop(self._output)[2]
+        return None
+
+    def __iter__(self) -> Iterator[JoinResult]:
+        while True:
+            result = self.get_next()
+            if result is None:
+                return
+            yield result
+
+    def top_k(self, k: int) -> list[JoinResult]:
+        """Answer ``k`` getNext calls; may return fewer if output is smaller."""
+        results = []
+        for _ in range(k):
+            result = self.get_next()
+            if result is None:
+                break
+            results.append(result)
+        return results
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _peek_score(self) -> float:
+        return -self._output[0][0]
+
+    def _refresh_exhausted(self) -> None:
+        for side in (LEFT, RIGHT):
+            if not self._exhausted[side] and not self._sources[side].has_next():
+                self._exhausted[side] = True
+                with self._timer.measure("bound"):
+                    self._t = self._bound.notify_exhausted(side)
+
+    def _join_and_buffer(self, side: int, rho: RankTuple) -> None:
+        matches = self._buffers[1 - side].get(rho.key, ())
+        for partner in matches:
+            left, right = (rho, partner) if side == LEFT else (partner, rho)
+            score = self.scoring(left.scores + right.scores)
+            result = JoinResult.combine(left, right, score)
+            heapq.heappush(self._output, (-score, self._sequence, result))
+            self._sequence += 1
+        self._buffers[side].setdefault(rho.key, []).append(rho)
+        self._max_output = max(self._max_output, len(self._output))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def bound_value(self) -> float:
+        """Current bound ``t`` on undiscovered results."""
+        return self._t
+
+    @property
+    def bound_scheme(self) -> BoundingScheme:
+        return self._bound
+
+    @property
+    def pulls(self) -> int:
+        return self._pulls
+
+    def depths(self) -> DepthReport:
+        return DepthReport(self.depth(LEFT), self.depth(RIGHT))
+
+    def timing(self) -> TimingBreakdown:
+        return TimingBreakdown(
+            io=self._timer.total("io"),
+            bound=self._timer.total("bound"),
+            total=self._timer.total("total"),
+        )
+
+    def memory(self) -> MemoryHighWater:
+        """Peak buffer occupancy: hash tables grow with depth, the output
+        heap with generated-but-unemitted results."""
+        return MemoryHighWater(
+            hash_left=self.depth(LEFT),
+            hash_right=self.depth(RIGHT),
+            output=self._max_output,
+        )
+
+    def stats(self) -> OperatorStats:
+        """Snapshot of all measurements, suitable for reports."""
+        return OperatorStats(
+            operator=self.name,
+            depths=self.depths(),
+            timing=self.timing(),
+            io_cost=self._sources[LEFT].cost + self._sources[RIGHT].cost,
+            bound_recomputations=self._bound.cover_recomputations,
+            results=self._emitted,
+            memory=self.memory(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PBRJ(name={self.name!r}, pulls={self._pulls}, t={self._t})"

@@ -1,0 +1,106 @@
+"""Pulling strategies: the second pluggable PBRJ component.
+
+A strategy decides which input to read next.  It sees a small read-only view
+of the operator (depths, exhaustion flags, and the bounding scheme's
+per-input potentials).
+
+* :class:`RoundRobin` — PBRJ_FR^RR's blind alternation.
+* :class:`PotentialAdaptive` — the paper's PA strategy: pull the input with
+  the larger potential, breaking ties toward the smaller depth and then the
+  smaller index.  Paired with the corner bound (whose potential is ``thr_i``)
+  this *is* HRJN*'s threshold-adaptive strategy; paired with FR*/aFR it is
+  the PA strategy of FRPA / a-FRPA.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Protocol
+
+from repro.core.bounds import LEFT, RIGHT
+
+
+class OperatorView(Protocol):
+    """What a pulling strategy may observe about the running operator."""
+
+    def depth(self, side: int) -> int: ...
+
+    def is_exhausted(self, side: int) -> bool: ...
+
+    def potential(self, side: int) -> float: ...
+
+
+class PullingStrategy(ABC):
+    """Chooses the next input to pull from."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def choose(self, view: OperatorView) -> int:
+        """Return the side (0 or 1) to read; never an exhausted side."""
+
+    @staticmethod
+    def _available(view: OperatorView) -> list[int]:
+        sides = [side for side in (LEFT, RIGHT) if not view.is_exhausted(side)]
+        if not sides:
+            raise RuntimeError("choose() called with both inputs exhausted")
+        return sides
+
+
+class RoundRobin(PullingStrategy):
+    """Strict alternation between the inputs, skipping exhausted ones."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._last = RIGHT  # so that the very first pull hits the left input
+
+    def choose(self, view: OperatorView) -> int:
+        available = self._available(view)
+        preferred = 1 - self._last
+        side = preferred if preferred in available else available[0]
+        self._last = side
+        return side
+
+
+class PotentialAdaptive(PullingStrategy):
+    """Pull the input with maximal potential (the paper's PA strategy).
+
+    Tie-breaking follows Section 4.2.2: least depth first, then least index.
+    """
+
+    name = "potential-adaptive"
+
+    def choose(self, view: OperatorView) -> int:
+        available = self._available(view)
+        if len(available) == 1:
+            return available[0]
+        # Sort key: maximize potential, then minimize depth, then index.
+        return min(
+            available,
+            key=lambda side: (-view.potential(side), view.depth(side), side),
+        )
+
+
+class FixedSequence(PullingStrategy):
+    """Replay a predetermined pull sequence (testing / adversarial inputs).
+
+    Once the sequence is exhausted, falls back to round-robin.  Useful for
+    constructing the worst-case instances in the test suite.
+    """
+
+    name = "fixed-sequence"
+
+    def __init__(self, sequence: list[int]) -> None:
+        self._sequence = list(sequence)
+        self._position = 0
+        self._fallback = RoundRobin()
+
+    def choose(self, view: OperatorView) -> int:
+        available = self._available(view)
+        while self._position < len(self._sequence):
+            side = self._sequence[self._position]
+            self._position += 1
+            if side in available:
+                return side
+        return self._fallback.choose(view)

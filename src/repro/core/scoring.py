@@ -1,0 +1,349 @@
+"""Monotone scoring functions.
+
+A scoring function ``S`` maps a concatenated base-score vector to a number
+and must be **monotone**: ``S(x) <= S(y)`` whenever ``x_i <= y_i`` for all
+``i``.  Monotonicity is what makes score bounds via 1-substitution valid.
+
+Besides pointwise evaluation, the bounding schemes need the maximum of ``S``
+over a cross product of two point sets (the paper's *cover bounds*,
+``max S(c1 ⊕ c2)``).  :meth:`ScoringFunction.max_combination` provides that;
+the default implementation enumerates all pairs (exactly the combinatorial
+cost the paper attributes to the FR bound), and additive functions override
+it with a vectorized numpy version for reasonable constants — mirroring the
+paper's compiled C++ implementation.  An *exact separable* shortcut
+(``max_combination_separable``) also exists for additive functions; it is
+deliberately **not** used by the faithful operators and is exercised only by
+the ablation benchmark (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+NEG_INF = float("-inf")
+
+
+class ScoringFunction(ABC):
+    """Interface for monotone scoring functions over ``[0, 1]^e`` vectors."""
+
+    @abstractmethod
+    def __call__(self, vector: Sequence[float]) -> float:
+        """Evaluate ``S`` on a full concatenated score vector."""
+
+    def batch(self, vectors: np.ndarray) -> np.ndarray:
+        """Evaluate ``S`` row-wise on an ``(n, e)`` array.
+
+        Subclasses should vectorize; the fallback loops.
+        """
+        return np.array([self(row) for row in vectors], dtype=float)
+
+    def max_combination(
+        self,
+        left: Sequence[Sequence[float]],
+        right: Sequence[Sequence[float]],
+    ) -> float:
+        """``max { S(c1 ⊕ c2) : c1 ∈ left, c2 ∈ right }``; ``-inf`` if empty.
+
+        Either operand may hold 0-dimensional (empty) points, in which case
+        the concatenation degenerates gracefully.
+        """
+        if not left or not right:
+            return NEG_INF
+        best = NEG_INF
+        for c1 in left:
+            prefix = tuple(c1)
+            for c2 in right:
+                value = self(prefix + tuple(c2))
+                if value > best:
+                    best = value
+        return best
+
+    def bound_with_ones(self, vector: Sequence[float], missing: int) -> float:
+        """The score bound ``S̄``: evaluate with ``missing`` 1-coordinates.
+
+        ``vector`` supplies the known coordinates (as a prefix — valid for
+        the symmetric functions used here; order-sensitive functions should
+        override).
+        """
+        return self(tuple(vector) + (1.0,) * missing)
+
+    # ------------------------------------------------------------------
+    # Prepared point sets: cached representations for repeated cross
+    # products.  The FR-family bounds evaluate max S(c1 ⊕ c2) over the same
+    # slowly-changing sets on every pull; preparing a set once amortizes
+    # the per-point preprocessing while keeping the cross product itself
+    # (the paper's combinatorial cost) intact.
+    # ------------------------------------------------------------------
+    def prepare(
+        self, points: Sequence[Sequence[float]] = (), *, offset: int = 0
+    ) -> "PreparedPoints":
+        """Build a cached representation of one cross-product operand.
+
+        ``offset`` is the starting coordinate of these points within the
+        concatenated score vector (0 for left-input sets, ``e_1`` for
+        right-input sets); additive functions use it to select weights.
+        """
+        return PreparedPoints(self, points)
+
+    def max_prepared(self, left: "PreparedPoints", right: "PreparedPoints") -> float:
+        """``max_combination`` over prepared operands; ``-inf`` if empty."""
+        return self.max_combination(left.points, right.points)
+
+
+class PreparedPoints:
+    """Generic prepared operand: just the point list (no acceleration)."""
+
+    def __init__(self, scoring: "ScoringFunction", points: Sequence[Sequence[float]] = ()) -> None:
+        self._scoring = scoring
+        self._points: list[tuple[float, ...]] = [tuple(p) for p in points]
+
+    @property
+    def points(self) -> list[tuple[float, ...]]:
+        return self._points
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def append(self, point: Sequence[float]) -> None:
+        self._points.append(tuple(point))
+
+    def replace(self, points) -> None:
+        """Swap in a new point set (accepts an ``(n, e)`` array or tuples)."""
+        self._points = [tuple(p) for p in points]
+
+
+class _AdditivePrepared(PreparedPoints):
+    """Prepared operand for additive functions: cached partial scores.
+
+    Keeps a capacity-doubling numpy buffer of per-point partial scores so
+    appends are O(1) amortized and the cross-product maximum is a single
+    vectorized broadcast.  ``replace`` accepts an ``(n, e)`` numpy array and
+    computes all partials in one vectorized pass; the tuple view is then
+    materialized lazily (only the generic fallback path needs it).
+    """
+
+    def __init__(self, scoring, points=(), *, weights: np.ndarray | None = None) -> None:
+        self._weights = weights  # None means plain sum
+        self._buffer = np.empty(16, dtype=float)
+        self._size = 0
+        self._lazy_array: np.ndarray | None = None
+        super().__init__(scoring, ())
+        for point in points:
+            self.append(point)
+
+    def _partial(self, point: tuple[float, ...]) -> float:
+        if self._weights is None:
+            return float(sum(point))
+        return float(np.dot(self._weights[: len(point)], point))
+
+    def _partials_of(self, array: np.ndarray) -> np.ndarray:
+        if self._weights is None:
+            return array.sum(axis=1) if array.size else np.zeros(array.shape[0])
+        return array @ self._weights[: array.shape[1]]
+
+    @property
+    def partials(self) -> np.ndarray:
+        return self._buffer[: self._size]
+
+    @property
+    def points(self) -> list[tuple[float, ...]]:
+        if self._lazy_array is not None:
+            self._points = [tuple(row) for row in self._lazy_array]
+            self._lazy_array = None
+        return self._points
+
+    def __len__(self) -> int:
+        return self._size
+
+    def append(self, point) -> None:
+        point = tuple(point)
+        self.points.append(point)  # materializes the lazy view first
+        if self._size == len(self._buffer):
+            self._buffer = np.resize(self._buffer, 2 * len(self._buffer))
+        self._buffer[self._size] = self._partial(point)
+        self._size += 1
+
+    def replace(self, points) -> None:
+        if isinstance(points, np.ndarray):
+            array = points.astype(float, copy=False)
+            self._lazy_array = array
+            self._points = []
+            self._buffer = self._partials_of(array)
+            self._size = array.shape[0]
+            return
+        self._lazy_array = None
+        self._points = []
+        self._buffer = np.empty(max(16, len(points)), dtype=float)
+        self._size = 0
+        for point in points:
+            self.append(point)
+
+
+class SumScore(ScoringFunction):
+    """``S(x) = Σ x_i`` — the function used throughout the paper's study."""
+
+    def __call__(self, vector: Sequence[float]) -> float:
+        return float(sum(vector))
+
+    def batch(self, vectors: np.ndarray) -> np.ndarray:
+        return np.asarray(vectors, dtype=float).sum(axis=1)
+
+    def max_combination(self, left, right) -> float:
+        if not left or not right:
+            return NEG_INF
+        left_sums = np.asarray([sum(c) for c in left], dtype=float)
+        right_sums = np.asarray([sum(c) for c in right], dtype=float)
+        # Full cross product, vectorized: faithful to the paper's general
+        # implementation (see module docstring); the separable shortcut is
+        # exposed separately for the ablation study.
+        return float((left_sums[:, None] + right_sums[None, :]).max())
+
+    def max_combination_separable(self, left, right) -> float:
+        """Exact O(n + m) shortcut valid only for additive functions."""
+        if not left or not right:
+            return NEG_INF
+        return float(max(sum(c) for c in left) + max(sum(c) for c in right))
+
+    def bound_with_ones(self, vector: Sequence[float], missing: int) -> float:
+        return float(sum(vector)) + missing
+
+    def prepare(self, points=(), *, offset: int = 0) -> PreparedPoints:
+        return _AdditivePrepared(self, points)
+
+    def max_prepared(self, left: PreparedPoints, right: PreparedPoints) -> float:
+        if not isinstance(left, _AdditivePrepared) or not isinstance(
+            right, _AdditivePrepared
+        ):
+            return super().max_prepared(left, right)
+        if not len(left) or not len(right):
+            return NEG_INF
+        # Full vectorized cross product — same combinatorial work the paper
+        # ascribes to cover bounds, with compiled-constant speed.
+        return float((left.partials[:, None] + right.partials[None, :]).max())
+
+
+class WeightedSum(ScoringFunction):
+    """``S(x) = Σ w_i x_i`` with non-negative weights (monotone)."""
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative for monotonicity")
+        self.weights = tuple(float(w) for w in weights)
+
+    def __call__(self, vector: Sequence[float]) -> float:
+        if len(vector) != len(self.weights):
+            raise ValueError(
+                f"expected {len(self.weights)} coordinates, got {len(vector)}"
+            )
+        return float(sum(w * x for w, x in zip(self.weights, vector)))
+
+    def batch(self, vectors: np.ndarray) -> np.ndarray:
+        return np.asarray(vectors, dtype=float) @ np.asarray(self.weights)
+
+    def max_combination(self, left, right) -> float:
+        if not left or not right:
+            return NEG_INF
+        split = len(left[0]) if left else 0
+        w_left = np.asarray(self.weights[:split])
+        w_right = np.asarray(self.weights[split:])
+        left_vals = np.asarray([list(c) for c in left], dtype=float) @ w_left
+        right_vals = np.asarray([list(c) for c in right], dtype=float) @ w_right
+        return float((left_vals[:, None] + right_vals[None, :]).max())
+
+    def max_combination_separable(self, left, right) -> float:
+        """Exact additive shortcut (ablation only)."""
+        if not left or not right:
+            return NEG_INF
+        split = len(left[0])
+        w_left, w_right = self.weights[:split], self.weights[split:]
+        best_left = max(sum(w * x for w, x in zip(w_left, c)) for c in left)
+        best_right = max(sum(w * x for w, x in zip(w_right, c)) for c in right)
+        return float(best_left + best_right)
+
+    def prepare(self, points=(), *, offset: int = 0) -> PreparedPoints:
+        return _AdditivePrepared(
+            self, points, weights=np.asarray(self.weights[offset:])
+        )
+
+    def max_prepared(self, left: PreparedPoints, right: PreparedPoints) -> float:
+        if not isinstance(left, _AdditivePrepared) or not isinstance(
+            right, _AdditivePrepared
+        ):
+            return super().max_prepared(left, right)
+        if not len(left) or not len(right):
+            return NEG_INF
+        return float((left.partials[:, None] + right.partials[None, :]).max())
+
+
+class AverageScore(ScoringFunction):
+    """``S(x) = mean(x)`` — monotone rescaling of the sum."""
+
+    def __call__(self, vector: Sequence[float]) -> float:
+        if not vector:
+            return 0.0
+        return float(sum(vector) / len(vector))
+
+    def batch(self, vectors: np.ndarray) -> np.ndarray:
+        return np.asarray(vectors, dtype=float).mean(axis=1)
+
+
+class MinScore(ScoringFunction):
+    """``S(x) = min(x)`` — monotone; the weakest-link aggregate."""
+
+    def __call__(self, vector: Sequence[float]) -> float:
+        if not vector:
+            return 1.0
+        return float(min(vector))
+
+    def batch(self, vectors: np.ndarray) -> np.ndarray:
+        return np.asarray(vectors, dtype=float).min(axis=1)
+
+
+class ProductScore(ScoringFunction):
+    """``S(x) = Π x_i`` — monotone on the non-negative unit cube."""
+
+    def __call__(self, vector: Sequence[float]) -> float:
+        result = 1.0
+        for x in vector:
+            if x < 0:
+                raise ValueError("ProductScore requires non-negative coordinates")
+            result *= x
+        return float(result)
+
+    def batch(self, vectors: np.ndarray) -> np.ndarray:
+        return np.asarray(vectors, dtype=float).prod(axis=1)
+
+
+class CallableScore(ScoringFunction):
+    """Wrap an arbitrary user-provided monotone function.
+
+    The caller asserts monotonicity; :func:`repro.core.scoring.check_monotone`
+    offers a randomized sanity check.
+    """
+
+    def __init__(self, fn: Callable[[Sequence[float]], float], name: str = "custom") -> None:
+        self._fn = fn
+        self.name = name
+
+    def __call__(self, vector: Sequence[float]) -> float:
+        return float(self._fn(vector))
+
+
+def check_monotone(
+    scoring: ScoringFunction,
+    dimension: int,
+    *,
+    trials: int = 200,
+    seed: int = 0,
+) -> bool:
+    """Randomized monotonicity check: sample dominated pairs and compare."""
+    rng = np.random.default_rng(seed)
+    for _ in range(trials):
+        low = rng.random(dimension)
+        high = np.minimum(low + rng.random(dimension) * (1 - low), 1.0)
+        if scoring(tuple(low)) > scoring(tuple(high)) + 1e-12:
+            return False
+    return True

@@ -1,0 +1,59 @@
+"""Tuple model for rank join evaluation.
+
+A :class:`RankTuple` is one input tuple: a join-attribute value ``key``, a
+base-score vector ``scores`` (the paper's ``b(τ)``), and an opaque payload of
+attribute values.  A :class:`JoinResult` is one output tuple of a rank join:
+it carries the two constituents, the concatenated score vector, and the
+aggregated score ``S(b(τ1) ⊕ b(τ2))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class RankTuple:
+    """An input tuple ``τ`` with join key and base scores ``b(τ)``."""
+
+    key: Hashable
+    scores: tuple[float, ...]
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.scores, tuple):
+            object.__setattr__(self, "scores", tuple(float(s) for s in self.scores))
+
+    @property
+    def dimension(self) -> int:
+        """Number of base scores ``e`` of this tuple."""
+        return len(self.scores)
+
+
+@dataclass(frozen=True, slots=True)
+class JoinResult:
+    """A join result ``τ = τ1 ⋈ τ2`` with its aggregated score."""
+
+    left: RankTuple
+    right: RankTuple
+    score: float
+    scores: tuple[float, ...] = field(default=())
+
+    @classmethod
+    def combine(cls, left: RankTuple, right: RankTuple, score: float) -> "JoinResult":
+        """Build a result whose score vector concatenates the operand vectors."""
+        return cls(left=left, right=right, score=score, scores=left.scores + right.scores)
+
+    @property
+    def key(self) -> Hashable:
+        """The shared join-attribute value."""
+        return self.left.key
+
+    def merged_payload(self) -> dict:
+        """Merge dict payloads of both sides (used by pipelined plans)."""
+        merged: dict = {}
+        for part in (self.left.payload, self.right.payload):
+            if isinstance(part, dict):
+                merged.update(part)
+        return merged

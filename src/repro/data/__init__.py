@@ -1,0 +1,35 @@
+"""Synthetic data generation (skewed TPC-H-like tables, scores, workloads)."""
+
+from repro.data.scores import (
+    DEFAULT_NUM_VALUES,
+    generate_score_vectors,
+    ideal_point_present,
+    score_levels,
+)
+from repro.data.tpch import Table, TPCHConfig, generate_tpch
+from repro.data.workload import (
+    WorkloadParams,
+    anti_correlated_instance,
+    lineitem_orders_instance,
+    pipeline_tables,
+    random_instance,
+)
+from repro.data.zipf import sample_zipf_ranks, zipf_probabilities, zipf_weights
+
+__all__ = [
+    "DEFAULT_NUM_VALUES",
+    "TPCHConfig",
+    "Table",
+    "WorkloadParams",
+    "anti_correlated_instance",
+    "generate_score_vectors",
+    "generate_tpch",
+    "ideal_point_present",
+    "lineitem_orders_instance",
+    "pipeline_tables",
+    "random_instance",
+    "sample_zipf_ranks",
+    "score_levels",
+    "zipf_probabilities",
+    "zipf_weights",
+]

@@ -1,0 +1,124 @@
+"""CSV persistence for relations and generated tables.
+
+Lets users export the synthetic workloads for inspection or reuse, and
+load their own data into the operators.  Format: one header row; a ``key``
+column, ``score_0..score_{e-1}`` columns, and any further columns become
+the tuple payload dict (values parsed as int/float when possible).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.core.tuples import RankTuple
+from repro.errors import InstanceError
+from repro.relation.relation import Relation
+
+KEY_COLUMN = "key"
+SCORE_PREFIX = "score_"
+
+
+def _parse_value(text: str):
+    """Best-effort typed parsing: int, then float, else string."""
+    for parser in (int, float):
+        try:
+            return parser(text)
+        except ValueError:
+            continue
+    return text
+
+
+def save_relation_csv(relation: Relation, path) -> None:
+    """Write a relation to CSV (key + score columns + payload columns)."""
+    path = Path(path)
+    payload_columns: list[str] = []
+    for tup in relation.tuples:
+        if isinstance(tup.payload, dict):
+            for column in tup.payload:
+                if column not in payload_columns:
+                    payload_columns.append(column)
+    headers = (
+        [KEY_COLUMN]
+        + [f"{SCORE_PREFIX}{i}" for i in range(relation.dimension)]
+        + payload_columns
+    )
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for tup in relation.tuples:
+            payload = tup.payload if isinstance(tup.payload, dict) else {}
+            writer.writerow(
+                [tup.key]
+                + list(tup.scores)
+                + [payload.get(column, "") for column in payload_columns]
+            )
+
+
+def load_relation_csv(path, name: str | None = None) -> Relation:
+    """Read a relation written by :func:`save_relation_csv`.
+
+    Score columns are recognized by the ``score_`` prefix (in index order);
+    all other non-key columns become the payload dict.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            headers = next(reader)
+        except StopIteration:
+            raise InstanceError(f"{path}: empty file") from None
+        if KEY_COLUMN not in headers:
+            raise InstanceError(f"{path}: no {KEY_COLUMN!r} column")
+        key_index = headers.index(KEY_COLUMN)
+        score_indexes = sorted(
+            (int(h[len(SCORE_PREFIX):]), i)
+            for i, h in enumerate(headers)
+            if h.startswith(SCORE_PREFIX) and h[len(SCORE_PREFIX):].isdigit()
+        )
+        payload_indexes = [
+            i
+            for i, h in enumerate(headers)
+            if i != key_index and i not in {i for __, i in score_indexes}
+        ]
+        tuples = []
+        for row_number, row in enumerate(reader, start=2):
+            if len(row) != len(headers):
+                raise InstanceError(
+                    f"{path}:{row_number}: expected {len(headers)} cells, "
+                    f"got {len(row)}"
+                )
+            scores = tuple(float(row[i]) for __, i in score_indexes)
+            payload = {
+                headers[i]: _parse_value(row[i])
+                for i in payload_indexes
+                if row[i] != ""
+            }
+            tuples.append(
+                RankTuple(
+                    key=_parse_value(row[key_index]),
+                    scores=scores,
+                    payload=payload or None,
+                )
+            )
+    return Relation(name or path.stem, tuples)
+
+
+def save_tables_csv(tables: dict, directory) -> list[Path]:
+    """Persist generated TPC-H tables (one CSV per table, keyed naturally)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    natural_keys = {
+        "customer": "custkey",
+        "orders": "orderkey",
+        "lineitem": "orderkey",
+        "part": "partkey",
+    }
+    written = []
+    for name, table in tables.items():
+        key = natural_keys.get(name, next(iter(table.columns)))
+        relation = table.to_relation(key)
+        target = directory / f"{name}.csv"
+        save_relation_csv(relation, target)
+        written.append(target)
+    return written

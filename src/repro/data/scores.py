@@ -1,0 +1,84 @@
+"""Score-vector generation following the paper's (e, z, c) methodology.
+
+Section 6.1: each tuple gets ``e`` score values drawn independently from a
+Zipfian distribution with skew ``z``; the only constraint is that no score
+vector may dominate the point ``(c, …, c)``.  Figure 9 visualizes the
+resulting support: the unit hypercube minus the open upper-right box
+``(c, 1]^e``.  ``c = 1`` therefore leaves the distribution unconstrained
+(the paper's "volume c^e" phrasing is a typo for ``(1-c)^e``; the point-
+domination definition is the operative one — see DESIGN.md).
+
+Skew maps the most probable rank to the **lowest** score, so increasing
+``z`` thins out high scores and deepens searches; ``z = 0`` is uniform over
+an evenly spaced grid of ``num_values`` levels in ``(0, 1]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.zipf import sample_zipf_ranks
+
+DEFAULT_NUM_VALUES = 1000
+
+
+def score_levels(num_values: int = DEFAULT_NUM_VALUES) -> np.ndarray:
+    """The discrete score domain: ``1/M, 2/M, …, 1`` for ``M = num_values``."""
+    if num_values < 1:
+        raise ValueError("num_values must be positive")
+    return np.arange(1, num_values + 1, dtype=float) / num_values
+
+
+def generate_score_vectors(
+    rng: np.random.Generator,
+    n: int,
+    e: int,
+    *,
+    skew: float = 0.5,
+    cut: float = 0.5,
+    num_values: int = DEFAULT_NUM_VALUES,
+    max_rounds: int = 64,
+) -> np.ndarray:
+    """Generate an ``(n, e)`` array of score vectors.
+
+    Vectors whose coordinates are **all** strictly greater than ``cut`` —
+    i.e. that dominate ``(cut, …, cut)`` — are rejected and resampled.
+
+    Raises ``ValueError`` if the cut makes acceptance impossible (never the
+    case for ``cut > 0`` with this score domain, since the lowest level
+    ``1/num_values`` is below any positive cut) or if resampling fails to
+    converge within ``max_rounds``.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if e < 1:
+        raise ValueError("e must be at least 1")
+    if not 0.0 < cut <= 1.0:
+        raise ValueError("cut must be in (0, 1]")
+    levels = score_levels(num_values)
+
+    def draw(count: int) -> np.ndarray:
+        ranks = sample_zipf_ranks(rng, count * e, num_values, skew)
+        # Most probable rank (0) maps to the lowest score level.
+        return levels[ranks].reshape(count, e)
+
+    vectors = draw(n)
+    for _ in range(max_rounds):
+        rejected = (vectors > cut).all(axis=1)
+        bad = int(rejected.sum())
+        if bad == 0:
+            return vectors
+        vectors[rejected] = draw(bad)
+    raise ValueError(
+        f"rejection sampling did not converge (cut={cut}, skew={skew}); "
+        "the acceptance region is too small"
+    )
+
+
+def ideal_point_present(vectors: np.ndarray) -> bool:
+    """True if the ideal vector ``(1, …, 1)`` occurs in ``vectors``.
+
+    The corner bound implicitly assumes it does; this helper lets tests and
+    examples quantify how unrealistic that assumption is for a given cut.
+    """
+    return bool((np.asarray(vectors) == 1.0).all(axis=1).any())

@@ -1,0 +1,48 @@
+"""Zipfian sampling over a bounded discrete domain.
+
+The paper's methodology (Section 6.1) draws score values from a Zipfian
+distribution with skew ``z`` and injects skew into join-key multiplicities
+(Narasayya's skewed TPC-H generator).  ``numpy.random.zipf`` is unbounded
+and requires exponent > 1, so we implement bounded Zipf directly:
+``P(rank r) ∝ 1 / (r + 1)^z`` for ranks ``0 .. n-1``; ``z = 0`` is uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipf_weights(num_ranks: int, skew: float) -> np.ndarray:
+    """Unnormalized Zipf weights for ranks ``0 .. num_ranks - 1``."""
+    if num_ranks < 1:
+        raise ValueError("num_ranks must be positive")
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    ranks = np.arange(1, num_ranks + 1, dtype=float)
+    return ranks**-skew
+
+
+def zipf_probabilities(num_ranks: int, skew: float) -> np.ndarray:
+    """Normalized Zipf probabilities (sum to 1)."""
+    weights = zipf_weights(num_ranks, skew)
+    return weights / weights.sum()
+
+
+def sample_zipf_ranks(
+    rng: np.random.Generator,
+    size: int,
+    num_ranks: int,
+    skew: float,
+) -> np.ndarray:
+    """Sample ``size`` ranks in ``[0, num_ranks)`` from bounded Zipf(skew).
+
+    Uses inverse-CDF sampling (searchsorted over the cumulative weights),
+    which is exact and vectorized.
+    """
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    if skew == 0.0:
+        return rng.integers(0, num_ranks, size=size)
+    cumulative = np.cumsum(zipf_probabilities(num_ranks, skew))
+    draws = rng.random(size)
+    return np.searchsorted(cumulative, draws, side="right").clip(0, num_ranks - 1)

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class NotSortedError(ReproError):
+    """An input violated the decreasing-``S̄`` access-order requirement."""
+
+
+class PullBudgetExceeded(ReproError):
+    """An operator exceeded its configured pull budget.
+
+    Mirrors the paper's Figure 13 situation where PBRJ_FR^RR and FRPA at
+    ``e = 4`` were aborted after exceeding a time budget.
+    """
+
+    def __init__(self, pulls: int, budget: int) -> None:
+        super().__init__(f"pull budget exceeded: {pulls} pulls > budget {budget}")
+        self.pulls = pulls
+        self.budget = budget
+
+
+class TimeBudgetExceeded(ReproError):
+    """An operator exceeded its configured wall-clock budget.
+
+    The figure harness uses this the way the paper used its ">10 hours"
+    cutoff: capped runs are reported as omitted.
+    """
+
+    def __init__(self, elapsed: float, budget: float) -> None:
+        super().__init__(
+            f"time budget exceeded: {elapsed:.1f}s elapsed > budget {budget:.1f}s"
+        )
+        self.elapsed = elapsed
+        self.budget = budget
+
+
+class InstanceError(ReproError):
+    """A rank join instance is malformed (e.g. K exceeds the join size)."""

@@ -1,0 +1,51 @@
+"""Experiment definitions and harness reproducing the paper's evaluation."""
+
+from repro.experiments.figures import (
+    ALL_OPERATORS,
+    FIGURE_SCALE,
+    FigureConfig,
+    PIPELINE_QUERIES,
+    ablation_cover,
+    ablation_pulling,
+    figure_02,
+    figure_10,
+    figure_11,
+    figure_12,
+    figure_13,
+    figure_14,
+    figure_15,
+    run_pipeline_query,
+    skew_sweep,
+)
+from repro.experiments.harness import (
+    AveragedResult,
+    RunResult,
+    averaged_runs,
+    run_comparison,
+    run_operator,
+)
+from repro.experiments.report import ExperimentTable
+
+__all__ = [
+    "ALL_OPERATORS",
+    "AveragedResult",
+    "ExperimentTable",
+    "FIGURE_SCALE",
+    "FigureConfig",
+    "PIPELINE_QUERIES",
+    "RunResult",
+    "ablation_cover",
+    "ablation_pulling",
+    "averaged_runs",
+    "figure_02",
+    "figure_10",
+    "figure_11",
+    "figure_12",
+    "figure_13",
+    "figure_14",
+    "figure_15",
+    "run_comparison",
+    "run_operator",
+    "run_pipeline_query",
+    "skew_sweep",
+]

@@ -1,0 +1,115 @@
+"""Plain-text reporting of experiment results (paper-style series)."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentTable:
+    """One figure's worth of results as printable rows."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        self.rows.append(list(values))
+
+    def column(self, header: str) -> list[Any]:
+        """Extract a column by header name (for assertions in benches)."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        """Format as an aligned ASCII table."""
+        cells = [self.headers] + [
+            [_format(value) for value in row] for row in self.rows
+        ]
+        widths = [
+            max(len(row[col]) for row in cells) for col in range(len(self.headers))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells[1:]:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def to_csv(self) -> str:
+        """Render as CSV (NaN cells stay empty)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        for row in self.rows:
+            writer.writerow(
+                ["" if _is_nan(value) else value for value in row]
+            )
+        return buffer.getvalue()
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (NaN cells become None)."""
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [
+                [None if _is_nan(value) else value for value in row]
+                for row in self.rows
+            ],
+            "notes": list(self.notes),
+        }
+
+    def chart(self, x: str, y: str, *, width: int = 48) -> str:
+        """A minimal ASCII bar chart of column ``y`` labeled by column ``x``.
+
+        NaN cells render as an omitted bar ("—"), matching the tables.
+        """
+        labels = [str(v) for v in self.column(x)]
+        values = self.column(y)
+        finite = [v for v in values if not _is_nan(v) and v is not None]
+        if not finite:
+            return f"(no finite values in {y!r})"
+        peak = max(finite) or 1.0
+        label_width = max(len(label) for label in labels)
+        lines = [f"{y} by {x}"]
+        for label, value in zip(labels, values):
+            if _is_nan(value) or value is None:
+                lines.append(f"{label.rjust(label_width)} | —")
+                continue
+            bar = "█" * max(int(width * value / peak), 0)
+            lines.append(f"{label.rjust(label_width)} | {bar} {_format(value)}")
+        return "\n".join(lines)
+
+    def save(self, path) -> None:
+        """Write the rendered table (``.txt``), CSV or JSON by extension."""
+        from pathlib import Path
+
+        path = Path(path)
+        if path.suffix == ".csv":
+            path.write_text(self.to_csv())
+        elif path.suffix == ".json":
+            path.write_text(json.dumps(self.to_dict(), indent=2))
+        else:
+            path.write_text(self.render() + "\n")
+
+
+def _is_nan(value: Any) -> bool:
+    return isinstance(value, float) and value != value
+
+
+def _format(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN marks capped/omitted runs
+            return "—"
+        return f"{value:.4f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)

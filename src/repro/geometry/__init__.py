@@ -1,0 +1,29 @@
+"""Geometric substrate: dominance relations, skylines, covers, grid trees.
+
+These data structures implement the feasible-region machinery that the FR,
+FR* and aFR bounding schemes are built on (Sections 4 and 5 of the paper).
+"""
+
+from repro.geometry.dominance import (
+    dominates,
+    strictly_dominates,
+    strongly_dominates,
+    substitute,
+)
+from repro.geometry.skyline import IncrementalSkyline, is_skyline, skyline
+from repro.geometry.cover import CoverRegion, covers, update_cover
+from repro.geometry.gridtree import GridTree
+
+__all__ = [
+    "dominates",
+    "strictly_dominates",
+    "strongly_dominates",
+    "substitute",
+    "skyline",
+    "is_skyline",
+    "IncrementalSkyline",
+    "CoverRegion",
+    "covers",
+    "update_cover",
+    "GridTree",
+]

@@ -1,0 +1,185 @@
+"""Exact feasible-region covers (functions ``FR::UpdateCR`` / ``FR*::UpdateCR``).
+
+A *cover* for a point set ``X`` is a set of points ``C`` such that every
+``x ∈ X`` is weakly dominated by some ``c ∈ C``.  The FR bound maintains a
+cover ``CR_i`` of the score vectors of the **unseen** tuples of input ``R_i``.
+Whenever a group of tuples with equal score bound finishes, each of its score
+vectors ``y`` certifies that no unseen vector weakly dominates ``y`` — so the
+region ``{x : x ⪰ y}`` is carved out of the feasible region (Figure 4(b)).
+
+``update_cover`` implements the carving exactly as in the paper's pseudo-code:
+cover points dominating ``y`` are removed and replaced by their projections
+``s[i ↦ y_i]``, clipped to ``(0, 1]^e`` (projections with a zero coordinate
+cover nothing and are dropped).
+
+The FR* variant additionally skylines the result.  Note a deliberate
+deviation documented in DESIGN.md: the paper skylines only the new points
+``S⁺``, but for ``e >= 3`` a new point can dominate a surviving old point, so
+we skyline the full union.  Dropping dominated cover points never changes the
+covered region, hence every correctness/tightness property is preserved.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.geometry.dominance import (
+    Point,
+    as_point,
+    dominates,
+    ones,
+    strictly_dominates,
+    substitute,
+)
+from repro.geometry.skyline import skyline
+
+
+def covers(cover: Iterable[Sequence[float]], point: Sequence[float]) -> bool:
+    """True if some point of ``cover`` weakly dominates ``point``."""
+    target = as_point(point)
+    return any(dominates(c, target) for c in cover)
+
+
+def update_cover(
+    cover: Iterable[Sequence[float]],
+    observed: Iterable[Sequence[float]],
+    *,
+    skyline_result: bool = False,
+) -> list[Point]:
+    """Carve the regions dominating each observed vector out of ``cover``.
+
+    Implements ``FR::UpdateCR`` (and, with ``skyline_result=True``, the FR*
+    variant).  ``observed`` is the batch ``b[G_i]`` of score vectors from the
+    group that just finished.
+    """
+    current: list[Point] = [as_point(c) for c in cover]
+    for raw in observed:
+        y = as_point(raw)
+        if current and len(y) != len(current[0]):
+            raise ValueError(
+                f"dimension mismatch: cover is {len(current[0])}-d, point is {len(y)}-d"
+            )
+        removed = [s for s in current if dominates(s, y)]
+        if not removed:
+            continue
+        survivors = [s for s in current if not dominates(s, y)]
+        projected: set[Point] = set()
+        for s in removed:
+            for axis, value in enumerate(y):
+                candidate = substitute(s, axis, value)
+                if all(coord > 0.0 for coord in candidate):
+                    projected.add(candidate)
+        if skyline_result:
+            # Keep the cover an antichain incrementally: the survivors are
+            # one by induction, so only new-vs-new and new-vs-survivor
+            # dominations need resolving — O(|new|·|cover|), not O(|cover|²).
+            fresh = [
+                p
+                for p in skyline(projected)
+                if not any(dominates(s, p) for s in survivors)
+            ]
+            survivors = [
+                s
+                for s in survivors
+                if not any(strictly_dominates(p, s) for p in fresh)
+            ]
+            current = survivors + fresh
+        else:
+            current = survivors + sorted(projected)
+    return current
+
+
+class CoverRegion:
+    """A maintained cover of the unseen score vectors of one input.
+
+    Starts as ``{(1, …, 1)}`` — everything is feasible before any group
+    completes — and shrinks through :meth:`update` calls.  With
+    ``skyline_mode=True`` the point set is kept as a skyline (FR* behaviour).
+
+    The point set is stored as an ``(n, e)`` numpy array so the dominance
+    scans inside :meth:`update` are vectorized — cover maintenance runs on
+    every pull of the FR-family bounds and is their hottest loop.  The
+    semantics are identical to the reference :func:`update_cover` (the test
+    suite asserts the equivalence property-based).
+    """
+
+    def __init__(self, dimension: int, *, skyline_mode: bool = False) -> None:
+        if dimension < 0:
+            raise ValueError("dimension must be non-negative")
+        self.dimension = dimension
+        self.skyline_mode = skyline_mode
+        self._array = np.ones((1, dimension), dtype=float)
+
+    @property
+    def array(self) -> np.ndarray:
+        """Current cover points as an ``(n, e)`` array (do not mutate)."""
+        return self._array
+
+    @property
+    def points(self) -> list[Point]:
+        """Current cover points as tuples (a fresh list)."""
+        return [tuple(row) for row in self._array]
+
+    def __len__(self) -> int:
+        return self._array.shape[0]
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def update(self, observed: Iterable[Sequence[float]]) -> None:
+        """Carve out the regions dominating each vector in ``observed``."""
+        current = self._array
+        for raw in observed:
+            y = np.asarray(raw, dtype=float)
+            if y.shape != (self.dimension,):
+                raise ValueError(
+                    f"dimension mismatch: cover is {self.dimension}-d, "
+                    f"point is {y.shape}-d"
+                )
+            if not current.size and current.shape[0] == 0:
+                break
+            removed_mask = (current >= y).all(axis=1)
+            if not removed_mask.any():
+                continue
+            removed = current[removed_mask]
+            survivors = current[~removed_mask]
+            # Project each removed point one coordinate down onto y.
+            projected = np.repeat(removed, self.dimension, axis=0)
+            cols = np.tile(np.arange(self.dimension), removed.shape[0])
+            projected[np.arange(projected.shape[0]), cols] = y[cols]
+            projected = projected[(projected > 0.0).all(axis=1)]
+            projected = np.unique(projected, axis=0)
+            if self.skyline_mode and projected.shape[0]:
+                fresh = np.array(
+                    skyline([tuple(row) for row in projected]), dtype=float
+                ).reshape(-1, self.dimension)
+                if survivors.shape[0] and fresh.shape[0]:
+                    # new-vs-survivor dominations, both directions
+                    dominated_new = (
+                        (survivors[:, None, :] >= fresh[None, :, :])
+                        .all(axis=2)
+                        .any(axis=0)
+                    )
+                    fresh = fresh[~dominated_new]
+                if survivors.shape[0] and fresh.shape[0]:
+                    strictly = (
+                        (fresh[:, None, :] >= survivors[None, :, :]).all(axis=2)
+                        & (fresh[:, None, :] > survivors[None, :, :]).any(axis=2)
+                    ).any(axis=0)
+                    survivors = survivors[~strictly]
+                current = np.concatenate([survivors, fresh], axis=0)
+            else:
+                current = np.concatenate([survivors, projected], axis=0)
+        self._array = current
+
+    def covers(self, point: Sequence[float]) -> bool:
+        """True if ``point`` lies inside the covered (feasible) region."""
+        if not self._array.shape[0]:
+            return False
+        target = np.asarray(point, dtype=float)
+        return bool((self._array >= target).all(axis=1).any())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CoverRegion(dim={self.dimension}, points={len(self)})"

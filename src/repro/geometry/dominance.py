@@ -1,0 +1,62 @@
+"""Dominance relations over score vectors.
+
+The paper (Section 4) defines three binary relations over e-dimensional
+points ``x`` and ``y``:
+
+* ``x ⪯ y`` (:func:`dominates` with arguments ``(y, x)`` — we phrase it as
+  "``y`` dominates ``x``"): ``x_i <= y_i`` for all ``i``.
+* ``x ≺ y`` (:func:`strictly_dominates`): ``x ⪯ y`` and ``x != y``.
+* ``x ≪ y`` (:func:`strongly_dominates`): ``x_i < y_i`` for all ``i``.
+
+Score vectors are plain tuples of floats in ``[0, 1]``.  Tuples are used
+rather than numpy arrays because the vectors are tiny (e <= 4 in the paper's
+experiments) and hashing/equality on tuples is what the skyline and cover
+structures need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+Point = tuple[float, ...]
+
+
+def dominates(y: Sequence[float], x: Sequence[float]) -> bool:
+    """Return True if ``x ⪯ y``, i.e. ``y`` weakly dominates ``x``.
+
+    Both points must have the same dimensionality.
+    """
+    if len(x) != len(y):
+        raise ValueError(f"dimension mismatch: {len(y)} vs {len(x)}")
+    return all(xi <= yi for xi, yi in zip(x, y))
+
+
+def strictly_dominates(y: Sequence[float], x: Sequence[float]) -> bool:
+    """Return True if ``x ≺ y``: ``x ⪯ y`` and ``x != y``."""
+    return dominates(y, x) and tuple(x) != tuple(y)
+
+
+def strongly_dominates(y: Sequence[float], x: Sequence[float]) -> bool:
+    """Return True if ``x ≪ y``: every coordinate of ``y`` exceeds ``x``'s."""
+    if len(x) != len(y):
+        raise ValueError(f"dimension mismatch: {len(y)} vs {len(x)}")
+    return all(xi < yi for xi, yi in zip(x, y))
+
+
+def substitute(point: Sequence[float], index: int, value: float) -> Point:
+    """Return ``point[index ↦ value]`` — the paper's coordinate substitution."""
+    if not 0 <= index < len(point):
+        raise IndexError(f"coordinate {index} out of range for {len(point)}-d point")
+    replaced = list(point)
+    replaced[index] = value
+    return tuple(replaced)
+
+
+def as_point(values: Sequence[float]) -> Point:
+    """Normalize any sequence of floats into the canonical tuple form."""
+    return tuple(float(v) for v in values)
+
+
+def ones(dimension: int) -> Point:
+    """The ideal point ``(1, …, 1)`` of the given dimension."""
+    return (1.0,) * dimension

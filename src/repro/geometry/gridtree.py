@@ -1,0 +1,282 @@
+"""Grid tree: adaptive, size-bounded covers (Section 5.1.2 of the paper).
+
+The grid tree maintains a cover for the unseen score vectors of one input
+while guaranteeing an upper bound on the number of cover points.  It views
+the unit hypercube as a uniform grid of ``resolution`` cells per dimension
+(``resolution`` is a power of two; the paper's quad-tree level ``L``
+corresponds to ``resolution = 2**L``).  A *marked* cell contributes a cover
+point at its upper-right corner.  The structure maintains the
+
+    **grid tree invariant**: the set of marked cells is an antichain under
+    strict dominance (equivalently, every marked cell has ``covered == 0``
+    in the paper's counter formulation),
+
+so the induced cover points always form a skyline — which is what the FR*
+cover-bound computation wants.
+
+Implementation notes (see DESIGN.md):
+
+* The structure is stored **sparsely** — marked cells live in an ``(n, e)``
+  integer array; a 64x64x64 grid costs memory proportional to the number of
+  marked cells, never the number of grid cells.
+* ``UpdateGridCR``'s recursive unmark-and-slide (which walks the grid cell
+  by cell) is implemented as an equivalent *vectorized carve*: a marked
+  cell is unmarked iff its corner strictly dominates the up-quantized
+  vector, and its replacement corners are the single-coordinate projections
+  onto the quantized value — exactly where the paper's cascade terminates.
+  The antichain invariant is restored by cross-filtering new points against
+  survivors.  Update vectors are quantized **up** to the nearest cell
+  corner first, matching the "s is quantized on the grid" premise of the
+  paper's Theorem 5.1, which keeps the carved region inside the truly
+  infeasible region.
+* At the minimum resolution (one cell per dimension — the paper's ``L = 0``)
+  updates are no-ops and the single cover point is ``(1, …, 1)``: the grid
+  tree degenerates to HRJN*'s corner bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.geometry.dominance import Point, as_point
+
+Cell = tuple[int, ...]
+
+#: guard against float fuzz when mapping real coordinates onto grid corners
+_EPS = 1e-9
+
+
+def _partial_deltas(dimension: int) -> list[Cell]:
+    """Non-zero 0/1 offsets that are not the all-ones diagonal.
+
+    These define the "adjacent, dominating but not strongly dominating"
+    neighbourhood used by the paper's ``covered`` counters.
+    """
+    deltas = []
+    for combo in itertools.product((0, 1), repeat=dimension):
+        if any(combo) and not all(combo):
+            deltas.append(combo)
+    return deltas
+
+
+def _antichain(cells: np.ndarray) -> np.ndarray:
+    """Reduce an ``(n, e)`` integer cell array to its dominance antichain."""
+    if cells.shape[0] <= 1:
+        return cells
+    cells = np.unique(cells, axis=0)
+    n = cells.shape[0]
+    dominated = np.zeros(n, dtype=bool)
+    ge = (cells[:, None, :] >= cells[None, :, :]).all(axis=2)
+    np.fill_diagonal(ge, False)
+    dominated = ge.any(axis=0)
+    return cells[~dominated]
+
+
+class GridTree:
+    """A size-bounded adaptive cover over ``[0, 1]^dimension``.
+
+    Parameters
+    ----------
+    dimension:
+        Number of score attributes (``e``); must be >= 1.
+    resolution:
+        Initial cells per dimension; must be a power of two (the paper's
+        ``L_0`` expressed in cells, e.g. 64 means quad-tree depth 6).
+    """
+
+    def __init__(self, dimension: int, resolution: int) -> None:
+        if dimension < 1:
+            raise ValueError("grid tree requires dimension >= 1")
+        if resolution < 1 or resolution & (resolution - 1):
+            raise ValueError("resolution must be a positive power of two")
+        self.dimension = dimension
+        self.resolution = resolution
+        self._deltas = _partial_deltas(dimension)
+        # Initially only the cell touching the ideal corner (1, …, 1) is
+        # marked, inducing the trivial cover {(1, …, 1)} (Figure 6(a)).
+        self._cells = np.full((1, dimension), resolution - 1, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def upper_corner(self, cell: Sequence[int]) -> Point:
+        """The cover point induced by ``cell`` — its upper-right corner."""
+        return tuple((int(coord) + 1) / self.resolution for coord in cell)
+
+    def cell_containing(self, point: Sequence[float]) -> Cell:
+        """The cell whose upper corner weakly dominates ``point``.
+
+        Used when bulk-loading an exact cover into the grid: each exact
+        cover point is rounded *up* onto the grid so the grid cover encloses
+        the exact one.
+        """
+        cell = []
+        for value in point:
+            # Exact ceil: any float fuzz can only push the corner upward,
+            # which keeps the corner weakly dominating the point (safe).
+            index = math.ceil(value * self.resolution) - 1
+            cell.append(min(max(index, 0), self.resolution - 1))
+        return tuple(cell)
+
+    def quantize_up(self, point: Sequence[float]) -> Point:
+        """Round each coordinate up to the nearest cell-corner multiple."""
+        quantized = []
+        for value in point:
+            # Exact ceil: the quantized point must weakly dominate the raw
+            # one or the carve would remove feasible space.
+            corner = math.ceil(value * self.resolution) / self.resolution
+            quantized.append(min(max(corner, 0.0), 1.0))
+        return tuple(quantized)
+
+    # ------------------------------------------------------------------
+    # Marked-set queries
+    # ------------------------------------------------------------------
+    @property
+    def marked_cells(self) -> set[Cell]:
+        """The currently marked cells as a set of coordinate tuples."""
+        return {tuple(int(c) for c in row) for row in self._cells}
+
+    @marked_cells.setter
+    def marked_cells(self, cells: Iterable[Sequence[int]]) -> None:
+        rows = [tuple(int(c) for c in cell) for cell in cells]
+        self._cells = np.array(sorted(rows), dtype=np.int64).reshape(
+            -1, self.dimension
+        )
+
+    @property
+    def num_marked(self) -> int:
+        return self._cells.shape[0]
+
+    def cover_points(self) -> list[Point]:
+        """Cover points induced by the marked cells, in sorted order."""
+        return sorted(self.upper_corner(row) for row in self._cells)
+
+    def cover_array(self) -> np.ndarray:
+        """Cover points as an ``(n, e)`` float array."""
+        return (self._cells + 1) / self.resolution
+
+    def covers(self, point: Sequence[float]) -> bool:
+        """True if some induced cover point weakly dominates ``point``."""
+        if not self._cells.shape[0]:
+            return False
+        target = np.asarray(as_point(point))
+        return bool((self.cover_array() >= target - _EPS).all(axis=1).any())
+
+    def _dominated_by_marked(self, cell: Cell) -> bool:
+        """True if a marked cell strictly dominates ``cell``."""
+        target = np.asarray(cell, dtype=np.int64)
+        ge = (self._cells >= target).all(axis=1)
+        neq = (self._cells != target).any(axis=1)
+        return bool((ge & neq).any())
+
+    def covered_count(self, cell: Cell) -> int:
+        """The paper's ``covered`` counter, computed from the marked set.
+
+        Counts adjacent cells ``v`` with ``cell ≺ v``, ``cell ⊀⊀ v`` that are
+        marked or strictly dominated by a marked cell.
+        """
+        marked = self.marked_cells
+        count = 0
+        for delta in self._deltas:
+            neighbour = tuple(c + d for c, d in zip(cell, delta))
+            if any(coord >= self.resolution for coord in neighbour):
+                continue
+            if neighbour in marked or self._dominated_by_marked(neighbour):
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def load_points(self, points: Iterable[Sequence[float]]) -> None:
+        """Bulk-replace the marked set with the cells covering ``points``.
+
+        This is the aFR transition step: an exact cover that outgrew its
+        budget is transferred onto the grid.  ``initialize`` (the invariant
+        enforcement of ``aFR::InitializeGridCR``) is applied automatically.
+        """
+        cells = np.array(
+            [self.cell_containing(p) for p in points], dtype=np.int64
+        ).reshape(-1, self.dimension)
+        self._cells = cells
+        self.initialize()
+
+    def initialize(self) -> None:
+        """Enforce the grid tree invariant (``aFR::InitializeGridCR``).
+
+        Unmarks every marked cell that is strictly dominated by another
+        marked cell, leaving an antichain — equivalent to unmarking cells
+        with ``covered > 0`` (see DESIGN.md for the equivalence argument).
+        """
+        self._cells = _antichain(self._cells)
+
+    def update(self, point: Sequence[float]) -> bool:
+        """Carve the region dominating ``point`` (``aFR::UpdateGridCR``).
+
+        ``point`` is an observed score vector certifying that no unseen
+        vector weakly dominates it.  Returns True iff the marked set changed.
+        At the minimum resolution the call is a no-op (corner-bound regime).
+        """
+        if self.resolution == 1:
+            return False
+        # Integer grid coordinates of the up-quantized vector: a marked
+        # cell's corner strictly dominates the quantized point iff
+        # cell >= m component-wise.
+        m = np.array(
+            [
+                min(max(math.ceil(v * self.resolution), 0), self.resolution)
+                for v in point
+            ],
+            dtype=np.int64,
+        )
+        cells = self._cells
+        removed_mask = (cells >= m).all(axis=1)
+        if not removed_mask.any():
+            return False
+        removed = cells[removed_mask]
+        survivors = cells[~removed_mask]
+        # Slide each removed corner down onto the carved boundary: one
+        # projection per axis, at cell index m_i - 1 (dropped if below the
+        # grid) — where the paper's cell-by-cell cascade terminates.
+        projected = np.repeat(removed, self.dimension, axis=0)
+        cols = np.tile(np.arange(self.dimension), removed.shape[0])
+        projected[np.arange(projected.shape[0]), cols] = m[cols] - 1
+        projected = projected[(projected >= 0).all(axis=1)]
+        fresh = _antichain(projected)
+        if survivors.shape[0] and fresh.shape[0]:
+            dominated_new = (
+                (survivors[:, None, :] >= fresh[None, :, :]).all(axis=2).any(axis=0)
+            )
+            fresh = fresh[~dominated_new]
+        if survivors.shape[0] and fresh.shape[0]:
+            strictly = (
+                (fresh[:, None, :] >= survivors[None, :, :]).all(axis=2)
+                & (fresh[:, None, :] > survivors[None, :, :]).any(axis=2)
+            ).any(axis=0)
+            survivors = survivors[~strictly]
+        self._cells = np.concatenate([survivors, fresh], axis=0)
+        return True
+
+    def reduce_resolution(self) -> int:
+        """Halve the cells per dimension (paper: ``L ← L - 1``).
+
+        Marked cells are replaced by their parents and the invariant is
+        re-enforced.  Returns the new resolution.  Raises ``ValueError`` at
+        the minimum resolution (callers should stop reducing at 1).
+        """
+        if self.resolution == 1:
+            raise ValueError("already at minimum resolution")
+        self.resolution //= 2
+        self._cells = self._cells // 2
+        self.initialize()
+        return self.resolution
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GridTree(dim={self.dimension}, resolution={self.resolution}, "
+            f"marked={self.num_marked})"
+        )

@@ -1,0 +1,101 @@
+"""Skyline computation and incremental skyline maintenance.
+
+A *skyline* of a point set ``X`` is the minimal subset ``C ⊆ X`` that covers
+``X`` (every ``x ∈ X`` is weakly dominated by some ``c ∈ C``) such that no
+skyline point strictly dominates another.  The FR* bound (Section 4.2.1)
+maintains the skyline ``SHR_i`` of the seen score vectors incrementally, and
+relies on the "early freeze" property: because inputs arrive in decreasing
+score-bound order, dominating points tend to arrive first and the skyline
+stabilizes quickly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.geometry.dominance import Point, as_point, dominates, strictly_dominates
+
+
+def skyline(points: Iterable[Sequence[float]]) -> list[Point]:
+    """Return the skyline (maxima under ⪯) of ``points``.
+
+    Duplicates collapse to a single representative.  The result preserves no
+    particular order.  Complexity is O(n * s) where ``s`` is the skyline size,
+    which is what the paper's structures need (s stays small in practice).
+    """
+    result: list[Point] = []
+    for raw in points:
+        point = as_point(raw)
+        if any(dominates(kept, point) for kept in result):
+            continue
+        result = [kept for kept in result if not strictly_dominates(point, kept)]
+        result.append(point)
+    return result
+
+
+def is_skyline(points: Iterable[Sequence[float]]) -> bool:
+    """Check that no point in ``points`` strictly dominates another."""
+    normalized = [as_point(p) for p in points]
+    for i, p in enumerate(normalized):
+        for j, q in enumerate(normalized):
+            if i != j and strictly_dominates(p, q):
+                return False
+    return True
+
+
+class IncrementalSkyline:
+    """Maintains the skyline of a growing point set.
+
+    ``add`` runs in time linear to the current skyline size.  The structure
+    also exposes :attr:`frozen_since` — the number of consecutive ``add``
+    calls that left the skyline unchanged — which quantifies the paper's
+    early-freeze property and is handy for diagnostics.
+    """
+
+    def __init__(self, points: Iterable[Sequence[float]] = ()) -> None:
+        self._points: list[Point] = []
+        self._inserted = 0
+        self.frozen_since = 0
+        for point in points:
+            self.add(point)
+
+    def add(self, raw: Sequence[float]) -> bool:
+        """Insert a point; return True iff the skyline changed."""
+        point = as_point(raw)
+        self._inserted += 1
+        if any(dominates(kept, point) for kept in self._points):
+            self.frozen_since += 1
+            return False
+        self._points = [
+            kept for kept in self._points if not strictly_dominates(point, kept)
+        ]
+        self._points.append(point)
+        self.frozen_since = 0
+        return True
+
+    @property
+    def points(self) -> list[Point]:
+        """The current skyline points (a copy; safe to mutate)."""
+        return list(self._points)
+
+    @property
+    def inserted(self) -> int:
+        """Total number of points ever inserted."""
+        return self._inserted
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    def __contains__(self, raw: Sequence[float]) -> bool:
+        return as_point(raw) in self._points
+
+    def covers(self, raw: Sequence[float]) -> bool:
+        """True if some skyline point weakly dominates ``raw``."""
+        point = as_point(raw)
+        return any(dominates(kept, point) for kept in self._points)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IncrementalSkyline({self._points!r})"

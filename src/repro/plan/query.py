@@ -1,0 +1,95 @@
+"""A small declarative layer for ranking (top-k) queries.
+
+Models the paper's motivating SQL::
+
+    SELECT ... FROM R1, R2, ... WHERE <equi-join chain>
+    RANK BY w11*R1.s1 + w12*R1.s2 + ... LIMIT K
+
+Per-attribute weights are folded into the data by pre-scaling the score
+columns (a monotone transformation that keeps scores inside the unit cube
+as long as each weight is in ``[0, 1]``), after which the plan runs with
+plain :class:`~repro.core.scoring.SumScore` — preserving the additive
+structure pipelining relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.core.tuples import JoinResult, RankTuple
+from repro.errors import InstanceError
+from repro.plan.pipeline import Pipeline
+from repro.relation.cost import CostModel
+from repro.relation.relation import Relation
+
+
+@dataclass(frozen=True)
+class QueryInput:
+    """One relation in the query, with optional per-score weights."""
+
+    relation: Relation
+    weights: tuple[float, ...] | None = None
+
+    def scaled(self) -> Relation:
+        """Apply the weights to the score columns (identity if none)."""
+        if self.weights is None:
+            return self.relation
+        if len(self.weights) != self.relation.dimension:
+            raise InstanceError(
+                f"{self.relation.name}: {len(self.weights)} weights for "
+                f"{self.relation.dimension} score attributes"
+            )
+        if any(not 0.0 <= w <= 1.0 for w in self.weights):
+            raise InstanceError("weights must lie in [0, 1] to stay in the unit cube")
+        scaled_tuples = [
+            RankTuple(
+                key=t.key,
+                scores=tuple(w * s for w, s in zip(self.weights, t.scores)),
+                payload=t.payload,
+            )
+            for t in self.relation.tuples
+        ]
+        return Relation(self.relation.name, scaled_tuples)
+
+
+@dataclass
+class RankQuery:
+    """A declarative ranking query over a chain of equi-joins.
+
+    ``inputs`` are joined left-deep in order; ``rekey_attrs`` name the join
+    attribute between each intermediate result and the next relation (one
+    entry per relation beyond the second).
+    """
+
+    inputs: list[QueryInput]
+    k: int
+    rekey_attrs: list[str] = field(default_factory=list)
+    operator: str = "a-FRPA"
+    cost_model: CostModel | None = None
+
+    def compile(self) -> Pipeline:
+        """Build the physical plan (a pipeline of rank join operators)."""
+        if len(self.inputs) < 2:
+            raise InstanceError("a ranking query needs at least two relations")
+        relations = [q.scaled() for q in self.inputs]
+        return Pipeline(
+            relations,
+            self.rekey_attrs,
+            operator=self.operator,
+            cost_model=self.cost_model,
+        )
+
+    def execute(self) -> list[JoinResult]:
+        """Compile and run, returning the top-K results."""
+        return self.compile().top_k(self.k)
+
+    def explain(self) -> str:
+        """Human-readable plan description."""
+        names = [q.relation.name for q in self.inputs]
+        lines = [f"RankQuery(K={self.k}, operator={self.operator})"]
+        plan = names[0]
+        for index, name in enumerate(names[1:], start=1):
+            plan = f"({plan} ⋈ {name})"
+            lines.append(f"  stage {index}: {plan}")
+        return "\n".join(lines)

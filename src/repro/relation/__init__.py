@@ -1,0 +1,21 @@
+"""Access layer: relations, sorted sources, and simulated I/O costs."""
+
+from repro.relation.cost import AccessStats, CostModel
+from repro.relation.relation import RankJoinInstance, Relation
+from repro.relation.sources import (
+    SortedScan,
+    StreamSource,
+    TupleSource,
+    VerifyingSource,
+)
+
+__all__ = [
+    "AccessStats",
+    "CostModel",
+    "RankJoinInstance",
+    "Relation",
+    "SortedScan",
+    "StreamSource",
+    "TupleSource",
+    "VerifyingSource",
+]

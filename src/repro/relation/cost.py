@@ -1,0 +1,70 @@
+"""Simulated I/O cost accounting.
+
+Rank join operators are judged by how much input they read.  The paper's
+primary metric, ``sumDepths``, counts tuple pulls; its wall-clock numbers
+come from a C++ implementation reading clustered indexes from disk.  A pure
+Python reproduction cannot reproduce meaningful disk timings, so — per the
+substitution rule in DESIGN.md — we charge a configurable *simulated* cost
+per access instead.  This keeps the I/O-versus-CPU trade-off analyzable
+(e.g. "how expensive must access be before instance-optimality pays off?")
+without depending on the host machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-access cost parameters for a tuple source.
+
+    ``per_tuple`` is the cost charged for every sequential access.  ``seek``
+    is charged once when the source is first touched (index lookup /
+    connection setup).  Units are arbitrary but consistent across sources, so
+    summed costs are comparable between plans.
+    """
+
+    per_tuple: float = 1.0
+    seek: float = 0.0
+
+    @classmethod
+    def clustered_index(cls) -> "CostModel":
+        """The paper's best-case setting: cheap sequential access."""
+        return cls(per_tuple=1.0, seek=10.0)
+
+    @classmethod
+    def unclustered_index(cls) -> "CostModel":
+        """Each access pays a random-I/O-like penalty."""
+        return cls(per_tuple=25.0, seek=10.0)
+
+    @classmethod
+    def network_stream(cls) -> "CostModel":
+        """Remote source: large per-tuple cost (the Fagin middleware setting)."""
+        return cls(per_tuple=100.0, seek=500.0)
+
+    @classmethod
+    def free(cls) -> "CostModel":
+        return cls(per_tuple=0.0, seek=0.0)
+
+
+@dataclass
+class AccessStats:
+    """Mutable counters accumulated by a tuple source."""
+
+    pulls: int = 0
+    cost: float = 0.0
+    touched: bool = field(default=False)
+
+    def charge(self, model: CostModel) -> None:
+        """Record one sequential access under ``model``."""
+        if not self.touched:
+            self.cost += model.seek
+            self.touched = True
+        self.pulls += 1
+        self.cost += model.per_tuple
+
+    def reset(self) -> None:
+        self.pulls = 0
+        self.cost = 0.0
+        self.touched = False

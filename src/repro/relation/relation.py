@@ -1,0 +1,141 @@
+"""Relations and rank join problem instances.
+
+A :class:`Relation` is a named bag of :class:`~repro.core.tuples.RankTuple`.
+A :class:`RankJoinInstance` bundles the paper's 4-tuple ``(R1, R2, S, K)``:
+it fixes the per-side score dimensionalities, sorts each input in decreasing
+order of its score bound ``S̄`` (Definition 2.1's access model), and hands
+out fresh :class:`~repro.relation.sources.SortedScan` pairs so operators can
+be run repeatedly on identical inputs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.core.scoring import ScoringFunction
+from repro.core.tuples import RankTuple
+from repro.errors import InstanceError
+from repro.relation.cost import CostModel
+from repro.relation.sources import SortedScan
+
+
+class Relation:
+    """A named, unordered collection of rank tuples of equal dimension."""
+
+    def __init__(self, name: str, tuples: Iterable[RankTuple]) -> None:
+        self.name = name
+        self.tuples = list(tuples)
+        dims = {t.dimension for t in self.tuples}
+        if len(dims) > 1:
+            raise InstanceError(
+                f"relation {name!r} mixes score dimensions: {sorted(dims)}"
+            )
+        self.dimension = dims.pop() if dims else 0
+
+    @classmethod
+    def from_arrays(
+        cls,
+        name: str,
+        keys: Sequence[Any],
+        scores: np.ndarray,
+        payloads: Sequence[Any] | None = None,
+    ) -> "Relation":
+        """Build a relation from parallel arrays (the data-generator path)."""
+        scores = np.asarray(scores, dtype=float)
+        if scores.ndim != 2 or len(keys) != scores.shape[0]:
+            raise InstanceError("keys and scores must be parallel (n, e) data")
+        if payloads is not None and len(payloads) != len(keys):
+            raise InstanceError("payloads must parallel keys")
+        rows = []
+        for index, key in enumerate(keys):
+            payload = payloads[index] if payloads is not None else None
+            rows.append(RankTuple(key=key, scores=tuple(scores[index]), payload=payload))
+        return cls(name, rows)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self):
+        return iter(self.tuples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.name!r}, n={len(self.tuples)}, e={self.dimension})"
+
+
+class RankJoinInstance:
+    """The paper's problem instance ``I = (R1, R2, S, K)``.
+
+    Inputs are sorted once at construction; :meth:`scans` returns fresh
+    single-pass sources over the sorted data, so the same instance can be
+    evaluated by many operators under identical conditions.
+    """
+
+    def __init__(
+        self,
+        left: Relation,
+        right: Relation,
+        scoring: ScoringFunction,
+        k: int,
+        *,
+        cost_model: CostModel | None = None,
+        validate: bool = False,
+    ) -> None:
+        if k < 1:
+            raise InstanceError("K must be positive")
+        self.left = left
+        self.right = right
+        self.scoring = scoring
+        self.k = k
+        self.cost_model = cost_model or CostModel.clustered_index()
+        self.dims = (left.dimension, right.dimension)
+        self._sorted = (
+            self._sort_side(0, left.tuples),
+            self._sort_side(1, right.tuples),
+        )
+        if validate:
+            join_size = self.join_size()
+            if k > join_size:
+                raise InstanceError(
+                    f"K={k} exceeds join size {join_size}; "
+                    "Definition 2.1 requires K <= |R1 ⋈ R2|"
+                )
+
+    # ------------------------------------------------------------------
+    def score_bound(self, side: int, scores: Sequence[float]) -> float:
+        """``S̄`` of a tuple from ``side`` — 1-substitution for missing scores."""
+        if side == 0:
+            return self.scoring(tuple(scores) + (1.0,) * self.dims[1])
+        return self.scoring((1.0,) * self.dims[0] + tuple(scores))
+
+    def _sort_side(self, side: int, tuples: list[RankTuple]) -> list[RankTuple]:
+        return sorted(
+            tuples, key=lambda t: self.score_bound(side, t.scores), reverse=True
+        )
+
+    def sorted_tuples(self, side: int) -> list[RankTuple]:
+        """The sorted input sequence for ``side`` (0 = left, 1 = right)."""
+        return self._sorted[side]
+
+    def scans(self) -> tuple[SortedScan, SortedScan]:
+        """Fresh single-pass sources over the two sorted inputs."""
+        return (
+            SortedScan(self._sorted[0], cost_model=self.cost_model),
+            SortedScan(self._sorted[1], cost_model=self.cost_model),
+        )
+
+    # ------------------------------------------------------------------
+    def join_size(self) -> int:
+        """``|R1 ⋈ R2|`` via a hash join count (validation / oracle use)."""
+        counts: dict[Any, int] = {}
+        for tup in self.left.tuples:
+            counts[tup.key] = counts.get(tup.key, 0) + 1
+        return sum(counts.get(tup.key, 0) for tup in self.right.tuples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RankJoinInstance({self.left.name} ⋈ {self.right.name}, "
+            f"e={self.dims}, K={self.k})"
+        )

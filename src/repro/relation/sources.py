@@ -1,0 +1,186 @@
+"""Tuple sources: the access layer rank join operators pull from.
+
+The access model (Definition 2.1 of the paper) is sequential, single-pass,
+in decreasing order of the score bound ``S̄``.  Sources expose ``has_next``/
+``next`` plus depth and simulated-cost counters; the operator never rewinds.
+
+* :class:`SortedScan` — an in-memory pre-sorted relation, the equivalent of
+  the paper's clustered-index scan.
+* :class:`StreamSource` — a single-pass wrapper over any iterator (e.g. a
+  lazily generated network stream or another operator's output).
+* :class:`VerifyingSource` — a decorator that asserts the decreasing-``S̄``
+  contract as tuples flow by; used in tests and debugging.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Iterable, Iterator
+
+from repro.core.tuples import RankTuple
+from repro.errors import NotSortedError
+from repro.relation.cost import AccessStats, CostModel
+
+
+class TupleSource(ABC):
+    """Sequential, single-pass access to one rank join input."""
+
+    def __init__(self, dimension: int, cost_model: CostModel | None = None) -> None:
+        if dimension < 0:
+            raise ValueError("dimension must be non-negative")
+        self.dimension = dimension
+        self.cost_model = cost_model or CostModel()
+        self.stats = AccessStats()
+
+    @abstractmethod
+    def has_next(self) -> bool:
+        """True if another tuple is available."""
+
+    @abstractmethod
+    def _advance(self) -> RankTuple:
+        """Produce the next tuple; only called when ``has_next()``."""
+
+    def next(self) -> RankTuple | None:
+        """Pull the next tuple, charging the cost model; None if exhausted."""
+        if not self.has_next():
+            return None
+        self.stats.charge(self.cost_model)
+        return self._advance()
+
+    @property
+    def depth(self) -> int:
+        """Number of tuples pulled so far."""
+        return self.stats.pulls
+
+    @property
+    def cost(self) -> float:
+        """Accumulated simulated I/O cost."""
+        return self.stats.cost
+
+    def __iter__(self) -> Iterator[RankTuple]:
+        while True:
+            tup = self.next()
+            if tup is None:
+                return
+            yield tup
+
+
+class SortedScan(TupleSource):
+    """Sequential scan over an in-memory, pre-sorted list of tuples.
+
+    This models the paper's best-case access path (clustered index on the
+    leading score expression).  The constructor optionally verifies the
+    sort order against a score-bound function.
+    """
+
+    def __init__(
+        self,
+        tuples: list[RankTuple],
+        *,
+        cost_model: CostModel | None = None,
+        score_bound: Callable[[RankTuple], float] | None = None,
+    ) -> None:
+        dimension = tuples[0].dimension if tuples else 0
+        super().__init__(dimension, cost_model)
+        if score_bound is not None:
+            previous = float("inf")
+            for position, tup in enumerate(tuples):
+                bound = score_bound(tup)
+                if bound > previous + 1e-12:
+                    raise NotSortedError(
+                        f"tuple at position {position} has S̄={bound} > "
+                        f"previous {previous}"
+                    )
+                previous = bound
+        self._tuples = tuples
+        self._position = 0
+
+    def has_next(self) -> bool:
+        return self._position < len(self._tuples)
+
+    def _advance(self) -> RankTuple:
+        tup = self._tuples[self._position]
+        self._position += 1
+        return tup
+
+    def __len__(self) -> int:
+        """Total relation size (not remaining)."""
+        return len(self._tuples)
+
+    @property
+    def remaining(self) -> int:
+        return len(self._tuples) - self._position
+
+
+class StreamSource(TupleSource):
+    """Single-pass source over an arbitrary iterator of tuples.
+
+    Buffers one tuple ahead so ``has_next`` is cheap.  Used for network-style
+    inputs and for feeding one operator's output into another (pipelines).
+    """
+
+    def __init__(
+        self,
+        iterable: Iterable[RankTuple],
+        dimension: int,
+        *,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        super().__init__(dimension, cost_model)
+        self._iterator = iter(iterable)
+        self._lookahead: RankTuple | None = None
+        self._done = False
+
+    def has_next(self) -> bool:
+        if self._lookahead is not None:
+            return True
+        if self._done:
+            return False
+        try:
+            self._lookahead = next(self._iterator)
+        except StopIteration:
+            self._done = True
+            return False
+        return True
+
+    def _advance(self) -> RankTuple:
+        assert self._lookahead is not None
+        tup = self._lookahead
+        self._lookahead = None
+        return tup
+
+
+class VerifyingSource(TupleSource):
+    """Decorator asserting the decreasing-``S̄`` contract on the fly."""
+
+    def __init__(
+        self,
+        inner: TupleSource,
+        score_bound: Callable[[RankTuple], float],
+    ) -> None:
+        super().__init__(inner.dimension, CostModel.free())
+        self._inner = inner
+        self._score_bound = score_bound
+        self._previous = float("inf")
+
+    def has_next(self) -> bool:
+        return self._inner.has_next()
+
+    def _advance(self) -> RankTuple:
+        tup = self._inner.next()
+        assert tup is not None
+        bound = self._score_bound(tup)
+        if bound > self._previous + 1e-9:
+            raise NotSortedError(
+                f"out-of-order tuple: S̄={bound} after {self._previous}"
+            )
+        self._previous = bound
+        return tup
+
+    @property
+    def depth(self) -> int:
+        return self._inner.depth
+
+    @property
+    def cost(self) -> float:
+        return self._inner.cost

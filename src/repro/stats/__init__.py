@@ -1,0 +1,24 @@
+"""Metrics and timing instrumentation."""
+
+from repro.stats.metrics import (
+    DepthReport,
+    MemoryHighWater,
+    OperatorStats,
+    TimingBreakdown,
+    mean_depths,
+    mean_timing,
+)
+from repro.stats.timing import ComponentTimer
+from repro.stats.trace import BoundTrace, TraceEntry
+
+__all__ = [
+    "BoundTrace",
+    "ComponentTimer",
+    "TraceEntry",
+    "DepthReport",
+    "MemoryHighWater",
+    "OperatorStats",
+    "TimingBreakdown",
+    "mean_depths",
+    "mean_timing",
+]

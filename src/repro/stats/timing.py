@@ -1,0 +1,43 @@
+"""Lightweight wall-clock accounting for operator components."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class ComponentTimer:
+    """Accumulates wall-clock time per named component.
+
+    Used by the PBRJ template to reproduce Figure 2(b)'s breakdown: time in
+    I/O, time in the bounding scheme, and everything else.  Timing can be
+    disabled (``enabled=False``) to remove the measurement overhead from
+    depth-only experiments.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._totals: dict[str, float] = {}
+
+    @contextmanager
+    def measure(self, component: str):
+        """Context manager accumulating elapsed time under ``component``."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[component] = self._totals.get(component, 0.0) + elapsed
+
+    def total(self, component: str) -> float:
+        """Accumulated seconds for ``component`` (0.0 if never measured)."""
+        return self._totals.get(component, 0.0)
+
+    def totals(self) -> dict[str, float]:
+        return dict(self._totals)
+
+    def reset(self) -> None:
+        self._totals.clear()

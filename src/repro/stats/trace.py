@@ -1,0 +1,96 @@
+"""Bound-evolution tracing: watch an operator's threshold converge.
+
+A :class:`BoundTrace` attached to a PBRJ operator records, per pulled
+tuple, the chosen input, the updated bound ``t`` and the buffered-output
+state.  This makes the operators' dynamics inspectable — e.g. how quickly
+the feasible-region bound drops relative to the corner bound — and powers
+the ``examples/bound_evolution.py`` visualization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """State right after one pull was processed."""
+
+    pull: int
+    side: int
+    bound: float
+    buffered: int
+    emitted: int
+
+
+@dataclass
+class BoundTrace:
+    """An append-only log of per-pull operator state."""
+
+    entries: list[TraceEntry] = field(default_factory=list)
+
+    def record(
+        self, pull: int, side: int, bound: float, buffered: int, emitted: int
+    ) -> None:
+        self.entries.append(TraceEntry(pull, side, bound, buffered, emitted))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def bounds(self) -> list[float]:
+        """The bound value after each pull."""
+        return [entry.bound for entry in self.entries]
+
+    def pulls_per_side(self) -> tuple[int, int]:
+        left = sum(1 for entry in self.entries if entry.side == 0)
+        return (left, len(self.entries) - left)
+
+    def bound_at_emission(self, n: int) -> float | None:
+        """The bound when the n-th result (1-based) became emittable."""
+        for entry in self.entries:
+            if entry.emitted >= n:
+                return entry.bound
+        return None
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    _BLOCKS = "▁▂▃▄▅▆▇█"
+
+    def sparkline(self, width: int = 60) -> str:
+        """A unicode sparkline of the (finite) bound values over time."""
+        finite = [b for b in self.bounds() if math.isfinite(b)]
+        if not finite:
+            return ""
+        if len(finite) > width:
+            stride = len(finite) / width
+            finite = [finite[int(i * stride)] for i in range(width)]
+        low, high = min(finite), max(finite)
+        span = (high - low) or 1.0
+        chars = [
+            self._BLOCKS[
+                min(
+                    int((value - low) / span * (len(self._BLOCKS) - 1)),
+                    len(self._BLOCKS) - 1,
+                )
+            ]
+            for value in finite
+        ]
+        return "".join(chars)
+
+    def summary(self) -> str:
+        """A few human-readable lines about the run."""
+        if not self.entries:
+            return "empty trace"
+        left, right = self.pulls_per_side()
+        finite = [b for b in self.bounds() if math.isfinite(b)]
+        lines = [
+            f"pulls: {len(self.entries)} (left {left} / right {right})",
+        ]
+        if finite:
+            lines.append(
+                f"bound: start {finite[0]:.4f} → end {finite[-1]:.4f}"
+            )
+            lines.append(self.sparkline())
+        return "\n".join(lines)

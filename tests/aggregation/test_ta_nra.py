@@ -1,0 +1,185 @@
+"""Tests for the TA / NRA ranked-list aggregation substrate."""
+
+import heapq
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation.lists import RankedList
+from repro.aggregation.ta import no_random_access, threshold_algorithm
+from repro.core.scoring import MinScore, SumScore
+
+
+def brute_force(lists, scoring, k):
+    """Exact top-k over the union of graded objects."""
+    objects = set()
+    for ranked in lists:
+        for entry in ranked._entries:
+            objects.add(entry.obj)
+    scored = []
+    for obj in objects:
+        grades = tuple(
+            ranked.peek_grade(obj) or 0.0 for ranked in lists
+        )
+        scored.append((obj, scoring(grades)))
+    return heapq.nlargest(k, scored, key=lambda item: item[1])
+
+
+def make_lists(rng, n_objects, m):
+    grades = rng.random((n_objects, m))
+    return [
+        RankedList(
+            [(obj, float(grades[obj, j])) for obj in range(n_objects)],
+            name=f"L{j}",
+        )
+        for j in range(m)
+    ]
+
+
+class TestRankedList:
+    def test_sorted_access_order(self):
+        ranked = RankedList([("a", 0.2), ("b", 0.9), ("c", 0.5)])
+        grades = [ranked.next().grade for _ in range(3)]
+        assert grades == [0.9, 0.5, 0.2]
+        assert ranked.next() is None
+
+    def test_duplicate_objects_rejected(self):
+        with pytest.raises(ValueError):
+            RankedList([("a", 0.2), ("a", 0.3)])
+
+    def test_access_counters(self):
+        ranked = RankedList([("a", 0.2), ("b", 0.9)])
+        ranked.next()
+        ranked.grade_of("a")
+        ranked.grade_of("missing")
+        assert ranked.sorted_accesses == 1
+        assert ranked.random_accesses == 2
+
+    def test_missing_object_grades_zero(self):
+        ranked = RankedList([("a", 0.2)])
+        assert ranked.grade_of("zzz") == 0.0
+
+    def test_last_grade_tracks_frontier(self):
+        ranked = RankedList([("a", 0.9), ("b", 0.4)])
+        assert ranked.last_grade == 1.0
+        ranked.next()
+        assert ranked.last_grade == 0.9
+
+    def test_reset(self):
+        ranked = RankedList([("a", 0.9)])
+        ranked.next()
+        ranked.reset()
+        assert not ranked.exhausted
+        assert ranked.sorted_accesses == 0
+
+
+@pytest.mark.parametrize("algorithm", [threshold_algorithm, no_random_access])
+class TestCorrectness:
+    def test_top1_simple(self, algorithm):
+        lists = [
+            RankedList([("a", 0.9), ("b", 0.5)]),
+            RankedList([("a", 0.1), ("b", 0.8)]),
+        ]
+        result = algorithm(lists, SumScore(), 1)
+        assert result.top[0][0] == "b"
+        assert result.top[0][1] == pytest.approx(1.3)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_bruteforce_sum(self, algorithm, seed):
+        rng = np.random.default_rng(seed)
+        lists = make_lists(rng, 60, 3)
+        expected = brute_force(lists, SumScore(), 5)
+        result = algorithm(lists, SumScore(), 5)
+        got_scores = sorted((s for __, s in result.top), reverse=True)
+        exp_scores = sorted((s for __, s in expected), reverse=True)
+        assert got_scores == pytest.approx(exp_scores)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_bruteforce_min(self, algorithm, seed):
+        rng = np.random.default_rng(seed)
+        lists = make_lists(rng, 40, 2)
+        expected = brute_force(lists, MinScore(), 3)
+        result = algorithm(lists, MinScore(), 3)
+        got_scores = sorted((s for __, s in result.top), reverse=True)
+        exp_scores = sorted((s for __, s in expected), reverse=True)
+        assert got_scores == pytest.approx(exp_scores)
+
+    def test_k_larger_than_objects(self, algorithm):
+        lists = [RankedList([("a", 0.9), ("b", 0.5)])]
+        result = algorithm(lists, SumScore(), 10)
+        assert len(result.top) == 2
+
+    def test_validation(self, algorithm):
+        with pytest.raises(ValueError):
+            algorithm([], SumScore(), 1)
+        with pytest.raises(ValueError):
+            algorithm([RankedList([("a", 0.5)])], SumScore(), 0)
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_random_instances(self, algorithm, data):
+        n = data.draw(st.integers(1, 25), label="n")
+        m = data.draw(st.integers(1, 3), label="m")
+        k = data.draw(st.integers(1, 5), label="k")
+        grades = data.draw(
+            st.lists(
+                st.tuples(*([st.floats(0, 1, allow_nan=False)] * m)),
+                min_size=n, max_size=n,
+            )
+        )
+        lists = [
+            RankedList([(obj, grades[obj][j]) for obj in range(n)])
+            for j in range(m)
+        ]
+        expected = brute_force(lists, SumScore(), k)
+        result = algorithm(lists, SumScore(), k)
+        got_scores = sorted((s for __, s in result.top), reverse=True)
+        exp_scores = sorted((s for __, s in expected), reverse=True)
+        assert got_scores == pytest.approx(exp_scores)
+
+
+class TestAccessBehaviour:
+    def test_ta_stops_early_on_separated_top(self):
+        # One object dominates everywhere: TA should stop long before
+        # scanning the lists.
+        n = 500
+        entries = [("top", 1.0)] + [(i, 0.5 - i / (4 * n)) for i in range(n)]
+        lists = [RankedList(entries), RankedList(entries)]
+        result = threshold_algorithm(lists, SumScore(), 1)
+        assert result.top[0][0] == "top"
+        assert result.sorted_accesses < 50
+
+    def test_nra_uses_no_random_access(self):
+        rng = np.random.default_rng(0)
+        lists = make_lists(rng, 50, 2)
+        result = no_random_access(lists, SumScore(), 3)
+        assert result.random_accesses == 0
+
+    def test_ta_uses_random_access(self):
+        rng = np.random.default_rng(0)
+        lists = make_lists(rng, 50, 2)
+        result = threshold_algorithm(lists, SumScore(), 3)
+        assert result.random_accesses > 0
+
+    def test_total_accesses_sum(self):
+        rng = np.random.default_rng(1)
+        lists = make_lists(rng, 30, 2)
+        result = threshold_algorithm(lists, SumScore(), 2)
+        assert result.total_accesses == (
+            result.sorted_accesses + result.random_accesses
+        )
+
+    def test_nra_check_every_batches(self):
+        rng = np.random.default_rng(2)
+        lists_a = make_lists(rng, 50, 2)
+        rng = np.random.default_rng(2)
+        lists_b = make_lists(rng, 50, 2)
+        every = no_random_access(lists_a, SumScore(), 3, check_every=1)
+        batched = no_random_access(lists_b, SumScore(), 3, check_every=5)
+        # Batched checking can only do more sorted accesses, never fewer.
+        assert batched.sorted_accesses >= every.sorted_accesses
+        got = sorted(s for __, s in batched.top)
+        expected = sorted(s for __, s in every.top)
+        assert got == pytest.approx(expected)

@@ -1,0 +1,132 @@
+"""Soundness property: every bounding scheme covers all undiscovered results.
+
+The one property a bounding scheme must never violate (it is what makes
+PBRJ's output correct): after any pull sequence, the returned ``t``
+upper-bounds the score of every join result that still involves at least
+one unseen tuple.  We replay random instances through each scheme and
+check against brute force — including the corner bound and the loosened
+adaptive bounds at aggressive budgets.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.afr_bound import AFRBound
+from repro.core.bounds import LEFT, RIGHT, BoundContext, CornerBound
+from repro.core.fr_bound import FRBound
+from repro.core.frstar_bound import FRStarBound
+from repro.core.naive import full_join
+from repro.core.scoring import SumScore
+from repro.core.tuples import RankTuple
+
+unit = st.floats(0, 1, allow_nan=False)
+vec2 = st.tuples(unit, unit)
+
+SCHEMES = [
+    ("corner", CornerBound),
+    ("fr", lambda: FRBound()),
+    ("fr-unpruned", lambda: FRBound(prune_covers=False)),
+    ("fr*", FRStarBound),
+    ("afr-roomy", lambda: AFRBound(max_cr_size=1000)),
+    ("afr-tight", lambda: AFRBound(max_cr_size=2, resolution=8)),
+    ("afr-frozen", lambda: AFRBound(max_cr_size=2, cover_strategy="frozen")),
+    ("afr-grid", lambda: AFRBound(max_cr_size=4, cover_strategy="fixed-grid")),
+]
+
+
+def replay_and_check(factory, left_scores, right_scores, keys):
+    scoring = SumScore()
+    dims = (2, 2)
+    bound = factory()
+    bound.bind(BoundContext(scoring, dims))
+    left = sorted(
+        (RankTuple(key=keys[i % len(keys)], scores=tuple(s))
+         for i, s in enumerate(left_scores)),
+        key=lambda t: sum(t.scores),
+        reverse=True,
+    )
+    right = sorted(
+        (RankTuple(key=keys[(i + 1) % len(keys)], scores=tuple(s))
+         for i, s in enumerate(right_scores)),
+        key=lambda t: sum(t.scores),
+        reverse=True,
+    )
+    seen = {LEFT: 0, RIGHT: 0}
+    streams = {LEFT: left, RIGHT: right}
+    for step in range(len(left) + len(right)):
+        side = step % 2
+        if seen[side] >= len(streams[side]):
+            side = 1 - side
+            if seen[side] >= len(streams[side]):
+                break
+        rho = streams[side][seen[side]]
+        seen[side] += 1
+        t = bound.update(side, rho)
+        # Brute-force all undiscovered results.
+        unseen_left = left[seen[LEFT]:]
+        unseen_right = right[seen[RIGHT]:]
+        undiscovered = full_join(unseen_left, right, scoring) + full_join(
+            left[: seen[LEFT]], unseen_right, scoring
+        )
+        for result in undiscovered:
+            assert result.score <= t + 1e-9, (
+                f"{factory}: bound {t} below undiscovered {result.score}"
+            )
+
+
+@pytest.mark.parametrize("label,factory", SCHEMES)
+@given(
+    left=st.lists(vec2, min_size=1, max_size=8),
+    right=st.lists(vec2, min_size=1, max_size=8),
+    keys=st.lists(st.integers(0, 3), min_size=1, max_size=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_soundness(label, factory, left, right, keys):
+    replay_and_check(factory, left, right, keys)
+
+
+class TestRelativeTightness:
+    """Corner >= FR* >= nothing-below-truth, pointwise on shared replays."""
+
+    @given(
+        left=st.lists(vec2, min_size=2, max_size=10),
+        right=st.lists(vec2, min_size=2, max_size=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_frstar_never_above_corner(self, left, right):
+        scoring = SumScore()
+        corner = CornerBound()
+        frstar = FRStarBound()
+        for scheme in (corner, frstar):
+            scheme.bind(BoundContext(scoring, (2, 2)))
+        left = sorted(left, key=sum, reverse=True)
+        right = sorted(right, key=sum, reverse=True)
+        for i in range(min(len(left), len(right))):
+            for side, scores in ((LEFT, left[i]), (RIGHT, right[i])):
+                tup = RankTuple(key=0, scores=tuple(scores))
+                t_corner = corner.update(side, tup)
+                t_star = frstar.update(side, tup)
+                assert t_star <= t_corner + 1e-9
+
+    @given(
+        left=st.lists(vec2, min_size=2, max_size=10),
+        right=st.lists(vec2, min_size=2, max_size=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_afr_between_frstar_and_corner(self, left, right):
+        scoring = SumScore()
+        corner = CornerBound()
+        frstar = FRStarBound()
+        afr = AFRBound(max_cr_size=2, resolution=4)
+        for scheme in (corner, frstar, afr):
+            scheme.bind(BoundContext(scoring, (2, 2)))
+        left = sorted(left, key=sum, reverse=True)
+        right = sorted(right, key=sum, reverse=True)
+        for i in range(min(len(left), len(right))):
+            for side, scores in ((LEFT, left[i]), (RIGHT, right[i])):
+                tup = RankTuple(key=0, scores=tuple(scores))
+                t_corner = corner.update(side, tup)
+                t_star = frstar.update(side, tup)
+                t_afr = afr.update(side, tup)
+                assert t_star - 1e-9 <= t_afr <= t_corner + 1e-9

@@ -1,0 +1,204 @@
+"""Unit and property tests for the FR bound (Section 4.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import LEFT, RIGHT, BoundContext
+from repro.core.fr_bound import FRBound
+from repro.core.naive import full_join
+from repro.core.scoring import NEG_INF, MinScore, SumScore
+from repro.core.tuples import RankTuple
+
+
+def make_bound(dims=(2, 2), scoring=None, **kwargs):
+    bound = FRBound(**kwargs)
+    bound.bind(BoundContext(scoring or SumScore(), dims))
+    return bound
+
+
+def tup(*scores, key=0):
+    return RankTuple(key=key, scores=tuple(scores))
+
+
+class TestFRBasics:
+    def test_initial_bound_infinite(self):
+        assert make_bound().current() == float("inf")
+
+    def test_first_update_returns_finite_bound(self):
+        bound = make_bound()
+        t = bound.update(LEFT, tup(0.5, 0.5))
+        # t_both covers the both-unseen case: cover is still the ideal point
+        # but order bound g_left = 3.0 caps it.
+        assert t == pytest.approx(3.0)
+
+    def test_bound_monotone_nonincreasing(self):
+        bound = make_bound()
+        previous = float("inf")
+        for v in [0.9, 0.8, 0.6, 0.3, 0.1]:
+            t = bound.update(LEFT, tup(v, v))
+            assert t <= previous + 1e-12
+            previous = t
+            t = bound.update(RIGHT, tup(v, v))
+            assert t <= previous + 1e-12
+            previous = t
+
+    def test_group_detection(self):
+        bound = make_bound()
+        bound.update(LEFT, tup(0.5, 0.5))
+        assert bound.cover_sizes == (1, 1)  # group open, cover untouched
+        bound.update(LEFT, tup(0.7, 0.3))  # same S̄ = 3.0: same group
+        assert bound.cover_sizes == (1, 1)
+        bound.update(LEFT, tup(0.2, 0.2))  # S̄ drops: group closes, CR carved
+        assert bound.cover_sizes[0] > 1
+
+    def test_exhaustion_collapses_order_bounds(self):
+        bound = make_bound()
+        bound.update(LEFT, tup(0.5, 0.5))
+        bound.update(RIGHT, tup(0.5, 0.5))
+        bound.notify_exhausted(LEFT)
+        t = bound.notify_exhausted(RIGHT)
+        assert t == NEG_INF
+
+    def test_potential_components(self):
+        bound = make_bound()
+        bound.update(LEFT, tup(0.5, 0.5))
+        comp = bound.components
+        assert set(comp) == {"t0", "t1", "t_both"}
+        assert bound.potential(LEFT) == max(comp["t0"], comp["t_both"])
+        assert bound.potential(RIGHT) == max(comp["t1"], comp["t_both"])
+
+    def test_cover_recomputations_counted(self):
+        bound = make_bound()
+        bound.update(LEFT, tup(0.5, 0.5))
+        # FR recomputes all three cover bounds on every update.
+        assert bound.cover_recomputations == 3
+        bound.update(RIGHT, tup(0.5, 0.5))
+        assert bound.cover_recomputations == 6
+
+
+class TestFRCorrectness:
+    """The bound must always upper-bound every undiscovered join result."""
+
+    @staticmethod
+    def _check_sound(left_rows, right_rows, scoring, dims):
+        """Replay a RR pull sequence; at each step the bound must cover all
+        results involving at least one unseen tuple."""
+        bound = FRBound()
+        bound.bind(BoundContext(scoring, dims))
+        seen = ([], [])
+        sides = [LEFT, RIGHT]
+        streams = (list(left_rows), list(right_rows))
+        pulls = []
+        for i in range(len(left_rows) + len(right_rows)):
+            side = sides[i % 2]
+            index = len(seen[side])
+            if index >= len(streams[side]):
+                side = 1 - side
+                index = len(seen[side])
+                if index >= len(streams[side]):
+                    break
+            rho = streams[side][index]
+            seen[side].append(rho)
+            t = bound.update(side, rho)
+            unseen_left = streams[LEFT][len(seen[LEFT]):]
+            unseen_right = streams[RIGHT][len(seen[RIGHT]):]
+            undiscovered = (
+                full_join(unseen_left, streams[RIGHT], scoring)
+                + full_join(seen[LEFT], unseen_right, scoring)
+            )
+            for result in undiscovered:
+                assert result.score <= t + 1e-9, (
+                    f"bound {t} misses undiscovered result {result.score}"
+                )
+            pulls.append(t)
+        return pulls
+
+    def _sorted_rows(self, scores, side, scoring, dims, keys=None):
+        rows = [
+            RankTuple(key=(keys[i] if keys else 0), scores=tuple(s))
+            for i, s in enumerate(scores)
+        ]
+        if side == LEFT:
+            return sorted(
+                rows,
+                key=lambda r: scoring(r.scores + (1.0,) * dims[1]),
+                reverse=True,
+            )
+        return sorted(
+            rows,
+            key=lambda r: scoring((1.0,) * dims[0] + r.scores),
+            reverse=True,
+        )
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 1, allow_nan=False), st.floats(0, 1, allow_nan=False)),
+            min_size=1,
+            max_size=8,
+        ),
+        st.lists(
+            st.tuples(st.floats(0, 1, allow_nan=False)),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_soundness_sum_score(self, left_scores, right_scores):
+        scoring = SumScore()
+        dims = (2, 1)
+        left = self._sorted_rows(left_scores, LEFT, scoring, dims)
+        right = self._sorted_rows(right_scores, RIGHT, scoring, dims)
+        self._check_sound(left, right, scoring, dims)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 1, allow_nan=False), st.floats(0, 1, allow_nan=False)),
+            min_size=1,
+            max_size=6,
+        ),
+        st.lists(
+            st.tuples(st.floats(0, 1, allow_nan=False), st.floats(0, 1, allow_nan=False)),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_soundness_min_score(self, left_scores, right_scores):
+        scoring = MinScore()
+        dims = (2, 2)
+        left = self._sorted_rows(left_scores, LEFT, scoring, dims)
+        right = self._sorted_rows(right_scores, RIGHT, scoring, dims)
+        self._check_sound(left, right, scoring, dims)
+
+
+class TestPruningEquivalence:
+    """Pruned covers must yield bit-identical bound values (DESIGN.md)."""
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 1, allow_nan=False), st.floats(0, 1, allow_nan=False)),
+            min_size=2,
+            max_size=10,
+        ),
+        st.lists(
+            st.tuples(st.floats(0, 1, allow_nan=False), st.floats(0, 1, allow_nan=False)),
+            min_size=2,
+            max_size=10,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pruned_equals_unpruned(self, left_scores, right_scores):
+        scoring = SumScore()
+        dims = (2, 2)
+        pruned = FRBound(prune_covers=True)
+        literal = FRBound(prune_covers=False)
+        pruned.bind(BoundContext(scoring, dims))
+        literal.bind(BoundContext(scoring, dims))
+        left = sorted(left_scores, key=sum, reverse=True)
+        right = sorted(right_scores, key=sum, reverse=True)
+        for i in range(min(len(left), len(right))):
+            for side, scores in ((LEFT, left[i]), (RIGHT, right[i])):
+                t_pruned = pruned.update(side, RankTuple(key=0, scores=scores))
+                t_literal = literal.update(side, RankTuple(key=0, scores=scores))
+                assert t_pruned == pytest.approx(t_literal, abs=1e-12)

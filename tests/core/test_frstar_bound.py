@@ -1,0 +1,152 @@
+"""Tests for the FR* bound — equivalence to FR and Table-1 caching."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import LEFT, RIGHT, BoundContext
+from repro.core.fr_bound import FRBound
+from repro.core.frstar_bound import FRStarBound
+from repro.core.scoring import MinScore, SumScore
+from repro.core.tuples import RankTuple
+
+unit = st.floats(0, 1, allow_nan=False)
+
+
+def replay(bound_cls_or_instance, sequence, scoring, dims):
+    """Feed (side, scores) pairs; return the list of bound values."""
+    bound = (
+        bound_cls_or_instance()
+        if isinstance(bound_cls_or_instance, type)
+        else bound_cls_or_instance
+    )
+    bound.bind(BoundContext(scoring, dims))
+    values = []
+    for side, scores in sequence:
+        values.append(bound.update(side, RankTuple(key=0, scores=scores)))
+    return values, bound
+
+
+def interleave(left, right):
+    """Round-robin (side, scores) sequence respecting per-side sort order."""
+    left = sorted(left, key=sum, reverse=True)
+    right = sorted(right, key=sum, reverse=True)
+    sequence = []
+    for i in range(max(len(left), len(right))):
+        if i < len(left):
+            sequence.append((LEFT, tuple(left[i])))
+        if i < len(right):
+            sequence.append((RIGHT, tuple(right[i])))
+    return sequence
+
+
+class TestEquivalenceToFR:
+    """Theorem 4.1: FR* returns exactly the FR bound values."""
+
+    @given(
+        st.lists(st.tuples(unit, unit), min_size=1, max_size=12),
+        st.lists(st.tuples(unit, unit), min_size=1, max_size=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_same_values_sum_2d(self, left, right):
+        sequence = interleave(left, right)
+        fr_values, __ = replay(FRBound, sequence, SumScore(), (2, 2))
+        star_values, __ = replay(FRStarBound, sequence, SumScore(), (2, 2))
+        assert fr_values == pytest.approx(star_values, abs=1e-12)
+
+    @given(
+        st.lists(st.tuples(unit, unit, unit), min_size=1, max_size=8),
+        st.lists(st.tuples(unit,), min_size=1, max_size=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_same_values_asymmetric_dims(self, left, right):
+        scoring = SumScore()
+        dims = (3, 1)
+        left = sorted(left, key=sum, reverse=True)
+        right = sorted(right, key=sum, reverse=True)
+        sequence = []
+        for i in range(max(len(left), len(right))):
+            if i < len(left):
+                sequence.append((LEFT, tuple(left[i])))
+            if i < len(right):
+                sequence.append((RIGHT, tuple(right[i])))
+        fr_values, __ = replay(FRBound, sequence, scoring, dims)
+        star_values, __ = replay(FRStarBound, sequence, scoring, dims)
+        assert fr_values == pytest.approx(star_values, abs=1e-12)
+
+    @given(
+        st.lists(st.tuples(unit, unit), min_size=1, max_size=8),
+        st.lists(st.tuples(unit, unit), min_size=1, max_size=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_same_values_min_score(self, left, right):
+        scoring = MinScore()
+        left = sorted(left, key=min, reverse=True)
+        right = sorted(right, key=min, reverse=True)
+        sequence = []
+        for i in range(max(len(left), len(right))):
+            if i < len(left):
+                sequence.append((LEFT, tuple(left[i])))
+            if i < len(right):
+                sequence.append((RIGHT, tuple(right[i])))
+        fr_values, __ = replay(FRBound, sequence, scoring, (2, 2))
+        star_values, __ = replay(FRStarBound, sequence, scoring, (2, 2))
+        assert fr_values == pytest.approx(star_values, abs=1e-12)
+
+    def test_exhaustion_equivalence(self):
+        scoring = SumScore()
+        sequence = interleave([(0.9, 0.1), (0.5, 0.5)], [(0.8, 0.8)])
+        __, fr = replay(FRBound, sequence, scoring, (2, 2))
+        __, star = replay(FRStarBound, sequence, scoring, (2, 2))
+        assert fr.notify_exhausted(RIGHT) == pytest.approx(
+            star.notify_exhausted(RIGHT), abs=1e-12
+        )
+        assert fr.notify_exhausted(LEFT) == pytest.approx(
+            star.notify_exhausted(LEFT), abs=1e-12
+        )
+
+
+class TestDecisionMatrix:
+    """Table 1: FR* recomputes far fewer cover bounds than FR."""
+
+    def test_fewer_recomputations_than_fr(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        left = [tuple(v) for v in rng.random((40, 2))]
+        right = [tuple(v) for v in rng.random((40, 2))]
+        sequence = interleave(left, right)
+        __, fr = replay(FRBound, sequence, SumScore(), (2, 2))
+        __, star = replay(FRStarBound, sequence, SumScore(), (2, 2))
+        assert star.cover_recomputations < fr.cover_recomputations
+
+    def test_no_recompute_for_dominated_same_group_tuple(self):
+        scoring = SumScore()
+        bound = FRStarBound()
+        bound.bind(BoundContext(scoring, (2, 2)))
+        bound.update(LEFT, RankTuple(key=0, scores=(0.5, 0.5)))
+        before = bound.cover_recomputations
+        # Same S̄ (same group) and dominated by (0.5, 0.5)?  No: (0.6, 0.4)
+        # is incomparable.  Use a dominated same-sum tuple: impossible for
+        # sums — instead check a dominated tuple in a *new* group triggers
+        # only the CR-side recomputes (2), not the SHR-side one.
+        bound.update(LEFT, RankTuple(key=0, scores=(0.4, 0.4)))
+        after = bound.cover_recomputations
+        assert after - before == 2  # t_left^cover and t_both^cover only
+
+    def test_skyline_change_triggers_other_side_recompute(self):
+        scoring = SumScore()
+        bound = FRStarBound()
+        bound.bind(BoundContext(scoring, (2, 2)))
+        bound.update(LEFT, RankTuple(key=0, scores=(0.9, 0.1)))
+        before = bound.cover_recomputations
+        # New skyline point AND new group: all three cover bounds refresh.
+        bound.update(LEFT, RankTuple(key=0, scores=(0.1, 0.8)))
+        assert bound.cover_recomputations - before == 3
+
+    def test_seen_skyline_sizes_exposed(self):
+        bound = FRStarBound()
+        bound.bind(BoundContext(SumScore(), (2, 2)))
+        bound.update(LEFT, RankTuple(key=0, scores=(0.9, 0.9)))
+        bound.update(LEFT, RankTuple(key=0, scores=(0.5, 0.5)))
+        assert bound.seen_skyline_sizes == (1, 0)

@@ -1,0 +1,157 @@
+"""Tests for the multiway feasible-region bound (additive scoring)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.multiway import MultiwayRankJoin, multiway_rank_join
+from repro.core.multiway_fr import MultiwayCornerBound, MultiwayFeasibleBound
+from repro.core.scoring import MinScore, SumScore, WeightedSum
+from repro.core.tuples import RankTuple
+from repro.errors import InstanceError
+from repro.relation.relation import Relation
+
+
+def relation(name, rows, key_attr):
+    return Relation(
+        name,
+        [
+            RankTuple(key=p[key_attr], scores=s, payload=dict(p))
+            for p, s in rows
+        ],
+    )
+
+
+def random_chain(seed, n=15, keys=4):
+    rng = np.random.default_rng(seed)
+
+    def mk(name, left, right):
+        rows = []
+        for __ in range(n):
+            payload = {}
+            if left:
+                payload[left] = int(rng.integers(0, keys))
+            if right:
+                payload[right] = int(rng.integers(0, keys))
+            rows.append((payload, (float(rng.random()),)))
+        return relation(name, rows, left or right)
+
+    return [mk("A", None, "p"), mk("B", "p", "q"), mk("C", "q", None)], ["p", "q"]
+
+
+def brute_force(relations, attrs, scoring):
+    results = []
+    for combo in itertools.product(*[rel.tuples for rel in relations]):
+        if all(
+            combo[i].payload[attr] == combo[i + 1].payload[attr]
+            for i, attr in enumerate(attrs)
+        ):
+            results.append(scoring(tuple(s for t in combo for s in t.scores)))
+    return sorted(results, reverse=True)
+
+
+class TestConstruction:
+    def test_rejects_non_additive_scoring(self):
+        bound = MultiwayFeasibleBound()
+        with pytest.raises(InstanceError):
+            bound.bind([1, 1], MinScore())
+
+    def test_accepts_weighted_sum(self):
+        bound = MultiwayFeasibleBound()
+        bound.bind([1, 2], WeightedSum([0.5, 0.2, 0.3]))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+class TestCorrectness:
+    def test_matches_bruteforce(self, seed):
+        relations, attrs = random_chain(seed)
+        operator = multiway_rank_join(
+            relations, attrs, SumScore(),
+            bound=MultiwayFeasibleBound(), name="MW-FR",
+        )
+        got = [r.score for r in operator]
+        expected = brute_force(relations, attrs, SumScore())
+        assert got == pytest.approx(expected)
+
+    def test_agrees_with_corner_variant(self, seed):
+        relations, attrs = random_chain(seed)
+        fr = multiway_rank_join(
+            relations, attrs, SumScore(), bound=MultiwayFeasibleBound()
+        )
+        corner = multiway_rank_join(
+            relations, attrs, SumScore(), bound=MultiwayCornerBound()
+        )
+        assert [r.score for r in fr.top_k(5)] == pytest.approx(
+            [r.score for r in corner.top_k(5)]
+        )
+
+
+class TestDepthAdvantage:
+    def _cut_chain(self, n=200, cut=0.4, seed=0):
+        """Single-score chain where no score exceeds ``cut``."""
+        rng = np.random.default_rng(seed)
+
+        def mk(name, left, right):
+            rows = []
+            for i in range(n):
+                payload = {}
+                if left:
+                    payload[left] = int(rng.integers(0, 10))
+                if right:
+                    payload[right] = int(rng.integers(0, 10))
+                rows.append((payload, (float(rng.random()) * cut,)))
+            return relation(name, rows, left or right)
+
+        return [mk("A", None, "p"), mk("B", "p", "q"), mk("C", "q", None)], ["p", "q"]
+
+    def test_feasible_bound_never_deeper_than_corner(self):
+        relations, attrs = self._cut_chain()
+        fr = multiway_rank_join(
+            relations, attrs, SumScore(), bound=MultiwayFeasibleBound()
+        )
+        corner = multiway_rank_join(
+            relations, attrs, SumScore(), bound=MultiwayCornerBound()
+        )
+        fr.top_k(5)
+        corner.top_k(5)
+        assert fr.sum_depths <= corner.sum_depths
+
+    def test_feasible_bound_wins_big_under_cut(self):
+        relations, attrs = self._cut_chain()
+        fr = multiway_rank_join(
+            relations, attrs, SumScore(), bound=MultiwayFeasibleBound()
+        )
+        corner = multiway_rank_join(
+            relations, attrs, SumScore(), bound=MultiwayCornerBound()
+        )
+        fr.top_k(5)
+        corner.top_k(5)
+        # The corner bound's double 1-substitution (max 1+1+cut) can never
+        # fall below the terminal score (~3*cut), so it reads everything;
+        # the feasible covers learn the cut.
+        assert corner.sum_depths == sum(len(r) for r in relations)
+        assert fr.sum_depths < corner.sum_depths / 2
+
+
+class TestBoundSemantics:
+    def test_bound_decreases(self):
+        relations, attrs = random_chain(0)
+        operator = multiway_rank_join(
+            relations, attrs, SumScore(), bound=MultiwayFeasibleBound()
+        )
+        previous = float("inf")
+        for __ in range(10):
+            if operator.get_next() is None:
+                break
+            assert operator.bound_value <= previous + 1e-9
+            previous = operator.bound_value
+
+    def test_potential_finite_after_updates(self):
+        relations, attrs = random_chain(1)
+        operator = multiway_rank_join(
+            relations, attrs, SumScore(), bound=MultiwayFeasibleBound()
+        )
+        operator.get_next()
+        for index in range(3):
+            assert operator._bound_scheme.potential(index) < float("inf")

@@ -1,0 +1,91 @@
+"""Unit tests for pulling strategies."""
+
+import pytest
+
+from repro.core.bounds import LEFT, RIGHT
+from repro.core.pulling import FixedSequence, PotentialAdaptive, RoundRobin
+
+
+class FakeView:
+    """Minimal OperatorView stub."""
+
+    def __init__(self, potentials=(0.0, 0.0), depths=(0, 0), exhausted=(False, False)):
+        self._potentials = list(potentials)
+        self._depths = list(depths)
+        self._exhausted = list(exhausted)
+
+    def potential(self, side):
+        return self._potentials[side]
+
+    def depth(self, side):
+        return self._depths[side]
+
+    def is_exhausted(self, side):
+        return self._exhausted[side]
+
+
+class TestRoundRobin:
+    def test_alternates_starting_left(self):
+        strategy = RoundRobin()
+        view = FakeView()
+        assert [strategy.choose(view) for _ in range(4)] == [
+            LEFT, RIGHT, LEFT, RIGHT,
+        ]
+
+    def test_skips_exhausted_side(self):
+        strategy = RoundRobin()
+        view = FakeView(exhausted=(True, False))
+        assert strategy.choose(view) == RIGHT
+        assert strategy.choose(view) == RIGHT
+
+    def test_raises_when_both_exhausted(self):
+        strategy = RoundRobin()
+        view = FakeView(exhausted=(True, True))
+        with pytest.raises(RuntimeError):
+            strategy.choose(view)
+
+
+class TestPotentialAdaptive:
+    def test_prefers_higher_potential(self):
+        strategy = PotentialAdaptive()
+        assert strategy.choose(FakeView(potentials=(1.0, 2.0))) == RIGHT
+        assert strategy.choose(FakeView(potentials=(3.0, 2.0))) == LEFT
+
+    def test_tie_breaks_to_smaller_depth(self):
+        strategy = PotentialAdaptive()
+        view = FakeView(potentials=(1.0, 1.0), depths=(5, 3))
+        assert strategy.choose(view) == RIGHT
+
+    def test_tie_breaks_to_smaller_index_last(self):
+        strategy = PotentialAdaptive()
+        view = FakeView(potentials=(1.0, 1.0), depths=(4, 4))
+        assert strategy.choose(view) == LEFT
+
+    def test_only_available_side(self):
+        strategy = PotentialAdaptive()
+        view = FakeView(potentials=(0.0, 5.0), exhausted=(False, True))
+        assert strategy.choose(view) == LEFT
+
+    def test_infinite_potentials(self):
+        strategy = PotentialAdaptive()
+        inf = float("inf")
+        view = FakeView(potentials=(inf, inf), depths=(0, 0))
+        assert strategy.choose(view) == LEFT
+
+
+class TestFixedSequence:
+    def test_replays_sequence(self):
+        strategy = FixedSequence([RIGHT, RIGHT, LEFT])
+        view = FakeView()
+        assert [strategy.choose(view) for _ in range(3)] == [RIGHT, RIGHT, LEFT]
+
+    def test_falls_back_to_round_robin(self):
+        strategy = FixedSequence([RIGHT])
+        view = FakeView()
+        strategy.choose(view)
+        assert [strategy.choose(view) for _ in range(2)] == [LEFT, RIGHT]
+
+    def test_skips_exhausted_in_sequence(self):
+        strategy = FixedSequence([LEFT, RIGHT])
+        view = FakeView(exhausted=(True, False))
+        assert strategy.choose(view) == RIGHT

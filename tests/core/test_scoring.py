@@ -1,0 +1,165 @@
+"""Unit and property tests for scoring functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scoring import (
+    NEG_INF,
+    AverageScore,
+    CallableScore,
+    MinScore,
+    ProductScore,
+    ScoringFunction,
+    SumScore,
+    WeightedSum,
+    check_monotone,
+)
+
+unit = st.floats(0.0, 1.0, allow_nan=False)
+
+
+class TestSumScore:
+    def test_basic(self):
+        assert SumScore()((0.2, 0.3, 0.5)) == pytest.approx(1.0)
+
+    def test_empty_vector(self):
+        assert SumScore()(()) == 0.0
+
+    def test_batch_matches_scalar(self):
+        vectors = np.array([[0.1, 0.2], [0.5, 0.5]])
+        scoring = SumScore()
+        np.testing.assert_allclose(
+            scoring.batch(vectors), [scoring(tuple(v)) for v in vectors]
+        )
+
+    def test_bound_with_ones(self):
+        assert SumScore().bound_with_ones((0.3, 0.4), 2) == pytest.approx(2.7)
+
+    def test_max_combination_empty_sets(self):
+        scoring = SumScore()
+        assert scoring.max_combination([], [(0.5,)]) == NEG_INF
+        assert scoring.max_combination([(0.5,)], []) == NEG_INF
+
+    def test_max_combination(self):
+        scoring = SumScore()
+        left = [(0.1, 0.9), (0.5, 0.5)]
+        right = [(0.2,), (0.8,)]
+        assert scoring.max_combination(left, right) == pytest.approx(1.8)
+
+    def test_max_combination_matches_bruteforce(self):
+        scoring = SumScore()
+        rng = np.random.default_rng(0)
+        left = [tuple(v) for v in rng.random((7, 2))]
+        right = [tuple(v) for v in rng.random((5, 3))]
+        brute = max(scoring(a + b) for a in left for b in right)
+        assert scoring.max_combination(left, right) == pytest.approx(brute)
+
+    def test_separable_shortcut_matches_cross_product(self):
+        scoring = SumScore()
+        rng = np.random.default_rng(1)
+        left = [tuple(v) for v in rng.random((6, 2))]
+        right = [tuple(v) for v in rng.random((6, 2))]
+        assert scoring.max_combination_separable(left, right) == pytest.approx(
+            scoring.max_combination(left, right)
+        )
+
+    def test_zero_dimensional_operand(self):
+        scoring = SumScore()
+        assert scoring.max_combination([()], [(0.5,)]) == pytest.approx(0.5)
+
+
+class TestWeightedSum:
+    def test_basic(self):
+        scoring = WeightedSum([0.4, 0.1, 0.5])
+        assert scoring((1.0, 1.0, 1.0)) == pytest.approx(1.0)
+        assert scoring((0.5, 0.0, 1.0)) == pytest.approx(0.7)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedSum([0.5, -0.1])
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedSum([0.5, 0.5])((1.0,))
+
+    def test_batch_matches_scalar(self):
+        scoring = WeightedSum([0.3, 0.7])
+        vectors = np.array([[0.1, 0.2], [1.0, 0.0]])
+        np.testing.assert_allclose(
+            scoring.batch(vectors), [scoring(tuple(v)) for v in vectors]
+        )
+
+    def test_max_combination_matches_bruteforce(self):
+        scoring = WeightedSum([0.2, 0.3, 0.5])
+        rng = np.random.default_rng(2)
+        left = [tuple(v) for v in rng.random((6, 1))]
+        right = [tuple(v) for v in rng.random((4, 2))]
+        brute = max(scoring(a + b) for a in left for b in right)
+        assert scoring.max_combination(left, right) == pytest.approx(brute)
+        assert scoring.max_combination_separable(left, right) == pytest.approx(brute)
+
+    def test_monotone(self):
+        assert check_monotone(WeightedSum([0.3, 0.7]), 2)
+
+
+class TestOtherAggregates:
+    def test_average(self):
+        assert AverageScore()((0.2, 0.4)) == pytest.approx(0.3)
+        assert AverageScore()(()) == 0.0
+
+    def test_min(self):
+        assert MinScore()((0.2, 0.9)) == pytest.approx(0.2)
+        assert MinScore()(()) == 1.0
+
+    def test_product(self):
+        assert ProductScore()((0.5, 0.5)) == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            ProductScore()((-0.5, 0.5))
+
+    def test_batches_match_scalars(self):
+        vectors = np.array([[0.2, 0.9], [0.7, 0.1]])
+        for scoring in (AverageScore(), MinScore(), ProductScore()):
+            np.testing.assert_allclose(
+                scoring.batch(vectors), [scoring(tuple(v)) for v in vectors]
+            )
+
+    @pytest.mark.parametrize(
+        "scoring", [SumScore(), AverageScore(), MinScore(), ProductScore()]
+    )
+    def test_all_are_monotone(self, scoring):
+        assert check_monotone(scoring, 3)
+
+    def test_callable_wrapper(self):
+        scoring = CallableScore(lambda v: max(v), name="max")
+        assert scoring((0.1, 0.9)) == pytest.approx(0.9)
+        assert check_monotone(scoring, 2)
+
+    def test_check_monotone_catches_non_monotone(self):
+        bad = CallableScore(lambda v: -sum(v))
+        assert not check_monotone(bad, 2)
+
+
+class TestGenericMaxCombination:
+    """The default pairwise enumeration used by non-additive aggregates."""
+
+    @given(
+        st.lists(st.tuples(unit, unit), min_size=1, max_size=6),
+        st.lists(st.tuples(unit,), min_size=1, max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bruteforce_for_min(self, left, right):
+        scoring = MinScore()
+        brute = max(scoring(a + b) for a in left for b in right)
+        assert scoring.max_combination(left, right) == pytest.approx(brute)
+
+    @given(
+        st.lists(st.tuples(unit, unit), min_size=1, max_size=6),
+        st.lists(st.tuples(unit, unit), min_size=1, max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sum_vectorized_equals_generic(self, left, right):
+        summed = SumScore()
+        generic = ScoringFunction.max_combination(summed, left, right)
+        assert summed.max_combination(left, right) == pytest.approx(generic)

@@ -1,0 +1,98 @@
+"""Tests for CSV persistence of relations."""
+
+import pytest
+
+from repro.core.scoring import SumScore
+from repro.core.tuples import RankTuple
+from repro.data.io import load_relation_csv, save_relation_csv, save_tables_csv
+from repro.data.tpch import TPCHConfig, generate_tpch
+from repro.errors import InstanceError
+from repro.relation.relation import RankJoinInstance, Relation
+
+
+@pytest.fixture
+def relation():
+    return Relation(
+        "demo",
+        [
+            RankTuple(key=1, scores=(0.9, 0.1), payload={"city": 7, "name": "a"}),
+            RankTuple(key=2, scores=(0.5, 0.5), payload={"city": 8, "name": "b"}),
+            RankTuple(key=1, scores=(0.2, 0.8), payload=None),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_tuples(self, relation, tmp_path):
+        path = tmp_path / "demo.csv"
+        save_relation_csv(relation, path)
+        loaded = load_relation_csv(path)
+        assert loaded.name == "demo"
+        assert len(loaded) == 3
+        assert loaded.dimension == 2
+        assert loaded.tuples[0].key == 1
+        assert loaded.tuples[0].scores == (0.9, 0.1)
+        assert loaded.tuples[0].payload == {"city": 7, "name": "a"}
+
+    def test_roundtrip_none_payload(self, relation, tmp_path):
+        path = tmp_path / "demo.csv"
+        save_relation_csv(relation, path)
+        loaded = load_relation_csv(path)
+        assert loaded.tuples[2].payload is None
+
+    def test_loaded_relation_is_usable_in_instance(self, relation, tmp_path):
+        path = tmp_path / "demo.csv"
+        save_relation_csv(relation, path)
+        loaded = load_relation_csv(path)
+        instance = RankJoinInstance(loaded, relation, SumScore(), k=1)
+        assert instance.join_size() > 0
+
+    def test_custom_name(self, relation, tmp_path):
+        path = tmp_path / "x.csv"
+        save_relation_csv(relation, path)
+        assert load_relation_csv(path, name="renamed").name == "renamed"
+
+    def test_string_keys_preserved(self, tmp_path):
+        rel = Relation("s", [RankTuple(key="paris", scores=(0.5,))])
+        path = tmp_path / "s.csv"
+        save_relation_csv(rel, path)
+        assert load_relation_csv(path).tuples[0].key == "paris"
+
+    def test_zero_score_relation(self, tmp_path):
+        rel = Relation("z", [RankTuple(key=1, scores=())])
+        path = tmp_path / "z.csv"
+        save_relation_csv(rel, path)
+        loaded = load_relation_csv(path)
+        assert loaded.dimension == 0
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(InstanceError):
+            load_relation_csv(path)
+
+    def test_missing_key_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(InstanceError):
+            load_relation_csv(path)
+
+    def test_ragged_row(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("key,score_0\n1,0.5\n2\n")
+        with pytest.raises(InstanceError):
+            load_relation_csv(path)
+
+
+class TestTables:
+    def test_save_tables_writes_all(self, tmp_path):
+        tables = generate_tpch(TPCHConfig(scale=0.0002), seed=0)
+        written = save_tables_csv(tables, tmp_path)
+        assert {p.name for p in written} == {
+            "customer.csv", "orders.csv", "lineitem.csv", "part.csv",
+        }
+        lineitem = load_relation_csv(tmp_path / "lineitem.csv")
+        assert len(lineitem) == tables["lineitem"].size
+        assert "partkey" in lineitem.tuples[0].payload

@@ -1,0 +1,102 @@
+"""Tests for (e, z, c) score-vector generation (Section 6.1, Figure 9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.scores import (
+    generate_score_vectors,
+    ideal_point_present,
+    score_levels,
+)
+
+
+class TestScoreLevels:
+    def test_levels_span_unit_interval(self):
+        levels = score_levels(4)
+        np.testing.assert_allclose(levels, [0.25, 0.5, 0.75, 1.0])
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            score_levels(0)
+
+
+class TestGeneration:
+    def test_shape(self):
+        rng = np.random.default_rng(0)
+        vectors = generate_score_vectors(rng, 100, 3)
+        assert vectors.shape == (100, 3)
+
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        vectors = generate_score_vectors(rng, 500, 2, skew=0.0, cut=1.0)
+        assert vectors.min() > 0.0
+        assert vectors.max() <= 1.0
+
+    def test_cut_constraint_enforced(self):
+        rng = np.random.default_rng(1)
+        for cut in (0.25, 0.5, 0.75):
+            vectors = generate_score_vectors(rng, 2000, 2, skew=0.0, cut=cut)
+            dominating = (vectors > cut).all(axis=1)
+            assert not dominating.any()
+
+    def test_cut_one_allows_high_vectors(self):
+        rng = np.random.default_rng(2)
+        vectors = generate_score_vectors(
+            rng, 5000, 1, skew=0.0, cut=1.0, num_values=10
+        )
+        assert (vectors == 1.0).any()
+
+    def test_partial_high_coordinates_allowed(self):
+        """Figure 9: single coordinates may reach 1, just not all at once."""
+        rng = np.random.default_rng(3)
+        vectors = generate_score_vectors(
+            rng, 5000, 2, skew=0.0, cut=0.5, num_values=10
+        )
+        assert (vectors == 1.0).any()
+        assert not ((vectors > 0.5).all(axis=1)).any()
+
+    def test_skew_lowers_scores(self):
+        rng = np.random.default_rng(4)
+        uniform = generate_score_vectors(rng, 5000, 1, skew=0.0, cut=1.0)
+        skewed = generate_score_vectors(rng, 5000, 1, skew=1.0, cut=1.0)
+        assert skewed.mean() < uniform.mean()
+
+    def test_zero_rows(self):
+        rng = np.random.default_rng(0)
+        assert generate_score_vectors(rng, 0, 2).shape == (0, 2)
+
+    def test_invalid_args(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            generate_score_vectors(rng, 10, 0)
+        with pytest.raises(ValueError):
+            generate_score_vectors(rng, 10, 2, cut=0.0)
+        with pytest.raises(ValueError):
+            generate_score_vectors(rng, -1, 2)
+
+    def test_deterministic_for_seed(self):
+        a = generate_score_vectors(np.random.default_rng(9), 50, 2)
+        b = generate_score_vectors(np.random.default_rng(9), 50, 2)
+        np.testing.assert_array_equal(a, b)
+
+    @given(
+        e=st.integers(1, 4),
+        cut=st.sampled_from([0.25, 0.5, 0.75, 1.0]),
+        skew=st.sampled_from([0.0, 0.5, 1.0]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_constraint_property(self, e, cut, skew):
+        rng = np.random.default_rng(0)
+        vectors = generate_score_vectors(rng, 200, e, skew=skew, cut=cut)
+        assert vectors.shape == (200, e)
+        assert not ((vectors > cut).all(axis=1)).any()
+
+
+class TestIdealPoint:
+    def test_detects_presence(self):
+        assert ideal_point_present(np.array([[0.5, 0.5], [1.0, 1.0]]))
+
+    def test_detects_absence(self):
+        assert not ideal_point_present(np.array([[0.5, 1.0], [1.0, 0.5]]))

@@ -1,0 +1,92 @@
+"""Tests for the synthetic skewed TPC-H generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.tpch import Table, TPCHConfig, generate_tpch
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return generate_tpch(TPCHConfig(scale=0.001, num_scores=2), seed=0)
+
+
+class TestConfig:
+    def test_cardinalities_scale(self):
+        small = TPCHConfig(scale=0.001).cardinalities()
+        large = TPCHConfig(scale=0.01).cardinalities()
+        for table in small:
+            assert large[table] > small[table]
+
+    def test_tpch_ratios(self):
+        sizes = TPCHConfig(scale=0.01).cardinalities()
+        assert sizes["orders"] == 10 * sizes["customer"]
+        assert sizes["lineitem"] == 4 * sizes["orders"]
+
+    def test_minimum_sizes(self):
+        sizes = TPCHConfig(scale=1e-9).cardinalities()
+        assert all(n >= 2 for n in sizes.values())
+
+
+class TestGeneration:
+    def test_all_tables_present(self, tables):
+        assert set(tables) == {"customer", "orders", "lineitem", "part"}
+
+    def test_sizes_match_config(self, tables):
+        sizes = TPCHConfig(scale=0.001).cardinalities()
+        for name, table in tables.items():
+            assert table.size == sizes[name]
+
+    def test_scores_shape(self, tables):
+        for table in tables.values():
+            assert table.scores.shape == (table.size, 2)
+
+    def test_foreign_keys_in_range(self, tables):
+        orders = tables["orders"]
+        customers = tables["customer"].size
+        assert orders.columns["custkey"].min() >= 0
+        assert orders.columns["custkey"].max() < customers
+        lineitem = tables["lineitem"]
+        assert lineitem.columns["orderkey"].max() < tables["orders"].size
+        assert lineitem.columns["partkey"].max() < tables["part"].size
+
+    def test_join_skew_present(self):
+        skewed = generate_tpch(
+            TPCHConfig(scale=0.001, join_skew=1.2), seed=0
+        )["lineitem"]
+        counts = np.bincount(skewed.columns["orderkey"])
+        # With strong skew the most popular order gets far more lineitems
+        # than the average of ~4.
+        assert counts.max() > 12
+
+    def test_deterministic(self):
+        a = generate_tpch(TPCHConfig(scale=0.001), seed=5)
+        b = generate_tpch(TPCHConfig(scale=0.001), seed=5)
+        np.testing.assert_array_equal(
+            a["lineitem"].columns["orderkey"], b["lineitem"].columns["orderkey"]
+        )
+        np.testing.assert_array_equal(a["orders"].scores, b["orders"].scores)
+
+    def test_seeds_differ(self):
+        a = generate_tpch(TPCHConfig(scale=0.001), seed=1)
+        b = generate_tpch(TPCHConfig(scale=0.001), seed=2)
+        assert not np.array_equal(a["orders"].scores, b["orders"].scores)
+
+
+class TestToRelation:
+    def test_relation_keyed_correctly(self, tables):
+        relation = tables["orders"].to_relation("orderkey")
+        assert len(relation) == tables["orders"].size
+        assert relation.dimension == 2
+        first = relation.tuples[0]
+        assert first.key == first.payload["orderkey"]
+
+    def test_payload_carries_other_keys(self, tables):
+        relation = tables["orders"].to_relation("orderkey")
+        assert "custkey" in relation.tuples[0].payload
+
+    def test_rekey_on_custkey(self, tables):
+        relation = tables["orders"].to_relation("custkey")
+        first = relation.tuples[0]
+        assert first.key == first.payload["custkey"]
+        assert "orderkey" in first.payload

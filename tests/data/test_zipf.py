@@ -1,0 +1,71 @@
+"""Tests for the bounded Zipf sampler."""
+
+import numpy as np
+import pytest
+
+from repro.data.zipf import sample_zipf_ranks, zipf_probabilities, zipf_weights
+
+
+class TestWeights:
+    def test_uniform_at_zero_skew(self):
+        weights = zipf_weights(5, 0.0)
+        np.testing.assert_allclose(weights, np.ones(5))
+
+    def test_decreasing_with_rank(self):
+        weights = zipf_weights(10, 1.0)
+        assert all(weights[i] > weights[i + 1] for i in range(9))
+
+    def test_probabilities_normalized(self):
+        probs = zipf_probabilities(100, 0.7)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 0.5)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -0.1)
+
+
+class TestSampling:
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        ranks = sample_zipf_ranks(rng, 1000, 50, 1.0)
+        assert ranks.min() >= 0
+        assert ranks.max() < 50
+
+    def test_zero_size(self):
+        rng = np.random.default_rng(0)
+        assert len(sample_zipf_ranks(rng, 0, 50, 1.0)) == 0
+
+    def test_negative_size_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_zipf_ranks(rng, -1, 50, 1.0)
+
+    def test_uniform_when_unskewed(self):
+        rng = np.random.default_rng(1)
+        ranks = sample_zipf_ranks(rng, 20_000, 10, 0.0)
+        counts = np.bincount(ranks, minlength=10)
+        # Each bucket should get roughly 2000 hits.
+        assert counts.min() > 1700
+        assert counts.max() < 2300
+
+    def test_skew_concentrates_low_ranks(self):
+        rng = np.random.default_rng(2)
+        ranks = sample_zipf_ranks(rng, 20_000, 100, 1.0)
+        low = (ranks < 10).mean()
+        high = (ranks >= 90).mean()
+        assert low > 3 * high
+
+    def test_empirical_matches_theoretical(self):
+        rng = np.random.default_rng(3)
+        n_ranks, skew = 20, 0.8
+        ranks = sample_zipf_ranks(rng, 50_000, n_ranks, skew)
+        empirical = np.bincount(ranks, minlength=n_ranks) / 50_000
+        theoretical = zipf_probabilities(n_ranks, skew)
+        np.testing.assert_allclose(empirical, theoretical, atol=0.01)
+
+    def test_deterministic_for_seed(self):
+        a = sample_zipf_ranks(np.random.default_rng(7), 100, 50, 0.5)
+        b = sample_zipf_ranks(np.random.default_rng(7), 100, 50, 0.5)
+        np.testing.assert_array_equal(a, b)

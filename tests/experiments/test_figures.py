@@ -1,0 +1,101 @@
+"""Smoke tests for figure experiments at miniature scale.
+
+These verify every figure function runs end-to-end, produces the expected
+columns and rows, and flags capped runs correctly.  The real shape
+assertions live in benchmarks/ at realistic scale.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.figures import (
+    FigureConfig,
+    ablation_cover,
+    ablation_pulling,
+    figure_02,
+    figure_10,
+    figure_11,
+    figure_12,
+    figure_13,
+    figure_14,
+    figure_15,
+    run_pipeline_query,
+    skew_sweep,
+)
+from repro.data.workload import WorkloadParams
+
+TINY = FigureConfig(scale=0.0003, num_seeds=1)
+
+
+class TestFigureSmoke:
+    def test_figure_02(self):
+        table = figure_02(TINY)
+        assert table.column("operator") == ["HRJN*", "PBRJ_FR^RR"]
+        assert all(d > 0 for d in table.column("sumDepths"))
+
+    def test_figure_10(self):
+        table = figure_10(TINY, max_cr_sizes=(4, 64))
+        assert len(table.rows) == 3  # two thresholds + FRPA reference
+        assert table.rows[-1][0] == "FRPA"
+
+    def test_figure_11(self):
+        table = figure_11(TINY, resolutions=(8, 32))
+        assert table.column("L0") == [8, 32]
+
+    def test_figure_12(self):
+        table = figure_12(TINY, cuts=(0.5, 1.0))
+        assert table.column("c") == [0.5, 1.0]
+        assert "HRJN*:sumDepths" in table.headers
+
+    def test_figure_13_caps_e4(self):
+        config = FigureConfig(scale=0.0003, num_seeds=1, exact_budget_s=0.0)
+        table = figure_13(config, es=(1, 4))
+        by_e = {row[0]: row for row in table.rows}
+        index = table.headers.index("PBRJ_FR^RR:sumDepths")
+        assert math.isnan(by_e[4][index])  # capped with a zero budget
+        assert math.isnan(by_e[1][index])  # zero budget caps everything
+
+    def test_figure_14(self):
+        table = figure_14(TINY, ks=(1, 5))
+        assert table.column("K") == [1, 5]
+
+    def test_figure_15(self):
+        table = figure_15(TINY, queries=("L⋈O",))
+        assert table.column("query") == ["L⋈O"]
+        assert table.rows[0][table.headers.index("a-FRPA:sumDepths")] > 0
+
+    def test_skew_sweep(self):
+        table = skew_sweep(TINY, zs=(0.0,))
+        assert table.column("z") == [0.0]
+
+    def test_ablation_cover(self):
+        table = ablation_cover(TINY, max_cr_size=16)
+        assert table.column("strategy") == ["adaptive", "frozen", "fixed-grid"]
+
+    def test_ablation_pulling(self):
+        table = ablation_pulling(TINY)
+        names = set(table.column("operator"))
+        assert names == {"FRPA", "FRPA_RR"}
+
+
+class TestPipelineQueryRunner:
+    def test_three_way_runs(self):
+        params = WorkloadParams(e=1, c=0.5, z=0.5, k=2, scale=0.0003, seed=0)
+        pipeline = run_pipeline_query("L⋈O⋈C", "a-FRPA", params)
+        assert pipeline.sum_depths > 0
+        assert len(pipeline.base_depths()) == 3
+
+    def test_unknown_query_rejected(self):
+        params = WorkloadParams(scale=0.0003)
+        with pytest.raises(KeyError):
+            run_pipeline_query("nope", "a-FRPA", params)
+
+
+class TestModelTime:
+    def test_model_time_uses_latency(self):
+        fast = figure_02(FigureConfig(scale=0.0003, num_seeds=1, io_latency=0.0))
+        slow = figure_02(FigureConfig(scale=0.0003, num_seeds=1, io_latency=1.0))
+        fast_mt = fast.rows[0][fast.headers.index("model_time")]
+        slow_mt = slow.rows[0][slow.headers.index("model_time")]
+        assert slow_mt > fast_mt

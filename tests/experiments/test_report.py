@@ -1,0 +1,110 @@
+"""Tests for experiment tables and rendering."""
+
+import math
+
+import pytest
+
+from repro.experiments.report import ExperimentTable
+
+
+@pytest.fixture
+def table():
+    t = ExperimentTable(
+        title="Demo",
+        headers=["op", "depth", "time"],
+    )
+    t.add_row("HRJN*", 100, 1.5)
+    t.add_row("FRPA", 40, 0.25)
+    return t
+
+
+class TestExperimentTable:
+    def test_column_extraction(self, table):
+        assert table.column("op") == ["HRJN*", "FRPA"]
+        assert table.column("depth") == [100, 40]
+
+    def test_column_unknown_header(self, table):
+        with pytest.raises(ValueError):
+            table.column("nope")
+
+    def test_render_contains_all_cells(self, table):
+        rendered = table.render()
+        for token in ("Demo", "HRJN*", "FRPA", "100", "40"):
+            assert token in rendered
+
+    def test_render_alignment(self, table):
+        lines = table.render().splitlines()
+        header_line = lines[2]
+        separator = lines[3]
+        assert len(header_line) == len(separator)
+
+    def test_nan_rendered_as_dash(self):
+        t = ExperimentTable(title="t", headers=["x"])
+        t.add_row(float("nan"))
+        assert "—" in t.render()
+
+    def test_notes_appended(self, table):
+        table.notes.append("hello note")
+        assert "note: hello note" in table.render()
+
+    def test_str_equals_render(self, table):
+        assert str(table) == table.render()
+
+    def test_float_formatting(self):
+        t = ExperimentTable(title="t", headers=["small", "large"])
+        t.add_row(0.123456, 12345.678)
+        rendered = t.render()
+        assert "0.1235" in rendered
+        assert "12345.7" in rendered
+
+    def test_empty_table_renders(self):
+        t = ExperimentTable(title="empty", headers=["a"])
+        assert "empty" in t.render()
+
+
+class TestSerialization:
+    def test_to_csv(self, table):
+        csv_text = table.to_csv()
+        assert csv_text.splitlines()[0] == "op,depth,time"
+        assert "HRJN*,100,1.5" in csv_text
+
+    def test_csv_nan_blank(self):
+        t = ExperimentTable(title="t", headers=["x"])
+        t.add_row(float("nan"))
+        # csv quotes a lone empty field; the cell carries no value.
+        assert t.to_csv().splitlines()[1] in ("", '""')
+
+    def test_to_dict_nan_none(self):
+        t = ExperimentTable(title="t", headers=["x"], notes=["n"])
+        t.add_row(float("nan"))
+        payload = t.to_dict()
+        assert payload["rows"] == [[None]]
+        assert payload["notes"] == ["n"]
+
+    def test_save_by_extension(self, table, tmp_path):
+        table.save(tmp_path / "t.txt")
+        table.save(tmp_path / "t.csv")
+        table.save(tmp_path / "t.json")
+        assert (tmp_path / "t.txt").read_text().startswith("Demo")
+        assert (tmp_path / "t.csv").read_text().startswith("op,")
+        assert '"title": "Demo"' in (tmp_path / "t.json").read_text()
+
+
+class TestChart:
+    def test_bars_scale_to_peak(self, table):
+        chart = table.chart("op", "depth", width=10)
+        lines = chart.splitlines()
+        assert "█" * 10 in lines[1]  # HRJN* = peak
+        assert lines[2].count("█") == 4  # 40/100 of width
+
+    def test_nan_bar_omitted(self):
+        t = ExperimentTable(title="t", headers=["op", "d"])
+        t.add_row("a", 5)
+        t.add_row("b", float("nan"))
+        chart = t.chart("op", "d")
+        assert "—" in chart
+
+    def test_all_nan_column(self):
+        t = ExperimentTable(title="t", headers=["op", "d"])
+        t.add_row("a", float("nan"))
+        assert "no finite values" in t.chart("op", "d")

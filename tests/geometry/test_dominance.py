@@ -1,0 +1,79 @@
+"""Unit tests for dominance relations."""
+
+import pytest
+
+from repro.geometry.dominance import (
+    as_point,
+    dominates,
+    ones,
+    strictly_dominates,
+    strongly_dominates,
+    substitute,
+)
+
+
+class TestDominates:
+    def test_equal_points_dominate_weakly(self):
+        assert dominates((0.5, 0.5), (0.5, 0.5))
+
+    def test_componentwise_greater(self):
+        assert dominates((0.6, 0.7), (0.5, 0.5))
+
+    def test_incomparable(self):
+        assert not dominates((0.6, 0.4), (0.5, 0.5))
+        assert not dominates((0.5, 0.5), (0.6, 0.4))
+
+    def test_lower_does_not_dominate(self):
+        assert not dominates((0.1, 0.1), (0.5, 0.5))
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            dominates((0.5,), (0.5, 0.5))
+
+    def test_zero_dimensional_points(self):
+        assert dominates((), ())
+
+
+class TestStrictDominance:
+    def test_equal_points_not_strict(self):
+        assert not strictly_dominates((0.5, 0.5), (0.5, 0.5))
+
+    def test_one_coordinate_greater_is_strict(self):
+        assert strictly_dominates((0.6, 0.5), (0.5, 0.5))
+
+    def test_all_greater_is_strict(self):
+        assert strictly_dominates((0.6, 0.6), (0.5, 0.5))
+
+
+class TestStrongDominance:
+    def test_requires_all_coordinates_strictly_greater(self):
+        assert strongly_dominates((0.6, 0.6), (0.5, 0.5))
+        assert not strongly_dominates((0.6, 0.5), (0.5, 0.5))
+
+    def test_strong_implies_strict_implies_weak(self):
+        y, x = (0.8, 0.9), (0.7, 0.7)
+        assert strongly_dominates(y, x)
+        assert strictly_dominates(y, x)
+        assert dominates(y, x)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            strongly_dominates((0.5,), (0.5, 0.5))
+
+
+class TestHelpers:
+    def test_substitute_replaces_single_coordinate(self):
+        assert substitute((0.1, 0.2, 0.3), 1, 0.9) == (0.1, 0.9, 0.3)
+
+    def test_substitute_out_of_range(self):
+        with pytest.raises(IndexError):
+            substitute((0.1,), 1, 0.9)
+        with pytest.raises(IndexError):
+            substitute((0.1,), -1, 0.9)
+
+    def test_as_point_normalizes(self):
+        assert as_point([1, 0]) == (1.0, 0.0)
+
+    def test_ones(self):
+        assert ones(3) == (1.0, 1.0, 1.0)
+        assert ones(0) == ()

@@ -1,0 +1,119 @@
+"""Integration: every operator returns the exact top-K on random instances."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.naive import naive_top_k, top_scores
+from repro.core.operators import OPERATORS, make_operator
+from repro.core.scoring import MinScore, SumScore, WeightedSum
+from repro.data.workload import random_instance
+from repro.relation.relation import RankJoinInstance, Relation
+from repro.core.tuples import RankTuple
+
+ALL = sorted(OPERATORS)
+
+
+def oracle(instance, k):
+    return top_scores(
+        naive_top_k(instance.left.tuples, instance.right.tuples, instance.scoring, k)
+    )
+
+
+@pytest.mark.parametrize("operator", ALL)
+class TestAgainstOracle:
+    def test_small_dense_instance(self, operator):
+        instance = random_instance(
+            n_left=300, n_right=300, e_left=2, e_right=2,
+            num_keys=30, k=10, cut=1.0, seed=1,
+        )
+        op = make_operator(operator, instance)
+        assert top_scores(op.top_k(10)) == pytest.approx(oracle(instance, 10))
+
+    def test_with_score_cut(self, operator):
+        instance = random_instance(
+            n_left=400, n_right=400, e_left=2, e_right=2,
+            num_keys=40, k=15, cut=0.4, seed=2,
+        )
+        op = make_operator(operator, instance)
+        assert top_scores(op.top_k(15)) == pytest.approx(oracle(instance, 15))
+
+    def test_asymmetric_dimensions(self, operator):
+        instance = random_instance(
+            n_left=200, n_right=200, e_left=3, e_right=1,
+            num_keys=20, k=8, cut=0.7, seed=3,
+        )
+        op = make_operator(operator, instance)
+        assert top_scores(op.top_k(8)) == pytest.approx(oracle(instance, 8))
+
+    def test_sparse_join(self, operator):
+        instance = random_instance(
+            n_left=300, n_right=300, e_left=2, e_right=2,
+            num_keys=500, k=5, cut=1.0, seed=4,
+        )
+        op = make_operator(operator, instance)
+        assert top_scores(op.top_k(5)) == pytest.approx(oracle(instance, 5))
+
+    def test_k_exceeding_join_size(self, operator):
+        instance = random_instance(
+            n_left=30, n_right=30, e_left=1, e_right=1,
+            num_keys=100, k=5, cut=1.0, seed=5,
+        )
+        op = make_operator(operator, instance)
+        results = op.top_k(10_000)
+        assert top_scores(results) == pytest.approx(
+            oracle(instance, len(results))
+        )
+        assert len(results) == instance.join_size()
+
+    def test_min_scoring_function(self, operator):
+        instance = random_instance(
+            n_left=150, n_right=150, e_left=2, e_right=2,
+            num_keys=15, k=10, cut=1.0, seed=6, scoring=MinScore(),
+        )
+        op = make_operator(operator, instance)
+        assert top_scores(op.top_k(10)) == pytest.approx(oracle(instance, 10))
+
+    def test_weighted_scoring_function(self, operator):
+        instance = random_instance(
+            n_left=150, n_right=150, e_left=2, e_right=2,
+            num_keys=15, k=10, cut=1.0, seed=7,
+            scoring=WeightedSum([0.4, 0.1, 0.3, 0.2]),
+        )
+        op = make_operator(operator, instance)
+        assert top_scores(op.top_k(10)) == pytest.approx(oracle(instance, 10))
+
+
+@pytest.mark.parametrize("operator", ["HRJN*", "FRPA", "a-FRPA"])
+class TestHypothesisInstances:
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_random_tiny_instances(self, operator, data):
+        n_left = data.draw(st.integers(1, 30), label="n_left")
+        n_right = data.draw(st.integers(1, 30), label="n_right")
+        keys_left = data.draw(
+            st.lists(st.integers(0, 5), min_size=n_left, max_size=n_left)
+        )
+        keys_right = data.draw(
+            st.lists(st.integers(0, 5), min_size=n_right, max_size=n_right)
+        )
+        unit = st.floats(0, 1, allow_nan=False)
+        scores_left = data.draw(
+            st.lists(st.tuples(unit, unit), min_size=n_left, max_size=n_left)
+        )
+        scores_right = data.draw(
+            st.lists(st.tuples(unit,), min_size=n_right, max_size=n_right)
+        )
+        left = Relation(
+            "L", [RankTuple(key=k, scores=s) for k, s in zip(keys_left, scores_left)]
+        )
+        right = Relation(
+            "R", [RankTuple(key=k, scores=s) for k, s in zip(keys_right, scores_right)]
+        )
+        instance = RankJoinInstance(left, right, SumScore(), k=1)
+        op = make_operator(operator, instance)
+        results = op.top_k(5)
+        expected = top_scores(
+            naive_top_k(left.tuples, right.tuples, SumScore(), 5)
+        )
+        assert top_scores(results) == pytest.approx(expected)

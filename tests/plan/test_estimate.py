@@ -1,0 +1,184 @@
+"""Tests for depth estimation and pipeline order ranking."""
+
+import numpy as np
+import pytest
+
+from repro.core.naive import naive_top_k
+from repro.core.operators import hrjn_star
+from repro.core.scoring import SumScore
+from repro.core.tuples import RankTuple
+from repro.data.workload import random_instance
+from repro.plan.estimate import (
+    DepthEstimate,
+    chain_cardinality,
+    estimate_binary_depths,
+    estimate_chain_depths,
+    estimate_terminal_score,
+    feasible_chain_orders,
+    join_cardinality,
+    rank_pipeline_orders,
+)
+from repro.relation.relation import Relation
+
+
+def relation(name, rows, key_attr="k"):
+    return Relation(
+        name,
+        [
+            RankTuple(key=p[key_attr], scores=s, payload=dict(p))
+            for p, s in rows
+        ],
+    )
+
+
+class TestJoinCardinality:
+    def test_exact_binary(self):
+        instance = random_instance(
+            n_left=200, n_right=200, e_left=1, e_right=1,
+            num_keys=20, k=1, seed=0,
+        )
+        assert join_cardinality(instance.left, instance.right) == (
+            instance.join_size()
+        )
+
+    def test_chain_exact_for_two(self):
+        a = relation("A", [({"k": 1}, (0.5,)), ({"k": 1}, (0.4,))])
+        b = relation("B", [({"k": 1}, (0.9,))])
+        assert chain_cardinality([a, b], ["k"]) == 2
+
+    def test_chain_independence_for_three(self):
+        a = relation("A", [({"p": 0}, (0.5,))] * 4, key_attr="p")
+        b = relation("B", [({"p": 0, "q": 0}, (0.5,))] * 2, key_attr="p")
+        c = relation("C", [({"q": 0}, (0.5,))] * 3, key_attr="q")
+        # True size = 4*2*3 = 24; estimate = (4*2)*(2*3)/2 = 24 (exact for
+        # single-valued keys).
+        assert chain_cardinality([a, b, c], ["p", "q"]) == pytest.approx(24)
+
+    def test_arity_validation(self):
+        a = relation("A", [({"k": 1}, (0.5,))])
+        with pytest.raises(ValueError):
+            chain_cardinality([a], [])
+        with pytest.raises(ValueError):
+            chain_cardinality([a, a], ["k", "k"])
+
+
+class TestTerminalScore:
+    def test_close_to_truth_on_random_instance(self):
+        instance = random_instance(
+            n_left=800, n_right=800, e_left=1, e_right=1,
+            num_keys=40, k=10, cut=1.0, seed=3,
+        )
+        true_term = naive_top_k(
+            instance.left.tuples, instance.right.tuples, SumScore(), 10
+        )[-1].score
+        estimated = estimate_terminal_score(
+            [instance.left, instance.right],
+            instance.join_size(),
+            10,
+            samples=8000,
+            seed=0,
+        )
+        assert estimated == pytest.approx(true_term, abs=0.15)
+
+    def test_rejects_infeasible_k(self):
+        a = relation("A", [({"k": 1}, (0.5,))])
+        with pytest.raises(ValueError):
+            estimate_terminal_score([a], 1, 5)
+
+    def test_rejects_empty_relation(self):
+        a = relation("A", [({"k": 1}, (0.5,))])
+        b = Relation("B", [])
+        with pytest.raises(ValueError):
+            estimate_terminal_score([a, b], 10, 1)
+
+
+class TestBinaryDepths:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_within_factor_of_actual_hrjn_star(self, seed):
+        instance = random_instance(
+            n_left=600, n_right=600, e_left=1, e_right=1,
+            num_keys=30, k=10, cut=1.0, seed=seed,
+        )
+        estimate = estimate_binary_depths(instance, seed=0)
+        operator = hrjn_star(instance)
+        operator.top_k(10)
+        actual = operator.depths().sum_depths
+        # Corner-model estimates track HRJN* within a small factor.
+        assert estimate.sum_depths <= 5 * actual
+        assert actual <= 5 * estimate.sum_depths + 50
+
+    def test_depths_bounded_by_relation_sizes(self):
+        instance = random_instance(
+            n_left=100, n_right=50, e_left=2, e_right=2,
+            num_keys=5, k=5, seed=1,
+        )
+        estimate = estimate_binary_depths(instance)
+        assert estimate.depths[0] <= 100
+        assert estimate.depths[1] <= 50
+
+
+class TestChainDepths:
+    def _chain(self):
+        rng = np.random.default_rng(0)
+        def mk(name, n, left, right):
+            rows = []
+            for __ in range(n):
+                payload = {}
+                if left:
+                    payload[left] = int(rng.integers(0, 10))
+                if right:
+                    payload[right] = int(rng.integers(0, 10))
+                rows.append((payload, (float(rng.random()),)))
+            return relation(name, rows, left or right)
+        return [mk("A", 200, None, "p"), mk("B", 150, "p", "q"),
+                mk("C", 100, "q", None)], ["p", "q"]
+
+    def test_estimates_all_relations(self):
+        relations, attrs = self._chain()
+        estimate = estimate_chain_depths(relations, attrs, k=10)
+        assert len(estimate.depths) == 3
+        assert all(d >= 1 for d in estimate.depths)
+        assert estimate.join_size > 10
+
+    def test_infeasible_k_reads_everything(self):
+        a = relation("A", [({"p": 0}, (0.5,))], key_attr="p")
+        b = relation("B", [({"p": 1}, (0.5,))], key_attr="p")  # join is empty
+        estimate = estimate_chain_depths([a, b], ["p"], k=1)
+        assert estimate.depths == (1, 1)
+        assert estimate.terminal_score == float("-inf")
+
+    def test_deeper_k_means_deeper_estimate(self):
+        relations, attrs = self._chain()
+        shallow = estimate_chain_depths(relations, attrs, k=1)
+        deep = estimate_chain_depths(relations, attrs, k=100)
+        assert deep.sum_depths >= shallow.sum_depths
+
+
+class TestChainOrders:
+    def test_counts(self):
+        assert len(feasible_chain_orders(1)) == 1
+        assert len(feasible_chain_orders(2)) == 2
+        assert len(feasible_chain_orders(3)) == 4
+        assert len(feasible_chain_orders(4)) == 8
+
+    def test_orders_are_contiguous(self):
+        for order in feasible_chain_orders(4):
+            seen = {order[0]}
+            for rel_index in order[1:]:
+                assert rel_index - 1 in seen or rel_index + 1 in seen
+                seen.add(rel_index)
+
+    def test_rank_pipeline_orders_prefers_shallow_lead(self):
+        # Relation B is tiny and fully high-scoring: plans leading with the
+        # deep relations should rank worse.
+        a = relation("A", [({"p": i % 3}, (i / 100,)) for i in range(100)],
+                     key_attr="p")
+        b = relation("B", [({"p": 0, "q": 0}, (0.9,))], key_attr="p")
+        c = relation("C", [({"q": 0}, (i / 100,)) for i in range(100)],
+                     key_attr="q")
+        ranked = rank_pipeline_orders([a, b, c], ["p", "q"], k=1)
+        assert len(ranked) == 4
+        best_order, estimate = ranked[0]
+        assert isinstance(estimate, DepthEstimate)
+        # The tiny relation should not be last in the best order.
+        assert best_order[-1] != 1

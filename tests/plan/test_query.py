@@ -1,0 +1,113 @@
+"""Tests for the declarative ranking-query layer."""
+
+import pytest
+
+from repro.core.tuples import RankTuple
+from repro.errors import InstanceError
+from repro.plan.query import QueryInput, RankQuery
+from repro.relation.relation import Relation
+
+
+def relation(name, rows, key_attr="k"):
+    return Relation(
+        name,
+        [
+            RankTuple(key=payload[key_attr], scores=scores, payload=dict(payload))
+            for payload, scores in rows
+        ],
+    )
+
+
+@pytest.fixture
+def two_relations():
+    left = relation(
+        "L",
+        [({"k": 1}, (0.9, 0.4)), ({"k": 2}, (0.5, 0.5)), ({"k": 1}, (0.2, 0.9))],
+    )
+    right = relation("R", [({"k": 1}, (0.8,)), ({"k": 2}, (0.6,))])
+    return left, right
+
+
+class TestQueryInput:
+    def test_no_weights_identity(self, two_relations):
+        left, __ = two_relations
+        assert QueryInput(left).scaled() is left
+
+    def test_weights_scale_scores(self, two_relations):
+        left, __ = two_relations
+        scaled = QueryInput(left, weights=(0.5, 1.0)).scaled()
+        assert scaled.tuples[0].scores == (0.45, 0.4)
+
+    def test_weight_arity_checked(self, two_relations):
+        left, __ = two_relations
+        with pytest.raises(InstanceError):
+            QueryInput(left, weights=(0.5,)).scaled()
+
+    def test_weights_must_be_unit_range(self, two_relations):
+        left, __ = two_relations
+        with pytest.raises(InstanceError):
+            QueryInput(left, weights=(1.5, 0.5)).scaled()
+        with pytest.raises(InstanceError):
+            QueryInput(left, weights=(-0.1, 0.5)).scaled()
+
+    def test_payload_preserved(self, two_relations):
+        left, __ = two_relations
+        scaled = QueryInput(left, weights=(1.0, 1.0)).scaled()
+        assert scaled.tuples[0].payload == {"k": 1}
+
+
+class TestRankQuery:
+    def test_execute_returns_topk(self, two_relations):
+        left, right = two_relations
+        query = RankQuery(
+            inputs=[QueryInput(left), QueryInput(right)], k=2
+        )
+        results = query.execute()
+        assert len(results) == 2
+        assert results[0].score >= results[1].score
+        assert results[0].score == pytest.approx(0.9 + 0.4 + 0.8)
+
+    def test_weighted_execution(self, two_relations):
+        left, right = two_relations
+        query = RankQuery(
+            inputs=[QueryInput(left, weights=(0.0, 1.0)), QueryInput(right)],
+            k=1,
+        )
+        top = query.execute()[0]
+        # With the first attribute zeroed, (0.2, 0.9) wins on the left.
+        assert top.score == pytest.approx(0.9 + 0.8)
+
+    def test_single_relation_rejected(self, two_relations):
+        left, __ = two_relations
+        with pytest.raises(InstanceError):
+            RankQuery(inputs=[QueryInput(left)], k=1).compile()
+
+    def test_explain_mentions_stages(self, two_relations):
+        left, right = two_relations
+        query = RankQuery(
+            inputs=[QueryInput(left), QueryInput(right)], k=3, operator="FRPA"
+        )
+        text = query.explain()
+        assert "FRPA" in text
+        assert "L ⋈ R" in text
+
+    def test_operator_choice_respected(self, two_relations):
+        left, right = two_relations
+        query = RankQuery(
+            inputs=[QueryInput(left), QueryInput(right)], k=1, operator="HRJN*"
+        )
+        plan = query.compile()
+        assert plan.operator_name == "HRJN*"
+
+    def test_three_way_query(self):
+        a = relation("A", [({"k": 1, "j": 7}, (0.9,)), ({"k": 2, "j": 8}, (0.4,))])
+        b = relation("B", [({"k": 1, "j": 7}, (0.8,)), ({"k": 2, "j": 8}, (0.7,))])
+        c = relation("C", [({"j": 7}, (0.6,)), ({"j": 8}, (0.9,))], key_attr="j")
+        query = RankQuery(
+            inputs=[QueryInput(a), QueryInput(b), QueryInput(c)],
+            rekey_attrs=["j"],
+            k=2,
+        )
+        results = query.execute()
+        assert results[0].score == pytest.approx(0.9 + 0.8 + 0.6)
+        assert results[1].score == pytest.approx(0.4 + 0.7 + 0.9)

@@ -1,0 +1,107 @@
+"""Tests for relations and problem instances."""
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import SumScore, WeightedSum
+from repro.core.tuples import RankTuple
+from repro.errors import InstanceError, NotSortedError
+from repro.relation.relation import RankJoinInstance, Relation
+from repro.relation.sources import VerifyingSource
+
+
+def simple_relation(name, rows):
+    return Relation(name, [RankTuple(key=k, scores=s) for k, s in rows])
+
+
+class TestRelation:
+    def test_dimension_inferred(self):
+        rel = simple_relation("R", [(1, (0.5, 0.5))])
+        assert rel.dimension == 2
+
+    def test_empty_relation(self):
+        rel = Relation("R", [])
+        assert len(rel) == 0
+        assert rel.dimension == 0
+
+    def test_mixed_dimensions_rejected(self):
+        with pytest.raises(InstanceError):
+            simple_relation("R", [(1, (0.5,)), (2, (0.5, 0.5))])
+
+    def test_from_arrays(self):
+        rel = Relation.from_arrays(
+            "R", [1, 2], np.array([[0.1, 0.2], [0.3, 0.4]]), payloads=["a", "b"]
+        )
+        assert rel.tuples[0].payload == "a"
+        assert rel.tuples[1].scores == (0.3, 0.4)
+
+    def test_from_arrays_validates_shapes(self):
+        with pytest.raises(InstanceError):
+            Relation.from_arrays("R", [1], np.array([0.1, 0.2]))
+        with pytest.raises(InstanceError):
+            Relation.from_arrays("R", [1], np.array([[0.1], [0.2]]))
+        with pytest.raises(InstanceError):
+            Relation.from_arrays("R", [1], np.array([[0.1]]), payloads=[1, 2])
+
+
+class TestRankJoinInstance:
+    def make(self, k=1, scoring=None, **kwargs):
+        left = simple_relation("L", [(1, (0.1, 0.9)), (2, (0.9, 0.9)), (1, (0.5, 0.1))])
+        right = simple_relation("R", [(1, (0.2,)), (2, (0.8,))])
+        return RankJoinInstance(left, right, scoring or SumScore(), k, **kwargs)
+
+    def test_dims(self):
+        instance = self.make()
+        assert instance.dims == (2, 1)
+
+    def test_sorted_access_order(self):
+        instance = self.make()
+        for side in (0, 1):
+            bounds = [
+                instance.score_bound(side, t.scores)
+                for t in instance.sorted_tuples(side)
+            ]
+            assert bounds == sorted(bounds, reverse=True)
+
+    def test_scans_are_fresh(self):
+        instance = self.make()
+        scan1, __ = instance.scans()
+        scan1.next()
+        scan2, __ = instance.scans()
+        assert scan2.depth == 0
+        assert scan1.depth == 1
+
+    def test_scans_pass_order_verification(self):
+        instance = self.make()
+        left, right = instance.scans()
+        verified = VerifyingSource(
+            left, score_bound=lambda t: instance.score_bound(0, t.scores)
+        )
+        while verified.next() is not None:
+            pass  # NotSortedError would propagate
+
+    def test_join_size(self):
+        instance = self.make()
+        assert instance.join_size() == 3  # two key-1 lefts x one + key-2 pair
+
+    def test_validate_rejects_large_k(self):
+        with pytest.raises(InstanceError):
+            self.make(k=4, validate=True)
+
+    def test_validate_accepts_feasible_k(self):
+        self.make(k=3, validate=True)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(InstanceError):
+            self.make(k=0)
+
+    def test_weighted_scoring_changes_order(self):
+        scoring = WeightedSum([1.0, 0.0, 0.0])  # only first left score counts
+        instance = self.make(scoring=scoring)
+        first = instance.sorted_tuples(0)[0]
+        assert first.scores == (0.9, 0.9)
+
+    def test_score_bound_substitutes_ones(self):
+        instance = self.make()
+        assert instance.score_bound(0, (0.5, 0.5)) == pytest.approx(2.0)
+        assert instance.score_bound(1, (0.5,)) == pytest.approx(2.5)

@@ -1,0 +1,85 @@
+"""Tests for bound-evolution tracing."""
+
+import math
+
+import pytest
+
+from repro.core.operators import frpa, hrjn_star
+from repro.data.workload import random_instance
+from repro.stats.trace import BoundTrace
+
+
+@pytest.fixture
+def instance():
+    return random_instance(
+        n_left=300, n_right=300, e_left=2, e_right=2,
+        num_keys=30, k=5, cut=0.5, seed=0,
+    )
+
+
+class TestBoundTrace:
+    def test_records_every_pull(self, instance):
+        trace = BoundTrace()
+        operator = frpa(instance, trace=trace)
+        operator.top_k(5)
+        assert len(trace) == operator.pulls
+        assert trace.entries[0].pull == 1
+        assert trace.entries[-1].pull == operator.pulls
+
+    def test_bounds_non_increasing_for_frpa(self, instance):
+        trace = BoundTrace()
+        frpa(instance, trace=trace).top_k(5)
+        finite = [b for b in trace.bounds() if math.isfinite(b)]
+        assert all(a >= b - 1e-9 for a, b in zip(finite, finite[1:]))
+
+    def test_pulls_per_side_sums(self, instance):
+        trace = BoundTrace()
+        operator = hrjn_star(instance, trace=trace)
+        operator.top_k(5)
+        left, right = trace.pulls_per_side()
+        assert left == operator.depths().left
+        assert right == operator.depths().right
+
+    def test_bound_at_emission(self, instance):
+        trace = BoundTrace()
+        operator = frpa(instance, trace=trace)
+        results = operator.top_k(3)
+        bound = trace.bound_at_emission(1)
+        assert bound is not None
+        # When the first result became emittable, its score beat the bound.
+        assert results[0].score >= bound - 1e-9
+
+    def test_bound_at_emission_missing(self):
+        assert BoundTrace().bound_at_emission(1) is None
+
+    def test_sparkline_shape(self, instance):
+        trace = BoundTrace()
+        frpa(instance, trace=trace).top_k(5)
+        line = trace.sparkline(width=40)
+        assert 0 < len(line) <= 40
+        assert set(line) <= set(BoundTrace._BLOCKS)
+
+    def test_sparkline_empty(self):
+        assert BoundTrace().sparkline() == ""
+
+    def test_summary_mentions_pulls(self, instance):
+        trace = BoundTrace()
+        frpa(instance, trace=trace).top_k(2)
+        summary = trace.summary()
+        assert "pulls:" in summary
+        assert "bound:" in summary
+
+    def test_summary_empty(self):
+        assert BoundTrace().summary() == "empty trace"
+
+    def test_corner_bound_stays_above_fr_bound(self, instance):
+        """The FR bound is tighter: pointwise <= the corner bound trace."""
+        fr_trace, corner_trace = BoundTrace(), BoundTrace()
+        frpa(instance, trace=fr_trace).top_k(5)
+        hrjn_star(instance, trace=corner_trace).top_k(5)
+        # Compare over the shared prefix of pulls; pulling orders differ,
+        # so this is a sanity check on magnitudes, not a theorem.
+        shared = min(len(fr_trace), len(corner_trace))
+        fr_final = fr_trace.bounds()[shared - 1]
+        corner_final = corner_trace.bounds()[shared - 1]
+        assert fr_final <= corner_final + 1e-9

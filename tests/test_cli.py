@@ -1,0 +1,64 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestInfo:
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "FRPA" in out
+        assert "repro" in out
+
+
+class TestRun:
+    def test_run_operator(self, capsys):
+        assert main(["run", "FRPA", "--scale", "0.0003", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top scores" in out
+        assert "sumDepths" in out or "depths" in out
+
+    def test_unknown_operator(self, capsys):
+        assert main(["run", "NOPE", "--scale", "0.0003"]) == 2
+        assert "unknown operator" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_all(self, capsys):
+        assert main(["compare", "--scale", "0.0003", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        for name in ("HRJN*", "PBRJ_FR^RR", "FRPA", "a-FRPA"):
+            assert name in out
+
+
+class TestFigures:
+    def test_single_figure(self, capsys):
+        assert main(["figures", "11", "--scale", "0.0003", "--seeds", "1"]) == 0
+        assert "Figure 11" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figures", "99", "--scale", "0.0003"]) == 2
+        assert "unknown figure" in capsys.readouterr().out
+
+    def test_save_json(self, tmp_path, capsys):
+        assert main([
+            "figures", "11", "--scale", "0.0003", "--seeds", "1",
+            "--out", str(tmp_path), "--format", "json",
+        ]) == 0
+        saved = list(tmp_path.glob("*.json"))
+        assert len(saved) == 1
+        payload = json.loads(saved[0].read_text())
+        assert payload["headers"][0] == "L0"
+
+    def test_save_csv(self, tmp_path, capsys):
+        assert main([
+            "figures", "11", "--scale", "0.0003", "--seeds", "1",
+            "--out", str(tmp_path), "--format", "csv",
+        ]) == 0
+        saved = list(tmp_path.glob("*.csv"))
+        assert len(saved) == 1
+        assert saved[0].read_text().startswith("L0,")

@@ -1,0 +1,43 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    InstanceError,
+    NotSortedError,
+    PullBudgetExceeded,
+    ReproError,
+    TimeBudgetExceeded,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            NotSortedError("x"),
+            PullBudgetExceeded(10, 5),
+            TimeBudgetExceeded(1.0, 0.5),
+            InstanceError("x"),
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert isinstance(exc, ReproError)
+
+    def test_catchable_as_library_error(self):
+        with pytest.raises(ReproError):
+            raise PullBudgetExceeded(6, 5)
+
+
+class TestPayloads:
+    def test_pull_budget_carries_counts(self):
+        exc = PullBudgetExceeded(pulls=12, budget=10)
+        assert exc.pulls == 12
+        assert exc.budget == 10
+        assert "12" in str(exc) and "10" in str(exc)
+
+    def test_time_budget_carries_seconds(self):
+        exc = TimeBudgetExceeded(elapsed=3.2, budget=3.0)
+        assert exc.elapsed == pytest.approx(3.2)
+        assert exc.budget == pytest.approx(3.0)
+        assert "3.2" in str(exc)

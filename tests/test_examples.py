@@ -1,0 +1,41 @@
+"""Smoke tests: the fast example scripts run end-to-end and print sanely.
+
+The slower, experiment-scale examples (reproduce_paper, bound_evolution)
+are exercised by the benchmark suite instead.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+FAST_EXAMPLES = {
+    "quickstart.py": ["sumDepths", "naive reads all"],
+    "robustness.py": ["FRPA", "naive join would read"],
+    "middleware_aggregation.py": ["sorted accesses", "restaurant-"],
+}
+
+
+@pytest.mark.parametrize("script,markers", sorted(FAST_EXAMPLES.items()))
+def test_example_runs(script, markers):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    for marker in markers:
+        assert marker in completed.stdout
+
+
+def test_all_examples_present_and_documented():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 8
+    for path in EXAMPLES.glob("*.py"):
+        head = path.read_text().split("\n", 3)
+        assert head[1].startswith('"""'), f"{path.name} lacks a docstring"
