@@ -12,7 +12,6 @@ Reproduced shape: the separable shortcut removes the bulk of PBRJ_FR^RR's
 bound time, confirming the paper's diagnosis of where the time goes.
 """
 
-import numpy as np
 
 from repro.core.scoring import NEG_INF, SumScore, _AdditivePrepared
 from repro.data.workload import WorkloadParams, lineitem_orders_instance

@@ -5,7 +5,13 @@ Commands
 ``figures``   regenerate one or all of the paper's evaluation figures
 ``run``       run one operator on a synthetic workload and report metrics
 ``compare``   run every operator on one workload and tabulate the results
+``trace``     run one operator with full observability and print the
+              span/metric/bound-evolution summary
 ``info``      print the library inventory (operators, figures, defaults)
+
+``run``, ``compare``, ``figures`` and ``trace`` accept ``--obs-out
+events.jsonl`` to append a machine-readable JSONL event stream (spans,
+metrics, per-run records) for offline analysis.
 """
 
 from __future__ import annotations
@@ -20,6 +26,8 @@ from repro.experiments import figures as figure_module
 from repro.experiments.figures import FigureConfig
 from repro.experiments.harness import run_comparison, run_operator
 from repro.experiments.report import ExperimentTable
+from repro.obs import JsonlExporter, Observability
+from repro.stats.trace import BoundTrace
 
 FIGURES = {
     "2": figure_module.figure_02,
@@ -50,14 +58,48 @@ def _workload(args: argparse.Namespace) -> WorkloadParams:
     )
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--obs-out", metavar="PATH",
+        help="append a JSONL observability event stream to PATH",
+    )
+
+
+def _build_obs(args: argparse.Namespace, command: str) -> Observability | None:
+    """An Observability pipeline when ``--obs-out`` was given, else None."""
+    if not getattr(args, "obs_out", None):
+        return None
+    obs = Observability(exporters=[JsonlExporter(args.obs_out)])
+    obs.meta(command=command, argv={
+        k: v for k, v in vars(args).items() if k != "func" and v is not None
+    })
+    return obs
+
+
+def _finish_obs(obs: Observability | None, args: argparse.Namespace) -> None:
+    if obs is None:
+        return
+    obs.close()
+    if getattr(args, "obs_out", None):
+        print(f"observability events appended to {args.obs_out}")
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
-    names = list(FIGURES) if args.name == "all" else [args.name]
-    config = FigureConfig(scale=args.scale, num_seeds=args.seeds)
-    for name in names:
-        if name not in FIGURES:
+    requested = args.name or ["all"]
+    names = list(FIGURES) if "all" in requested else list(requested)
+    # Validate every requested name before doing any work: rejecting
+    # mid-loop would leave earlier figures already run and printed.
+    unknown = [name for name in names if name not in FIGURES]
+    if unknown:
+        for name in unknown:
             print(f"unknown figure {name!r}; choose from {sorted(FIGURES)}")
-            return 2
+        return 2
+    config = FigureConfig(scale=args.scale, num_seeds=args.seeds)
+    obs = _build_obs(args, "figures")
+    for name in names:
         table: ExperimentTable = FIGURES[name](config)
+        if obs is not None:
+            obs.event("figure", figure=name, table=table.to_dict())
         print()
         print(table.render())
         if args.chart:
@@ -73,6 +115,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
             out_dir.mkdir(parents=True, exist_ok=True)
             stem = name.replace("-", "_")
             table.save(out_dir / f"figure_{stem}.{args.format}")
+    _finish_obs(obs, args)
     return 0
 
 
@@ -81,7 +124,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown operator {args.operator!r}; choose from {sorted(OPERATORS)}")
         return 2
     instance = lineitem_orders_instance(_workload(args))
-    result = run_operator(args.operator, instance)
+    obs = _build_obs(args, "run")
+    result = run_operator(args.operator, instance, obs=obs)
     stats = result.stats
     print(f"operator     : {args.operator}")
     print(f"instance     : L={len(instance.left)} O={len(instance.right)} K={instance.k}")
@@ -91,12 +135,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"time         : io={stats.timing.io:.4f}s bound={stats.timing.bound:.4f}s "
           f"total={stats.timing.total:.4f}s")
     print(f"sim. I/O cost: {stats.io_cost:,.0f}")
+    _finish_obs(obs, args)
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     instance = lineitem_orders_instance(_workload(args))
-    results = run_comparison(instance, sorted(OPERATORS))
+    obs = _build_obs(args, "compare")
+    results = run_comparison(instance, sorted(OPERATORS), obs=obs)
     table = ExperimentTable(
         title=f"Operator comparison (e={args.e}, c={args.c}, z={args.z}, K={args.k})",
         headers=["operator", "left", "right", "sumDepths", "total_time"],
@@ -110,6 +156,37 @@ def cmd_compare(args: argparse.Namespace) -> int:
             result.stats.timing.total,
         )
     print(table.render())
+    _finish_obs(obs, args)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one operator fully instrumented and print what it did."""
+    if args.operator not in OPERATORS:
+        print(f"unknown operator {args.operator!r}; choose from {sorted(OPERATORS)}")
+        return 2
+    instance = lineitem_orders_instance(_workload(args))
+    exporters = [JsonlExporter(args.obs_out)] if args.obs_out else []
+    obs = Observability(exporters=exporters)
+    obs.meta(command="trace", operator=args.operator)
+    trace = BoundTrace(obs=obs if args.pulls else None)
+    result = run_operator(
+        args.operator, instance,
+        obs=obs, operator_kwargs={"trace": trace},
+    )
+    print(f"operator : {args.operator}")
+    print(f"instance : L={len(instance.left)} O={len(instance.right)} "
+          f"K={instance.k}")
+    print()
+    print("bound evolution")
+    print(trace.summary())
+    print()
+    print(obs.summary())
+    stats = result.stats
+    print()
+    print(f"sumDepths={stats.sum_depths} results={stats.results} "
+          f"capped={result.capped}")
+    _finish_obs(obs, args)
     return 0
 
 
@@ -128,24 +205,39 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_fig = sub.add_parser("figures", help="regenerate evaluation figures")
-    p_fig.add_argument("name", nargs="?", default="all",
-                       help="figure id (2, 10-15, skew, ablation-*) or 'all'")
+    p_fig.add_argument("name", nargs="*", default=["all"],
+                       help="figure ids (2, 10-15, skew, ablation-*) or 'all'")
     p_fig.add_argument("--scale", type=float, default=0.002)
     p_fig.add_argument("--seeds", type=int, default=1)
     p_fig.add_argument("--out", help="directory to save tables into")
     p_fig.add_argument("--format", choices=["txt", "csv", "json"], default="txt")
     p_fig.add_argument("--chart", action="store_true",
                        help="also print an ASCII chart of the first series")
+    _add_obs_args(p_fig)
     p_fig.set_defaults(func=cmd_figures)
 
     p_run = sub.add_parser("run", help="run one operator on a workload")
     p_run.add_argument("operator")
     _add_workload_args(p_run)
+    _add_obs_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="run every operator on a workload")
     _add_workload_args(p_cmp)
+    _add_obs_args(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one operator with spans, metrics, and bound trace"
+    )
+    p_trace.add_argument("operator")
+    _add_workload_args(p_trace)
+    _add_obs_args(p_trace)
+    p_trace.add_argument(
+        "--pulls", action="store_true",
+        help="also stream one bound_trace event per pull to --obs-out",
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     p_info = sub.add_parser("info", help="library inventory")
     p_info.set_defaults(func=cmd_info)

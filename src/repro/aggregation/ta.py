@@ -19,7 +19,7 @@ function over the grade vector ``(g_1, …, g_m)``.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable
 
 from repro.aggregation.lists import RankedList
@@ -80,8 +80,8 @@ def threshold_algorithm(
     top = heapq.nlargest(k, scores.items(), key=lambda item: item[1])
     return AggregationResult(
         top=[(obj, score) for obj, score in top],
-        sorted_accesses=sum(l.sorted_accesses for l in lists),
-        random_accesses=sum(l.random_accesses for l in lists),
+        sorted_accesses=sum(rl.sorted_accesses for rl in lists),
+        random_accesses=sum(rl.random_accesses for rl in lists),
     )
 
 
@@ -174,6 +174,6 @@ def no_random_access(
     top = heapq.nlargest(k, lowers.items(), key=lambda item: item[1])
     return AggregationResult(
         top=[(obj, score) for obj, score in top],
-        sorted_accesses=sum(l.sorted_accesses for l in lists),
-        random_accesses=sum(l.random_accesses for l in lists),
+        sorted_accesses=sum(rl.sorted_accesses for rl in lists),
+        random_accesses=sum(rl.random_accesses for rl in lists),
     )

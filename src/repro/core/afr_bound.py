@@ -20,9 +20,11 @@ import numpy as np
 
 from repro.core.bounds import LEFT, RIGHT, BoundContext
 from repro.core.frstar_bound import FRStarBound
+from repro.core.tuples import RankTuple
 from repro.geometry.cover import CoverRegion
 from repro.geometry.dominance import Point
 from repro.geometry.gridtree import GridTree
+from repro.obs.metrics import NULL_METRIC, MetricRegistry
 
 DEFAULT_MAX_CR_SIZE = 500
 DEFAULT_RESOLUTION = 64
@@ -241,6 +243,8 @@ COVER_STRATEGIES = ("adaptive", "frozen", "fixed-grid")
 class AFRBound(FRStarBound):
     """FR* with size-bounded adaptive covers (the a-FRPA bound)."""
 
+    scheme_name = "aFR"
+
     def __init__(
         self,
         *,
@@ -257,6 +261,37 @@ class AFRBound(FRStarBound):
         self.max_cr_size = max_cr_size
         self.resolution = resolution
         self.cover_strategy = cover_strategy
+        self._m_resolution = (NULL_METRIC, NULL_METRIC)
+        self._m_resolution_drops = (NULL_METRIC, NULL_METRIC)
+        self._m_grid_transfers = NULL_METRIC
+        self._last_resolution: list[int | None] = [None, None]
+
+    def observe(self, metrics: MetricRegistry, op: str) -> None:
+        super().observe(metrics, op)
+        self._m_resolution = (
+            metrics.gauge("gridtree_resolution", op=op, side="left"),
+            metrics.gauge("gridtree_resolution", op=op, side="right"),
+        )
+        self._m_resolution_drops = (
+            metrics.counter("gridtree_resolution_drops_total", op=op, side="left"),
+            metrics.counter("gridtree_resolution_drops_total", op=op, side="right"),
+        )
+        self._m_grid_transfers = metrics.counter("cover_grid_transfers_total", op=op)
+
+    def update(self, side: int, tup: RankTuple) -> float:
+        bound = super().update(side, tup)
+        resolution = self._cr[side].resolution
+        previous = self._last_resolution[side]
+        if resolution != previous:
+            if previous is None:
+                # exact → grid transfer (enters at the initial resolution)
+                self._m_grid_transfers.inc()
+            if resolution is not None:
+                self._m_resolution[side].set(resolution)
+                if previous is not None and resolution < previous:
+                    self._m_resolution_drops[side].inc()
+            self._last_resolution[side] = resolution
+        return bound
 
     def _make_cover(self, dimension: int):
         if self.cover_strategy == "frozen":

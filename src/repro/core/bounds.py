@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.core.scoring import NEG_INF, ScoringFunction
 from repro.core.tuples import RankTuple
+from repro.obs.metrics import MetricRegistry
 
 POS_INF = float("inf")
 
@@ -53,12 +54,22 @@ class BoundContext:
 class BoundingScheme(ABC):
     """Pluggable bound computation for the PBRJ template."""
 
+    #: Scheme label used on metrics (``bound_recompute_total{scheme=...}``).
+    scheme_name = "abstract"
+
     def __init__(self) -> None:
         self.context: BoundContext | None = None
 
     def bind(self, context: BoundContext) -> None:
         """Attach problem information; called once by the operator."""
         self.context = context
+
+    def observe(self, metrics: MetricRegistry, op: str) -> None:
+        """Attach metric handles; called by the operator when obs is on.
+
+        Subclasses resolve their counters/histograms here — the default
+        scheme has nothing to record.
+        """
 
     @abstractmethod
     def update(self, side: int, tup: RankTuple) -> float:
@@ -90,6 +101,8 @@ class BoundingScheme(ABC):
 
 class CornerBound(BoundingScheme):
     """HRJN*'s corner bound (Section 3.1)."""
+
+    scheme_name = "corner"
 
     def __init__(self) -> None:
         super().__init__()

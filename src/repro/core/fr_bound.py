@@ -35,10 +35,13 @@ from repro.core.bounds import LEFT, RIGHT, POS_INF, BoundContext, BoundingScheme
 from repro.core.scoring import NEG_INF, PreparedPoints
 from repro.core.tuples import RankTuple
 from repro.geometry.cover import CoverRegion
+from repro.obs.metrics import NULL_METRIC, MetricRegistry
 
 
 class FRBound(BoundingScheme):
     """The tight (and deliberately slow) feasible-region bound."""
+
+    scheme_name = "FR"
 
     def __init__(self, *, prune_covers: bool = True) -> None:
         super().__init__()
@@ -52,6 +55,17 @@ class FRBound(BoundingScheme):
         self._components: dict[str, float] = {}
         self._bound = POS_INF
         self._recomputations = 0
+        self._m_recompute = NULL_METRIC
+        self._m_cover_size = (NULL_METRIC, NULL_METRIC)
+
+    def observe(self, metrics: MetricRegistry, op: str) -> None:
+        self._m_recompute = metrics.counter(
+            "bound_recompute_total", op=op, scheme=self.scheme_name
+        )
+        self._m_cover_size = (
+            metrics.histogram("cover_size", op=op, side="left"),
+            metrics.histogram("cover_size", op=op, side="right"),
+        )
 
     def bind(self, context: BoundContext) -> None:
         super().bind(context)
@@ -88,6 +102,7 @@ class FRBound(BoundingScheme):
         if sbar < self._g[side]:
             self._cr[side].update(self._group[side])
             self._cr_prep[side].replace(self._cover_operand(side))
+            self._m_cover_size[side].observe(len(self._cr[side]))
             self._g[side] = sbar
             self._group[side] = [tup.scores]
             closed = True
@@ -142,6 +157,7 @@ class FRBound(BoundingScheme):
         """``t_i^cover`` where ``unseen_side`` contributes the unseen tuple."""
         assert self.context is not None
         self._recomputations += 1
+        self._m_recompute.inc()
         if unseen_side == LEFT:
             left_prep = self._cr_prep[LEFT]
             right_prep = self._seen_prep[RIGHT]
@@ -153,6 +169,7 @@ class FRBound(BoundingScheme):
     def _both_cover_bound(self) -> float:
         assert self.context is not None
         self._recomputations += 1
+        self._m_recompute.inc()
         return self.context.scoring.max_prepared(
             self._cr_prep[LEFT], self._cr_prep[RIGHT]
         )

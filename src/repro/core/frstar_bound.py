@@ -24,10 +24,13 @@ from repro.core.scoring import NEG_INF, PreparedPoints
 from repro.core.tuples import RankTuple
 from repro.geometry.dominance import ones
 from repro.geometry.skyline import IncrementalSkyline
+from repro.obs.metrics import NULL_METRIC, MetricRegistry
 
 
 class FRStarBound(FRBound):
     """Skyline-optimized, cached feasible-region bound."""
+
+    scheme_name = "FR*"
 
     def __init__(self) -> None:
         super().__init__(prune_covers=True)
@@ -35,6 +38,22 @@ class FRStarBound(FRBound):
         self._shr_prep: list[PreparedPoints | None] = [None, None]
         self._t_cover = [NEG_INF, NEG_INF]
         self._t_both_cover = POS_INF
+        self._m_cache_hit = NULL_METRIC
+        self._m_cache_miss = NULL_METRIC
+        self._m_skyline_size = (NULL_METRIC, NULL_METRIC)
+
+    def observe(self, metrics: MetricRegistry, op: str) -> None:
+        super().observe(metrics, op)
+        self._m_cache_hit = metrics.counter(
+            "bound_cache_total", op=op, scheme=self.scheme_name, outcome="hit"
+        )
+        self._m_cache_miss = metrics.counter(
+            "bound_cache_total", op=op, scheme=self.scheme_name, outcome="miss"
+        )
+        self._m_skyline_size = (
+            metrics.histogram("skyline_size", op=op, side="left"),
+            metrics.histogram("skyline_size", op=op, side="right"),
+        )
 
     def bind(self, context: BoundContext) -> None:
         super().bind(context)
@@ -54,9 +73,16 @@ class FRStarBound(FRBound):
         if skyline_changed:
             # Rebuild the prepared operand; SHR stays small (early freeze).
             self._shr_prep[side].replace(self._shr[side].points)
+            self._m_skyline_size[side].observe(len(self._shr[side]))
         group_closed = self._absorb(side, tup)
         other = 1 - side
         # Decision matrix (Table 1): recompute only invalidated components.
+        # Of the three cached components (t_cover[0], t_cover[1],
+        # t_both_cover), a pull invalidates the other side's cover bound on
+        # a skyline change and this side's plus t_both on a group close.
+        misses = (1 if skyline_changed else 0) + (2 if group_closed else 0)
+        self._m_cache_miss.inc(misses)
+        self._m_cache_hit.inc(3 - misses)
         if skyline_changed:
             self._t_cover[other] = self._cover_bound(other)
         if group_closed:
@@ -75,6 +101,7 @@ class FRStarBound(FRBound):
         """Cover bound over skylines only (the FR* redefinition)."""
         assert self.context is not None
         self._recomputations += 1
+        self._m_recompute.inc()
         if unseen_side == LEFT:
             left_prep = self._cr_prep[LEFT]
             right_prep = self._shr_prep[RIGHT]

@@ -28,8 +28,9 @@ from repro.core.multiway_fr import MultiwayBound, MultiwayCornerBound
 from repro.core.scoring import ScoringFunction
 from repro.core.tuples import RankTuple
 from repro.errors import InstanceError, PullBudgetExceeded, TimeBudgetExceeded
+from repro.obs import NULL_OBS, Observability
+from repro.obs.span import Tracer
 from repro.relation.sources import TupleSource
-from repro.stats.timing import ComponentTimer
 
 POS_INF = float("inf")
 SCORE_EPS = 1e-9
@@ -84,6 +85,7 @@ class MultiwayRankJoin:
         track_time: bool = True,
         max_pulls: int | None = None,
         max_seconds: float | None = None,
+        obs: "Observability | None" = None,
     ) -> None:
         if len(sources) < 2:
             raise InstanceError("multiway rank join needs at least two inputs")
@@ -116,7 +118,17 @@ class MultiwayRankJoin:
         self._max_pulls = max_pulls
         self._max_seconds = max_seconds
         self._started_at: float | None = None
-        self._timer = ComponentTimer(enabled=track_time)
+        self._obs = obs if obs is not None else NULL_OBS
+        if self._obs.enabled:
+            self._tracer = self._obs.tracer(name)
+        else:
+            self._tracer = Tracer(enabled=track_time)
+        metrics = self._obs.metrics
+        self._m_pulls = tuple(
+            metrics.counter("pulls_total", op=name, side=str(i))
+            for i in range(self._n)
+        )
+        self._m_emitted = metrics.counter("results_emitted_total", op=name)
 
     # ------------------------------------------------------------------
     # Score-bound helpers
@@ -158,7 +170,7 @@ class MultiwayRankJoin:
     # ------------------------------------------------------------------
     def get_next(self) -> MultiwayResult | None:
         """Next n-way join result in decreasing score order, or None."""
-        with self._timer.measure("total"):
+        with self._tracer.span("get_next"):
             return self._get_next_inner()
 
     def _get_next_inner(self) -> MultiwayResult | None:
@@ -175,21 +187,25 @@ class MultiwayRankJoin:
                 if elapsed > self._max_seconds:
                     raise TimeBudgetExceeded(elapsed, self._max_seconds)
             index = self._choose_input()
-            with self._timer.measure("io"):
+            with self._tracer.span("pull"):
                 rho = self._sources[index].next()
             if rho is None:
                 continue
             self._pulls += 1
+            self._m_pulls[index].inc()
             if self._max_pulls is not None and self._pulls > self._max_pulls:
                 raise PullBudgetExceeded(self._pulls, self._max_pulls)
-            self._insert(index, rho)
-            with self._timer.measure("bound"):
+            with self._tracer.span("join"):
+                self._insert(index, rho)
+            with self._tracer.span("bound"):
                 self._t = self._bound_scheme.update(
                     index, rho, self.score_bound(index, rho)
                 )
         if self._output:
-            self._emitted += 1
-            return heapq.heappop(self._output)[2]
+            with self._tracer.span("emit"):
+                self._emitted += 1
+                self._m_emitted.inc()
+                return heapq.heappop(self._output)[2]
         return None
 
     def top_k(self, k: int) -> list[MultiwayResult]:
@@ -309,10 +325,15 @@ class MultiwayRankJoin:
         from repro.stats.metrics import TimingBreakdown
 
         return TimingBreakdown(
-            io=self._timer.total("io"),
-            bound=self._timer.total("bound"),
-            total=self._timer.total("total"),
+            io=self._tracer.seconds("pull"),
+            bound=self._tracer.seconds("bound"),
+            total=self._tracer.seconds("get_next"),
         )
+
+    @property
+    def tracer(self) -> Tracer:
+        """The operator's span tracer (pull/join/bound/emit aggregates)."""
+        return self._tracer
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MultiwayRankJoin(n={self._n}, pulls={self._pulls})"

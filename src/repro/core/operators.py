@@ -45,6 +45,7 @@ def build(
     max_pulls: int | None = None,
     max_seconds: float | None = None,
     trace=None,
+    obs=None,
 ) -> PBRJ:
     """Assemble a PBRJ operator over fresh scans of ``instance``."""
     left, right = instance.scans()
@@ -59,6 +60,7 @@ def build(
         max_pulls=max_pulls,
         max_seconds=max_seconds,
         trace=trace,
+        obs=obs,
     )
 
 

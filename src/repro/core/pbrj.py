@@ -24,14 +24,14 @@ from repro.core.pulling import PullingStrategy
 from repro.core.scoring import ScoringFunction
 from repro.core.tuples import JoinResult, RankTuple
 from repro.errors import PullBudgetExceeded, TimeBudgetExceeded
-from repro.relation.sources import TupleSource
+from repro.obs import NULL_OBS, Observability
+from repro.obs.span import Tracer
 from repro.stats.metrics import (
     DepthReport,
     MemoryHighWater,
     OperatorStats,
     TimingBreakdown,
 )
-from repro.stats.timing import ComponentTimer
 from repro.stats.trace import BoundTrace
 
 #: Tolerance for the emit test ``S(O.top()) >= t``.  Scores are sums of a few
@@ -63,6 +63,12 @@ class PBRJ:
     max_seconds:
         Optional wall-clock budget measured from the first ``get_next``;
         exceeding it raises :class:`~repro.errors.TimeBudgetExceeded`.
+    obs:
+        Optional :class:`~repro.obs.Observability` pipeline.  When given,
+        the operator registers a span tracer (``get_next`` with nested
+        ``pull``/``join``/``bound``/``emit``) and records pull/emit
+        counters plus the output-heap peak; the bounding scheme and
+        pulling strategy attach their own metrics to the same registry.
     """
 
     def __init__(
@@ -78,6 +84,7 @@ class PBRJ:
         max_pulls: int | None = None,
         max_seconds: float | None = None,
         trace: "BoundTrace | None" = None,
+        obs: "Observability | None" = None,
     ) -> None:
         self.name = name
         self.scoring = scoring
@@ -97,7 +104,24 @@ class PBRJ:
         self._emitted = 0
         self._max_output = 0
         self._trace = trace
-        self._timer = ComponentTimer(enabled=track_time)
+        if trace is not None and not trace.operator:
+            trace.operator = name
+        self._obs = obs if obs is not None else NULL_OBS
+        if self._obs.enabled:
+            self._tracer = self._obs.tracer(name)
+            self._bound.observe(self._obs.metrics, name)
+            self._strategy.observe(self._obs.metrics, name)
+        else:
+            # Legacy timing without an observability pipeline: a private,
+            # unregistered tracer driven by ``track_time`` alone.
+            self._tracer = Tracer(enabled=track_time)
+        metrics = self._obs.metrics
+        self._m_pulls = (
+            metrics.counter("pulls_total", op=name, side="left"),
+            metrics.counter("pulls_total", op=name, side="right"),
+        )
+        self._m_emitted = metrics.counter("results_emitted_total", op=name)
+        self._m_heap_peak = metrics.gauge("output_heap_peak", op=name)
 
     # ------------------------------------------------------------------
     # OperatorView protocol (consumed by pulling strategies)
@@ -117,7 +141,7 @@ class PBRJ:
     # ------------------------------------------------------------------
     def get_next(self) -> JoinResult | None:
         """Return the next result of ``R1 ⋈ R2`` in decreasing score order."""
-        with self._timer.measure("total"):
+        with self._tracer.span("get_next"):
             return self._get_next_inner()
 
     def _get_next_inner(self) -> JoinResult | None:
@@ -134,23 +158,27 @@ class PBRJ:
                 if elapsed > self._max_seconds:
                     raise TimeBudgetExceeded(elapsed, self._max_seconds)
             side = self._strategy.choose(self)
-            with self._timer.measure("io"):
+            with self._tracer.span("pull"):
                 rho = self._sources[side].next()
             if rho is None:  # concurrent exhaustion guard
                 continue
             self._pulls += 1
+            self._m_pulls[side].inc()
             if self._max_pulls is not None and self._pulls > self._max_pulls:
                 raise PullBudgetExceeded(self._pulls, self._max_pulls)
-            self._join_and_buffer(side, rho)
-            with self._timer.measure("bound"):
+            with self._tracer.span("join"):
+                self._join_and_buffer(side, rho)
+            with self._tracer.span("bound"):
                 self._t = self._bound.update(side, rho)
             if self._trace is not None:
                 self._trace.record(
                     self._pulls, side, self._t, len(self._output), self._emitted
                 )
         if self._output:
-            self._emitted += 1
-            return heapq.heappop(self._output)[2]
+            with self._tracer.span("emit"):
+                self._emitted += 1
+                self._m_emitted.inc()
+                return heapq.heappop(self._output)[2]
         return None
 
     def __iter__(self) -> Iterator[JoinResult]:
@@ -180,7 +208,7 @@ class PBRJ:
         for side in (LEFT, RIGHT):
             if not self._exhausted[side] and not self._sources[side].has_next():
                 self._exhausted[side] = True
-                with self._timer.measure("bound"):
+                with self._tracer.span("bound"):
                     self._t = self._bound.notify_exhausted(side)
 
     def _join_and_buffer(self, side: int, rho: RankTuple) -> None:
@@ -192,7 +220,9 @@ class PBRJ:
             heapq.heappush(self._output, (-score, self._sequence, result))
             self._sequence += 1
         self._buffers[side].setdefault(rho.key, []).append(rho)
-        self._max_output = max(self._max_output, len(self._output))
+        if len(self._output) > self._max_output:
+            self._max_output = len(self._output)
+            self._m_heap_peak.set(self._max_output)
 
     # ------------------------------------------------------------------
     # Reporting
@@ -207,6 +237,11 @@ class PBRJ:
         return self._bound
 
     @property
+    def tracer(self) -> Tracer:
+        """The operator's span tracer (pull/join/bound/emit aggregates)."""
+        return self._tracer
+
+    @property
     def pulls(self) -> int:
         return self._pulls
 
@@ -215,9 +250,9 @@ class PBRJ:
 
     def timing(self) -> TimingBreakdown:
         return TimingBreakdown(
-            io=self._timer.total("io"),
-            bound=self._timer.total("bound"),
-            total=self._timer.total("total"),
+            io=self._tracer.seconds("pull"),
+            bound=self._tracer.seconds("bound"),
+            total=self._tracer.seconds("get_next"),
         )
 
     def memory(self) -> MemoryHighWater:

@@ -18,6 +18,9 @@ from abc import ABC, abstractmethod
 from typing import Protocol
 
 from repro.core.bounds import LEFT, RIGHT
+from repro.obs.metrics import MetricRegistry
+
+SIDE_LABELS = ("left", "right")
 
 
 class OperatorView(Protocol):
@@ -35,9 +38,41 @@ class PullingStrategy(ABC):
 
     name = "abstract"
 
+    #: Metric handles, installed by :meth:`observe`; None when unobserved.
+    _choice_metrics: "MetricRegistry | None" = None
+    _choice_op = ""
+    _choice_counters: dict | None = None
+
     @abstractmethod
     def choose(self, view: OperatorView) -> int:
         """Return the side (0 or 1) to read; never an exhausted side."""
+
+    def observe(self, metrics: MetricRegistry, op: str) -> None:
+        """Attach choice counters (``pull_choice_total{side, reason}``).
+
+        ``reason`` says *why* the side was picked: ``alternation`` for
+        round-robin, ``potential`` / ``only-available`` for the adaptive
+        strategies, ``scripted`` / ``fallback`` for fixed sequences.
+        """
+        self._choice_metrics = metrics
+        self._choice_op = op
+        self._choice_counters = {}
+
+    def _count_choice(self, side: int, reason: str) -> None:
+        if self._choice_metrics is None:
+            return
+        counter = self._choice_counters.get((side, reason))
+        if counter is None:
+            counter = self._choice_counters[(side, reason)] = (
+                self._choice_metrics.counter(
+                    "pull_choice_total",
+                    op=self._choice_op,
+                    strategy=self.name,
+                    side=SIDE_LABELS[side],
+                    reason=reason,
+                )
+            )
+        counter.inc()
 
     @staticmethod
     def _available(view: OperatorView) -> list[int]:
@@ -58,8 +93,12 @@ class RoundRobin(PullingStrategy):
     def choose(self, view: OperatorView) -> int:
         available = self._available(view)
         preferred = 1 - self._last
-        side = preferred if preferred in available else available[0]
+        if preferred in available:
+            side, reason = preferred, "alternation"
+        else:
+            side, reason = available[0], "only-available"
         self._last = side
+        self._count_choice(side, reason)
         return side
 
 
@@ -74,12 +113,20 @@ class PotentialAdaptive(PullingStrategy):
     def choose(self, view: OperatorView) -> int:
         available = self._available(view)
         if len(available) == 1:
+            self._count_choice(available[0], "only-available")
             return available[0]
         # Sort key: maximize potential, then minimize depth, then index.
-        return min(
+        side = min(
             available,
             key=lambda side: (-view.potential(side), view.depth(side), side),
         )
+        if self._choice_metrics is not None:
+            if view.potential(side) > view.potential(1 - side):
+                reason = "potential"
+            else:
+                reason = "tie-break"
+            self._count_choice(side, reason)
+        return side
 
 
 class FixedSequence(PullingStrategy):
@@ -102,5 +149,8 @@ class FixedSequence(PullingStrategy):
             side = self._sequence[self._position]
             self._position += 1
             if side in available:
+                self._count_choice(side, "scripted")
                 return side
-        return self._fallback.choose(view)
+        side = self._fallback.choose(view)
+        self._count_choice(side, "fallback")
+        return side

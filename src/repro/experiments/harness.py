@@ -8,12 +8,13 @@ pull budget (the paper's ">10 hours, omitted" situations at e=4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.core.operators import make_operator
 from repro.core.pbrj import PBRJ
 from repro.data.workload import WorkloadParams, lineitem_orders_instance
 from repro.errors import PullBudgetExceeded, TimeBudgetExceeded
+from repro.obs import Observability
 from repro.relation.relation import RankJoinInstance
 from repro.stats.metrics import (
     DepthReport,
@@ -67,14 +68,22 @@ def run_operator(
     max_seconds: float | None = None,
     track_time: bool = True,
     operator_kwargs: dict | None = None,
+    obs: Observability | None = None,
+    run_meta: dict | None = None,
 ) -> RunResult:
-    """Run one operator to its K-th result (or its budget) and measure."""
+    """Run one operator to its K-th result (or its budget) and measure.
+
+    With an observability pipeline attached, the operator registers its
+    spans/metrics on it and a per-run ``run`` event (depths, timing,
+    capped flag, any ``run_meta`` fields) is emitted when the run ends.
+    """
     operator: PBRJ = make_operator(
         name,
         instance,
         track_time=track_time,
         max_pulls=max_pulls,
         max_seconds=max_seconds,
+        obs=obs,
         **(operator_kwargs or {}),
     )
     capped = False
@@ -83,11 +92,27 @@ def run_operator(
         results = operator.top_k(k if k is not None else instance.k)
     except (PullBudgetExceeded, TimeBudgetExceeded):
         capped = True
-    return RunResult(
+    result = RunResult(
         stats=operator.stats(),
         scores=tuple(r.score for r in results),
         capped=capped,
     )
+    if obs is not None:
+        stats = result.stats
+        obs.event(
+            "run",
+            operator=name,
+            depths={"left": stats.depths.left, "right": stats.depths.right,
+                    "sum": stats.sum_depths},
+            timing={"io": stats.timing.io, "bound": stats.timing.bound,
+                    "other": stats.timing.other, "total": stats.timing.total},
+            io_cost=stats.io_cost,
+            bound_recomputations=stats.bound_recomputations,
+            results=stats.results,
+            capped=capped,
+            **(run_meta or {}),
+        )
+    return result
 
 
 def run_comparison(
@@ -96,6 +121,7 @@ def run_comparison(
     *,
     max_pulls: int | None = None,
     operator_kwargs: dict | None = None,
+    obs: Observability | None = None,
 ) -> dict[str, RunResult]:
     """Run several operators on identical scans of the same instance."""
     return {
@@ -106,6 +132,7 @@ def run_comparison(
             operator_kwargs=(operator_kwargs or {}).get(name)
             if operator_kwargs and name in operator_kwargs
             else None,
+            obs=obs,
         )
         for name in operators
     }
@@ -120,6 +147,7 @@ def averaged_runs(
     max_seconds: float | None = None,
     operator_kwargs: dict[str, dict] | None = None,
     operator_budgets: dict[str, dict] | None = None,
+    obs: Observability | None = None,
 ) -> dict[str, AveragedResult]:
     """The paper's protocol: same parameters, ``num_seeds`` data instances.
 
@@ -144,6 +172,12 @@ def averaged_runs(
                     max_pulls=budget.get("max_pulls", max_pulls),
                     max_seconds=budget.get("max_seconds", max_seconds),
                     operator_kwargs=kwargs,
+                    obs=obs,
+                    run_meta={
+                        "seed": params.seed + seed_offset,
+                        "e": params.e, "c": params.c, "z": params.z,
+                        "k": params.k, "scale": params.scale,
+                    },
                 )
             )
     averaged = {}

@@ -1,0 +1,142 @@
+"""Exporters: console summary and append-only JSONL event streams.
+
+Every exporter consumes plain-dict *events*.  The stream contains four
+event shapes:
+
+``{"type": "event", "name": ..., ...}``
+    A discrete occurrence (a per-seed run record, a figure table, …).
+``{"type": "span", "op": ..., "path": "get_next/pull", "count": n,
+"seconds": s}``
+    One aggregated span path of one operator, emitted at flush time.
+``{"type": "metric", "kind": "counter"|"gauge"|"histogram", ...}``
+    A metric snapshot record (see :meth:`MetricRegistry.snapshot`).
+``{"type": "meta", ...}``
+    Stream header describing the producing command/workload.
+
+:func:`read_events` loads a stream back, and
+:func:`reconstruct_timing` rebuilds the paper's Figure 2(b)
+io/bound/other breakdown from span events alone — the round-trip the test
+suite holds the exporters to.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+class JsonlExporter:
+    """Appends one JSON document per event to a file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def export(self, event: dict) -> None:
+        self._file.write(json.dumps(event, default=_jsonable) + "\n")
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+
+def _jsonable(value):
+    """Fallback serializer: tuples of dataclasses, numpy scalars, etc."""
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if hasattr(value, "__dict__"):
+        return vars(value)
+    return str(value)
+
+
+class ConsoleExporter:
+    """Buffers events and renders a human-readable run summary."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def export(self, event: dict) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Grouped plain-text summary of spans, metrics, and events."""
+        lines: list[str] = []
+        spans = [e for e in self.events if e.get("type") == "span"]
+        if spans:
+            lines.append("spans")
+            for event in spans:
+                indent = "  " * event["path"].count("/")
+                name = event["path"].rsplit("/", 1)[-1]
+                lines.append(
+                    f"  [{event.get('op', '?')}] {indent}{name:<12} "
+                    f"x{event['count']:<7} {event['seconds']:.4f}s"
+                )
+        metrics = [e for e in self.events if e.get("type") == "metric"]
+        if metrics:
+            lines.append("metrics")
+            for event in metrics:
+                labels = ",".join(
+                    f"{k}={v}" for k, v in sorted(event.get("labels", {}).items())
+                )
+                label_text = f"{{{labels}}}" if labels else ""
+                if event["kind"] == "histogram":
+                    mean = event["sum"] / event["count"] if event["count"] else 0.0
+                    detail = f"count={event['count']} mean={mean:.2f}"
+                else:
+                    detail = str(event.get("value"))
+                lines.append(f"  {event['name']}{label_text} = {detail}")
+        discrete = [e for e in self.events if e.get("type") == "event"]
+        if discrete:
+            lines.append("events")
+            for event in discrete:
+                fields = {
+                    k: v for k, v in event.items() if k not in ("type", "name")
+                }
+                lines.append(f"  {event['name']}: {fields}")
+        return "\n".join(lines) if lines else "no observability data recorded"
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Load a JSONL event stream back into dict events."""
+    events = []
+    with open(path, encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def reconstruct_timing(events: list[dict], op: str | None = None) -> dict:
+    """Rebuild the Figure 2(b) breakdown from span events.
+
+    Returns ``{"io": s, "bound": s, "other": s, "total": s}`` summed over
+    all operators in the stream, or over a single operator when ``op`` is
+    given.  ``io`` is time inside ``pull`` spans (source access), ``bound``
+    inside ``bound`` spans, ``total`` the enclosing ``get_next`` spans.
+    """
+    io = bound = total = 0.0
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        if op is not None and event.get("op") != op:
+            continue
+        leaf = event["path"].rsplit("/", 1)[-1]
+        if leaf == "pull":
+            io += event["seconds"]
+        elif leaf == "bound":
+            bound += event["seconds"]
+        elif leaf == "get_next":
+            total += event["seconds"]
+    return {
+        "io": io,
+        "bound": bound,
+        "other": max(total - io - bound, 0.0),
+        "total": total,
+    }

@@ -1,0 +1,130 @@
+"""Span-based profiling: nested, named wall-clock measurements.
+
+A :class:`Tracer` accumulates *spans* — named regions of execution entered
+via ``with tracer.span("pull"):``.  Spans nest: entering a span while
+another is open records the child under the parent's path, so one operator
+run yields an aggregate tree such as::
+
+    get_next            152   0.0410s
+    get_next/pull       300   0.0121s
+    get_next/bound      300   0.0203s
+
+Only aggregates are kept (per-path call count and total seconds), which
+keeps the per-call overhead to one ``perf_counter`` pair and a dict
+update — cheap enough to leave enabled on hot paths.  A disabled tracer
+hands out a shared no-op context manager, making instrumented code
+essentially free when observability is off.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class SpanStats:
+    """Mutable per-path accumulator: how often and how long."""
+
+    __slots__ = ("count", "seconds")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.seconds = 0.0
+
+    def add(self, elapsed: float) -> None:
+        self.count += 1
+        self.seconds += elapsed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanStats(count={self.count}, seconds={self.seconds:.6f})"
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Context manager pushing one named region onto the tracer stack."""
+
+    __slots__ = ("_tracer", "_name", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._tracer._stack.append(self._name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        elapsed = time.perf_counter() - self._start
+        tracer = self._tracer
+        path = tuple(tracer._stack)
+        tracer._stack.pop()
+        stats = tracer._spans.get(path)
+        if stats is None:
+            stats = tracer._spans[path] = SpanStats()
+        stats.add(elapsed)
+        return False
+
+
+class Tracer:
+    """Aggregating span profiler.
+
+    Spans are keyed by their full path (tuple of names from the outermost
+    open span down); exceptions raised inside a span still accumulate its
+    elapsed time, mirroring ``try/finally`` timer semantics.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._stack: list[str] = []
+        self._spans: dict[tuple[str, ...], SpanStats] = {}
+
+    def span(self, name: str):
+        """Context manager measuring ``name`` nested under open spans."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, name)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def spans(self) -> dict[str, SpanStats]:
+        """All aggregates keyed by ``"/"``-joined path."""
+        return {"/".join(path): stats for path, stats in self._spans.items()}
+
+    def seconds(self, name: str) -> float:
+        """Total seconds across every path whose innermost span is ``name``."""
+        return sum(
+            stats.seconds for path, stats in self._spans.items() if path[-1] == name
+        )
+
+    def count(self, name: str) -> int:
+        """Total entries across every path whose innermost span is ``name``."""
+        return sum(
+            stats.count for path, stats in self._spans.items() if path[-1] == name
+        )
+
+    def totals_by_name(self) -> dict[str, float]:
+        """Seconds aggregated by innermost span name (flat timer view)."""
+        totals: dict[str, float] = {}
+        for path, stats in self._spans.items():
+            name = path[-1]
+            totals[name] = totals.get(name, 0.0) + stats.seconds
+        return totals
+
+    def reset(self) -> None:
+        self._spans.clear()
+        self._stack.clear()

@@ -99,6 +99,10 @@ class Pipeline:
         Per-stage scoring must be dimension-agnostic and additive so the
         order-compatibility argument holds; the default (and the paper's
         choice) is :class:`~repro.core.scoring.SumScore`.
+    obs:
+        Optional :class:`~repro.obs.Observability` pipeline shared by all
+        stages; each stage registers its own span tracer (labelled
+        ``<operator>#<index>``) so per-stage timings stay separable.
     """
 
     def __init__(
@@ -111,6 +115,7 @@ class Pipeline:
         cost_model: CostModel | None = None,
         operator_kwargs: dict | None = None,
         track_time: bool = True,
+        obs=None,
     ) -> None:
         if len(relations) < 2:
             raise InstanceError("a pipeline needs at least two relations")
@@ -139,6 +144,7 @@ class Pipeline:
                 strategy,
                 name=f"{operator}#{index}",
                 track_time=track_time,
+                obs=obs,
             )
             self.stages.append(stage)
             if index < len(relations) - 1:

@@ -15,7 +15,6 @@ structure pipelining relies on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from collections.abc import Sequence
 
 from repro.core.tuples import JoinResult, RankTuple
 from repro.errors import InstanceError

@@ -1,43 +1,56 @@
-"""Lightweight wall-clock accounting for operator components."""
+"""Lightweight wall-clock accounting for operator components.
+
+:class:`ComponentTimer` predates the span-based profiler in
+:mod:`repro.obs` and is kept as the flat-timer facade over it: each
+``measure`` is a (possibly nested) span on an internal
+:class:`~repro.obs.span.Tracer`, and the legacy queries aggregate by
+component name across paths.
+"""
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
+from repro.obs.span import Tracer
 
 
 class ComponentTimer:
     """Accumulates wall-clock time per named component.
 
-    Used by the PBRJ template to reproduce Figure 2(b)'s breakdown: time in
-    I/O, time in the bounding scheme, and everything else.  Timing can be
-    disabled (``enabled=False``) to remove the measurement overhead from
-    depth-only experiments.
+    Used to reproduce Figure 2(b)'s breakdown: time in I/O, time in the
+    bounding scheme, and everything else.  Timing can be disabled
+    (``enabled=False``) to remove the measurement overhead from depth-only
+    experiments.  A caller may supply a shared ``tracer`` to merge the
+    components into an existing span tree.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
-        self.enabled = enabled
-        self._totals: dict[str, float] = {}
+    def __init__(self, enabled: bool = True, tracer: Tracer | None = None) -> None:
+        self._tracer = tracer if tracer is not None else Tracer(enabled=enabled)
 
-    @contextmanager
+    @property
+    def enabled(self) -> bool:
+        return self._tracer.enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._tracer.enabled = value
+
+    @property
+    def tracer(self) -> Tracer:
+        """The underlying span tracer (nested-path view of the totals)."""
+        return self._tracer
+
     def measure(self, component: str):
-        """Context manager accumulating elapsed time under ``component``."""
-        if not self.enabled:
-            yield
-            return
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self._totals[component] = self._totals.get(component, 0.0) + elapsed
+        """Context manager accumulating elapsed time under ``component``.
+
+        Exceptions propagate but the elapsed time is still recorded.
+        """
+        return self._tracer.span(component)
 
     def total(self, component: str) -> float:
         """Accumulated seconds for ``component`` (0.0 if never measured)."""
-        return self._totals.get(component, 0.0)
+        return self._tracer.seconds(component)
 
     def totals(self) -> dict[str, float]:
-        return dict(self._totals)
+        return self._tracer.totals_by_name()
 
     def reset(self) -> None:
-        self._totals.clear()
+        self._tracer.reset()

@@ -5,12 +5,21 @@ tuple, the chosen input, the updated bound ``t`` and the buffered-output
 state.  This makes the operators' dynamics inspectable — e.g. how quickly
 the feasible-region bound drops relative to the corner bound — and powers
 the ``examples/bound_evolution.py`` visualization.
+
+A trace can be wired into an observability pipeline
+(``BoundTrace(obs=...)``): every recorded pull is then also emitted as a
+``bound_trace`` event on the JSONL stream, giving offline tools the full
+per-pull evolution rather than the in-memory aggregate alone.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 
 
 @dataclass(frozen=True)
@@ -29,11 +38,23 @@ class BoundTrace:
     """An append-only log of per-pull operator state."""
 
     entries: list[TraceEntry] = field(default_factory=list)
+    obs: "Observability | None" = None
+    operator: str = ""
 
     def record(
         self, pull: int, side: int, bound: float, buffered: int, emitted: int
     ) -> None:
         self.entries.append(TraceEntry(pull, side, bound, buffered, emitted))
+        if self.obs is not None:
+            self.obs.event(
+                "bound_trace",
+                op=self.operator,
+                pull=pull,
+                side=side,
+                bound=bound if math.isfinite(bound) else None,
+                buffered=buffered,
+                emitted=emitted,
+            )
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -64,8 +85,16 @@ class BoundTrace:
         if not finite:
             return ""
         if len(finite) > width:
-            stride = len(finite) / width
-            finite = [finite[int(i * stride)] for i in range(width)]
+            # Endpoint-inclusive resampling: the last sample must be the
+            # final bound value, or the sparkline's right edge misreports
+            # the converged threshold.
+            if width == 1:
+                finite = [finite[-1]]
+            else:
+                last = len(finite) - 1
+                finite = [
+                    finite[round(i * last / (width - 1))] for i in range(width)
+                ]
         low, high = min(finite), max(finite)
         span = (high - low) or 1.0
         chars = [

@@ -5,7 +5,7 @@ import itertools
 import numpy as np
 import pytest
 
-from repro.core.multiway import MultiwayRankJoin, multiway_rank_join
+from repro.core.multiway import multiway_rank_join
 from repro.core.multiway_fr import MultiwayCornerBound, MultiwayFeasibleBound
 from repro.core.scoring import MinScore, SumScore, WeightedSum
 from repro.core.tuples import RankTuple

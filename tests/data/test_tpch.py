@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data.tpch import Table, TPCHConfig, generate_tpch
+from repro.data.tpch import TPCHConfig, generate_tpch
 
 
 @pytest.fixture(scope="module")

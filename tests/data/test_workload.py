@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.scoring import MinScore, SumScore
+from repro.core.scoring import MinScore
 from repro.data.workload import (
     WorkloadParams,
     anti_correlated_instance,

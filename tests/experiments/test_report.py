@@ -1,6 +1,5 @@
 """Tests for experiment tables and rendering."""
 
-import math
 
 import pytest
 

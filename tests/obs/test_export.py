@@ -1,0 +1,103 @@
+"""Tests for exporters: JSONL round-tripping and console rendering."""
+
+from repro.obs import (
+    ConsoleExporter,
+    JsonlExporter,
+    Observability,
+    read_events,
+    reconstruct_timing,
+)
+
+
+class TestJsonlRoundTrip:
+    def test_events_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        exporter = JsonlExporter(path)
+        exporter.export({"type": "event", "name": "run", "k": 10})
+        exporter.export({"type": "span", "op": "X", "path": "get_next",
+                         "count": 3, "seconds": 0.5})
+        exporter.close()
+        events = read_events(path)
+        assert events == [
+            {"type": "event", "name": "run", "k": 10},
+            {"type": "span", "op": "X", "path": "get_next",
+             "count": 3, "seconds": 0.5},
+        ]
+
+    def test_append_only(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        for i in range(2):
+            exporter = JsonlExporter(path)
+            exporter.export({"type": "event", "name": "run", "i": i})
+            exporter.close()
+        assert [e["i"] for e in read_events(path)] == [0, 1]
+
+    def test_observability_flush_exports_aggregates(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        obs = Observability(exporters=[JsonlExporter(path)])
+        tracer = obs.tracer("op1")
+        with tracer.span("get_next"):
+            with tracer.span("pull"):
+                pass
+        obs.metrics.counter("pulls_total", op="op1").inc(7)
+        obs.close()
+        events = read_events(path)
+        types = {e["type"] for e in events}
+        assert types == {"span", "metric"}
+        spans = {e["path"] for e in events if e["type"] == "span"}
+        assert spans == {"get_next", "get_next/pull"}
+        metric = next(e for e in events if e["type"] == "metric")
+        assert metric["value"] == 7
+
+
+class TestReconstructTiming:
+    def test_breakdown_from_span_events(self):
+        events = [
+            {"type": "span", "op": "A", "path": "get_next",
+             "count": 1, "seconds": 1.0},
+            {"type": "span", "op": "A", "path": "get_next/pull",
+             "count": 5, "seconds": 0.25},
+            {"type": "span", "op": "A", "path": "get_next/bound",
+             "count": 5, "seconds": 0.5},
+            {"type": "metric", "kind": "counter", "name": "x", "value": 1},
+        ]
+        timing = reconstruct_timing(events)
+        assert timing["io"] == 0.25
+        assert timing["bound"] == 0.5
+        assert timing["other"] == 0.25
+        assert timing["total"] == 1.0
+
+    def test_filter_by_operator(self):
+        events = [
+            {"type": "span", "op": "A", "path": "get_next",
+             "count": 1, "seconds": 1.0},
+            {"type": "span", "op": "B", "path": "get_next",
+             "count": 1, "seconds": 9.0},
+        ]
+        assert reconstruct_timing(events, op="A")["total"] == 1.0
+        assert reconstruct_timing(events)["total"] == 10.0
+
+
+class TestConsoleExporter:
+    def test_render_mentions_spans_and_metrics(self):
+        console = ConsoleExporter()
+        console.export({"type": "span", "op": "FRPA", "path": "get_next",
+                        "count": 3, "seconds": 0.123})
+        console.export({"type": "metric", "kind": "counter",
+                        "name": "pulls_total", "labels": {"side": "left"},
+                        "value": 42})
+        console.export({"type": "event", "name": "run", "capped": False})
+        text = console.render()
+        assert "get_next" in text
+        assert "pulls_total{side=left} = 42" in text
+        assert "run" in text
+
+    def test_render_histogram_mean(self):
+        console = ConsoleExporter()
+        console.export({"type": "metric", "kind": "histogram",
+                        "name": "cover_size", "labels": {},
+                        "sum": 10.0, "count": 4, "buckets": []})
+        assert "mean=2.50" in console.render()
+
+    def test_render_empty(self):
+        assert "no observability data" in ConsoleExporter().render()

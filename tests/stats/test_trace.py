@@ -49,8 +49,25 @@ class TestBoundTrace:
         # When the first result became emittable, its score beat the bound.
         assert results[0].score >= bound - 1e-9
 
-    def test_bound_at_emission_missing(self):
+    def test_bound_at_emission_empty_trace(self):
         assert BoundTrace().bound_at_emission(1) is None
+
+    def test_bound_at_emission_n_larger_than_emitted(self, instance):
+        trace = BoundTrace()
+        results = frpa(instance, trace=trace).top_k(3)
+        # More results than any pull ever saw emitted -> no matching entry.
+        assert trace.bound_at_emission(len(results) + 1) is None
+
+    def test_bound_at_emission_each_result_ordered(self, instance):
+        trace = BoundTrace()
+        frpa(instance, trace=trace).top_k(3)
+        # The final result(s) may drain from the buffer after the last
+        # pull, so only query emission counts a pull actually recorded.
+        recorded = max(entry.emitted for entry in trace.entries)
+        bounds = [trace.bound_at_emission(n) for n in range(1, recorded + 1)]
+        assert all(b is not None for b in bounds)
+        # Later results become emittable at (weakly) lower bounds.
+        assert all(a >= b - 1e-9 for a, b in zip(bounds, bounds[1:]))
 
     def test_sparkline_shape(self, instance):
         trace = BoundTrace()
@@ -61,6 +78,47 @@ class TestBoundTrace:
 
     def test_sparkline_empty(self):
         assert BoundTrace().sparkline() == ""
+
+    def test_sparkline_last_sample_is_final_bound(self):
+        # 100 strictly decreasing bounds downsampled to width 7: the right
+        # edge must correspond to the final (minimum) bound value.
+        trace = BoundTrace()
+        for pull in range(1, 101):
+            trace.record(pull, pull % 2, 100.0 - pull, 0, 0)
+        line = trace.sparkline(width=7)
+        assert len(line) == 7
+        assert line[-1] == BoundTrace._BLOCKS[0]
+        assert line[0] == BoundTrace._BLOCKS[-1]
+
+    def test_sparkline_width_one(self):
+        trace = BoundTrace()
+        for pull in range(1, 10):
+            trace.record(pull, 0, 10.0 - pull, 0, 0)
+        assert len(trace.sparkline(width=1)) == 1
+
+    def test_sparkline_records_obs_events(self):
+        from repro.obs import Observability
+
+        class Capture:
+            def __init__(self):
+                self.records = []
+
+            def export(self, record):
+                self.records.append(record)
+
+            def close(self):
+                pass
+
+        capture = Capture()
+        obs = Observability(exporters=[capture])
+        trace = BoundTrace(obs=obs, operator="X")
+        trace.record(1, 0, float("inf"), 0, 0)
+        trace.record(2, 1, 1.5, 1, 1)
+        events = [r for r in capture.records if r.get("name") == "bound_trace"]
+        assert [e["pull"] for e in events] == [1, 2]
+        assert events[0]["bound"] is None  # infinity is not JSON-friendly
+        assert events[1]["bound"] == 1.5
+        assert events[1]["op"] == "X"
 
     def test_summary_mentions_pulls(self, instance):
         trace = BoundTrace()

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.__main__ import main
+from repro.obs import read_events, reconstruct_timing
 
 
 class TestInfo:
@@ -26,6 +27,25 @@ class TestRun:
         assert main(["run", "NOPE", "--scale", "0.0003"]) == 2
         assert "unknown operator" in capsys.readouterr().out
 
+    def test_obs_out_writes_event_stream(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        assert main([
+            "run", "FRPA", "--scale", "0.0003", "--k", "3",
+            "--obs-out", str(path),
+        ]) == 0
+        assert str(path) in capsys.readouterr().out
+        events = read_events(path)
+        types = {e["type"] for e in events}
+        assert {"meta", "event", "span", "metric"} <= types
+        meta = next(e for e in events if e["type"] == "meta")
+        assert meta["command"] == "run"
+        run = next(e for e in events if e.get("name") == "run")
+        assert run["operator"] == "FRPA"
+        # The stream reconstructs the printed Figure 2(b) breakdown.
+        rebuilt = reconstruct_timing(events, op="FRPA")
+        assert rebuilt["total"] == pytest.approx(run["timing"]["total"])
+        assert rebuilt["io"] == pytest.approx(run["timing"]["io"])
+
 
 class TestCompare:
     def test_compare_all(self, capsys):
@@ -43,6 +63,22 @@ class TestFigures:
     def test_unknown_figure(self, capsys):
         assert main(["figures", "99", "--scale", "0.0003"]) == 2
         assert "unknown figure" in capsys.readouterr().out
+
+    def test_invalid_name_rejected_before_any_work(self, capsys):
+        # One bad name in a batch aborts the whole request up front —
+        # the valid figure must NOT have been generated first.
+        assert main(["figures", "11", "99", "--scale", "0.0003"]) == 2
+        out = capsys.readouterr().out
+        assert "unknown figure '99'" in out
+        assert "Figure 11" not in out
+
+    def test_multiple_valid_names(self, capsys):
+        assert main([
+            "figures", "11", "12", "--scale", "0.0003", "--seeds", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 11" in out
+        assert "Figure 12" in out
 
     def test_save_json(self, tmp_path, capsys):
         assert main([
@@ -62,3 +98,40 @@ class TestFigures:
         saved = list(tmp_path.glob("*.csv"))
         assert len(saved) == 1
         assert saved[0].read_text().startswith("L0,")
+
+    def test_obs_out_records_figure_tables(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        assert main([
+            "figures", "11", "--scale", "0.0003", "--seeds", "1",
+            "--obs-out", str(path),
+        ]) == 0
+        events = read_events(path)
+        figures = [e for e in events if e.get("name") == "figure"]
+        assert [f["figure"] for f in figures] == ["11"]
+        assert figures[0]["table"]["headers"][0] == "L0"
+
+
+class TestTrace:
+    def test_trace_prints_spans_and_bound_evolution(self, capsys):
+        assert main(["trace", "FRPA", "--scale", "0.0003", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "bound evolution" in out
+        assert "pulls:" in out
+        assert "get_next" in out
+        assert "pulls_total" in out
+        assert "sumDepths=" in out
+
+    def test_trace_unknown_operator(self, capsys):
+        assert main(["trace", "NOPE", "--scale", "0.0003"]) == 2
+        assert "unknown operator" in capsys.readouterr().out
+
+    def test_trace_pulls_streams_per_pull_events(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        assert main([
+            "trace", "FRPA", "--scale", "0.0003", "--k", "3",
+            "--obs-out", str(path), "--pulls",
+        ]) == 0
+        events = read_events(path)
+        pulls = [e for e in events if e.get("name") == "bound_trace"]
+        assert len(pulls) > 0
+        assert [e["pull"] for e in pulls] == list(range(1, len(pulls) + 1))
