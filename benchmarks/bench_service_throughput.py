@@ -1,0 +1,119 @@
+"""Service-layer throughput: queries/sec, latency percentiles, cache hits.
+
+Drives an in-process :class:`~repro.service.service.QueryService` with a
+mixed stream of queries (repeats, prefix shrinks, fresh work) and writes
+``benchmarks/results/BENCH_service.json`` — queries per second, p50/p95
+session latency, and the cache hit rate — so successive sessions have a
+serving-performance trajectory to regress against.
+
+Environment knobs: ``REPRO_BENCH_SERVICE_QUERIES`` (default 60) and
+``REPRO_BENCH_SCALE`` (default 0.0005).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.data.workload import WorkloadParams, lineitem_orders_instance
+from repro.service import QueryService, QuerySpec, SessionState
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+NUM_QUERIES = int(os.environ.get("REPRO_BENCH_SERVICE_QUERIES", "60"))
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.0005"))
+
+#: (operator, k) mix — repeats within the stream exercise the cache, the
+#: shrinking/growing k values exercise prefix reuse and extension.
+QUERY_MIX = [
+    ("FRPA", 10), ("FRPA", 10), ("FRPA", 4), ("HRJN*", 10),
+    ("FRPA", 15), ("HRJN*", 10), ("HRJN", 8), ("FRPA", 10),
+]
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+@pytest.fixture(scope="module")
+def instances():
+    # Two distinct workloads so the stream is not one giant cache hit.
+    return [
+        lineitem_orders_instance(
+            WorkloadParams(e=2, c=0.5, z=0.5, k=20, scale=SCALE, seed=seed)
+        )
+        for seed in (0, 1)
+    ]
+
+
+def run_stream(instances, num_queries: int) -> dict:
+    service = QueryService(policy="round-robin", max_live=8, quantum=64)
+    specs = []
+    for index in range(num_queries):
+        operator, k = QUERY_MIX[index % len(QUERY_MIX)]
+        instance = instances[(index // len(QUERY_MIX)) % len(instances)]
+        specs.append(QuerySpec(
+            relations=(instance.left, instance.right), k=k, operator=operator
+        ))
+
+    # Submit in arrival waves (one mix round at a time) so later repeats
+    # can find completed earlier queries in the cache, as a live server
+    # with staggered arrivals would.
+    wave = len(QUERY_MIX)
+    started = time.perf_counter()
+    ids = []
+    for offset in range(0, len(specs), wave):
+        ids.extend(service.submit(spec) for spec in specs[offset:offset + wave])
+        service.run_until_complete()
+    elapsed = time.perf_counter() - started
+
+    sessions = [service.session(session_id) for session_id in ids]
+    assert all(s.state is SessionState.DONE for s in sessions)
+    latencies = [s.latency for s in sessions]
+    stats = service.stats()
+    return {
+        "queries": num_queries,
+        "elapsed_s": elapsed,
+        "qps": num_queries / elapsed,
+        "latency_p50_s": percentile(latencies, 0.50),
+        "latency_p95_s": percentile(latencies, 0.95),
+        "pulls_total": stats["scheduler"]["pulls"],
+        "cache_hit_rate": stats["cache"]["hit_rate"],
+        "cache_hits": stats["cache"]["hits"],
+        "cache_misses": stats["cache"]["misses"],
+    }
+
+
+def test_service_throughput(instances):
+    record = {
+        "scale": SCALE,
+        "policy": "round-robin",
+        "max_live": 8,
+        "quantum": 64,
+        **run_stream(instances, NUM_QUERIES),
+    }
+
+    print()
+    print(
+        f"service throughput: {record['qps']:.1f} qps over "
+        f"{record['queries']} queries, p50 {record['latency_p50_s'] * 1e3:.2f} ms, "
+        f"p95 {record['latency_p95_s'] * 1e3:.2f} ms, "
+        f"cache hit rate {record['cache_hit_rate']:.2f}"
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_service.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+
+    # Shape assertions only — absolute numbers are substrate-dependent.
+    assert record["qps"] > 0
+    assert record["latency_p50_s"] <= record["latency_p95_s"]
+    # The mix repeats queries, so the cache must be earning hits.
+    assert record["cache_hit_rate"] > 0

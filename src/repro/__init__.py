@@ -63,19 +63,32 @@ from repro.data import (
     random_instance,
 )
 from repro.errors import (
+    BudgetExhausted,
     InstanceError,
     NotSortedError,
     PullBudgetExceeded,
     ReproError,
+    WorkloadError,
 )
 from repro.plan import Pipeline, QueryInput, RankQuery
 from repro.relation import CostModel, RankJoinInstance, Relation, SortedScan
+from repro.service import (
+    QueryService,
+    QuerySession,
+    QuerySpec,
+    RankJoinServer,
+    ResultCache,
+    Scheduler,
+    ServiceClient,
+    SessionState,
+)
 from repro.stats import DepthReport, OperatorStats, TimingBreakdown
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AFRBound",
+    "BudgetExhausted",
     "CornerBound",
     "CostModel",
     "DepthReport",
@@ -93,18 +106,27 @@ __all__ = [
     "PotentialAdaptive",
     "PullBudgetExceeded",
     "QueryInput",
+    "QueryService",
+    "QuerySession",
+    "QuerySpec",
     "RankJoinInstance",
+    "RankJoinServer",
     "RankQuery",
     "RankTuple",
     "Relation",
     "ReproError",
+    "ResultCache",
     "RoundRobin",
+    "Scheduler",
     "ScoringFunction",
+    "ServiceClient",
+    "SessionState",
     "SortedScan",
     "SumScore",
     "TimingBreakdown",
     "TPCHConfig",
     "WeightedSum",
+    "WorkloadError",
     "WorkloadParams",
     "a_frpa",
     "anti_correlated_instance",

@@ -7,11 +7,15 @@ Commands
 ``compare``   run every operator on one workload and tabulate the results
 ``trace``     run one operator with full observability and print the
               span/metric/bound-evolution summary
+``serve``     start the concurrent top-K query service (JSON-lines TCP
+              protocol; see ``repro.service``)
 ``info``      print the library inventory (operators, figures, defaults)
 
-``run``, ``compare``, ``figures`` and ``trace`` accept ``--obs-out
-events.jsonl`` to append a machine-readable JSONL event stream (spans,
-metrics, per-run records) for offline analysis.
+``run`` and ``compare`` accept ``--workload params.json`` to load the
+workload knobs from a JSON file instead of flags.  ``run``, ``compare``,
+``figures`` and ``trace`` accept ``--obs-out events.jsonl`` to append a
+machine-readable JSONL event stream (spans, metrics, per-run records) for
+offline analysis.
 """
 
 from __future__ import annotations
@@ -21,7 +25,8 @@ import sys
 from pathlib import Path
 
 from repro.core.operators import OPERATORS
-from repro.data.workload import WorkloadParams, lineitem_orders_instance
+from repro.data.workload import WorkloadParams, lineitem_orders_instance, load_workload
+from repro.errors import ReproError
 from repro.experiments import figures as figure_module
 from repro.experiments.figures import FigureConfig
 from repro.experiments.harness import run_comparison, run_operator
@@ -50,12 +55,29 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--k", type=int, default=10, help="results requested")
     parser.add_argument("--scale", type=float, default=0.002, help="data scale factor")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workload", metavar="PATH",
+        help="JSON file of WorkloadParams fields; overrides the flags above",
+    )
 
 
 def _workload(args: argparse.Namespace) -> WorkloadParams:
+    """Workload knobs from --workload file (wins) or individual flags.
+
+    Raises :class:`~repro.errors.WorkloadError` on a missing or malformed
+    file; command handlers turn that into a clean one-line error.
+    """
+    if getattr(args, "workload", None):
+        return load_workload(args.workload)
     return WorkloadParams(
         e=args.e, c=args.c, z=args.z, k=args.k, scale=args.scale, seed=args.seed
     )
+
+
+def _fail(exc: ReproError) -> int:
+    """Print a one-line error to stderr (no traceback) and exit nonzero."""
+    print(f"error: {exc}", file=sys.stderr)
+    return 2
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -123,7 +145,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.operator not in OPERATORS:
         print(f"unknown operator {args.operator!r}; choose from {sorted(OPERATORS)}")
         return 2
-    instance = lineitem_orders_instance(_workload(args))
+    try:
+        params = _workload(args)
+    except ReproError as exc:
+        return _fail(exc)
+    instance = lineitem_orders_instance(params)
     obs = _build_obs(args, "run")
     result = run_operator(args.operator, instance, obs=obs)
     stats = result.stats
@@ -140,11 +166,16 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    instance = lineitem_orders_instance(_workload(args))
+    try:
+        params = _workload(args)
+    except ReproError as exc:
+        return _fail(exc)
+    instance = lineitem_orders_instance(params)
     obs = _build_obs(args, "compare")
     results = run_comparison(instance, sorted(OPERATORS), obs=obs)
     table = ExperimentTable(
-        title=f"Operator comparison (e={args.e}, c={args.c}, z={args.z}, K={args.k})",
+        title=f"Operator comparison (e={params.e}, c={params.c}, "
+              f"z={params.z}, K={params.k})",
         headers=["operator", "left", "right", "sumDepths", "total_time"],
     )
     for name, result in results.items():
@@ -165,7 +196,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if args.operator not in OPERATORS:
         print(f"unknown operator {args.operator!r}; choose from {sorted(OPERATORS)}")
         return 2
-    instance = lineitem_orders_instance(_workload(args))
+    try:
+        params = _workload(args)
+    except ReproError as exc:
+        return _fail(exc)
+    instance = lineitem_orders_instance(params)
     exporters = [JsonlExporter(args.obs_out)] if args.obs_out else []
     obs = Observability(exporters=exporters)
     obs.meta(command="trace", operator=args.operator)
@@ -187,6 +222,58 @@ def cmd_trace(args: argparse.Namespace) -> int:
     print(f"sumDepths={stats.sum_depths} results={stats.results} "
           f"capped={result.capped}")
     _finish_obs(obs, args)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Start the concurrent query service over shared synthetic relations."""
+    from repro.data.tpch import generate_tpch
+    from repro.service import QueryService, RankJoinServer
+
+    try:
+        params = _workload(args)
+    except ReproError as exc:
+        return _fail(exc)
+    obs = _build_obs(args, "serve") or Observability()
+    try:
+        service = QueryService(
+            policy=args.policy,
+            max_live=args.max_sessions,
+            quantum=args.quantum,
+            cache_capacity=args.cache_capacity,
+            cache_ttl=args.cache_ttl,
+            default_max_pulls=args.max_pulls,
+            obs=obs,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    tables = generate_tpch(params.tpch_config(), seed=params.seed)
+    relations = {
+        "lineitem": tables["lineitem"].to_relation("orderkey"),
+        "orders": tables["orders"].to_relation("orderkey"),
+    }
+    server = RankJoinServer(
+        service, relations, host=args.host, port=args.port
+    )
+    sizes = ", ".join(f"{name}={len(rel)}" for name, rel in relations.items())
+    print(f"relations loaded: {sizes}", flush=True)
+
+    # Announce the bound address as soon as the socket listens (the port
+    # may be ephemeral); clients and the CI smoke job key off this line.
+    import threading
+
+    def announce() -> None:
+        server.ready.wait()
+        print(f"serving on {server.host}:{server.port}", flush=True)
+
+    threading.Thread(target=announce, daemon=True).start()
+    try:
+        server.run()
+    except KeyboardInterrupt:
+        pass
+    print("server stopped", flush=True)
+    _finish_obs(obs if getattr(args, "obs_out", None) else None, args)
     return 0
 
 
@@ -238,6 +325,29 @@ def main(argv: list[str] | None = None) -> int:
         help="also stream one bound_trace event per pull to --obs-out",
     )
     p_trace.set_defaults(func=cmd_trace)
+
+    p_serve = sub.add_parser(
+        "serve", help="start the concurrent top-K query service"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 picks an ephemeral port)")
+    p_serve.add_argument("--policy", default="round-robin",
+                         choices=["round-robin", "deadline", "bound-gap"],
+                         help="scheduling policy")
+    p_serve.add_argument("--max-sessions", type=int, default=16,
+                         help="admission-control bound on live sessions")
+    p_serve.add_argument("--quantum", type=int, default=64,
+                         help="pulls per scheduling step")
+    p_serve.add_argument("--max-pulls", type=int, default=None,
+                         help="default per-session pull budget")
+    p_serve.add_argument("--cache-capacity", type=int, default=128,
+                         help="result cache entries (0 disables caching)")
+    p_serve.add_argument("--cache-ttl", type=float, default=None,
+                         help="result cache TTL in seconds")
+    _add_workload_args(p_serve)
+    _add_obs_args(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
 
     p_info = sub.add_parser("info", help="library inventory")
     p_info.set_defaults(func=cmd_info)

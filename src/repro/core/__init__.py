@@ -32,6 +32,7 @@ from repro.core.pulling import (
     PullingStrategy,
     RoundRobin,
 )
+from repro.core.stepping import PENDING, ResumableOperator
 from repro.core.scoring import (
     AverageScore,
     CallableScore,
@@ -70,11 +71,13 @@ __all__ = [
     "MinScore",
     "OPERATORS",
     "PBRJ",
+    "PENDING",
     "PotentialAdaptive",
     "ProductScore",
     "PullingStrategy",
     "RIGHT",
     "RankTuple",
+    "ResumableOperator",
     "RoundRobin",
     "ScoringFunction",
     "SumScore",

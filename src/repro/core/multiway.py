@@ -26,6 +26,7 @@ from collections.abc import Sequence
 
 from repro.core.multiway_fr import MultiwayBound, MultiwayCornerBound
 from repro.core.scoring import ScoringFunction
+from repro.core.stepping import PENDING
 from repro.core.tuples import RankTuple
 from repro.errors import InstanceError, PullBudgetExceeded, TimeBudgetExceeded
 from repro.obs import NULL_OBS, Observability
@@ -114,6 +115,7 @@ class MultiwayRankJoin:
         self._output: list[tuple[float, int, MultiwayResult]] = []
         self._sequence = 0
         self._pulls = 0
+        self._history: list[MultiwayResult] = []
         self._emitted = 0
         self._max_pulls = max_pulls
         self._max_seconds = max_seconds
@@ -171,17 +173,30 @@ class MultiwayRankJoin:
     def get_next(self) -> MultiwayResult | None:
         """Next n-way join result in decreasing score order, or None."""
         with self._tracer.span("get_next"):
-            return self._get_next_inner()
+            return self._get_next_inner(None)
 
-    def _get_next_inner(self) -> MultiwayResult | None:
+    def try_next(self, max_pulls: int | None = None):
+        """Bounded step: advance by at most ``max_pulls`` pulls.
+
+        Returns the next :class:`MultiwayResult`, ``None`` when exhausted,
+        or :data:`~repro.core.stepping.PENDING` when the quantum elapsed
+        first (state retained; call again to continue).
+        """
+        with self._tracer.span("get_next"):
+            return self._get_next_inner(max_pulls)
+
+    def _get_next_inner(self, pull_quantum: int | None):
         if self._started_at is None:
             self._started_at = time.perf_counter()
+        pulled_here = 0
         while True:
             self._refresh_exhausted()
             if self._output and -self._output[0][0] >= self._bound() - SCORE_EPS:
                 break
             if all(self._exhausted):
                 break
+            if pull_quantum is not None and pulled_here >= pull_quantum:
+                return PENDING
             if self._max_seconds is not None:
                 elapsed = time.perf_counter() - self._started_at
                 if elapsed > self._max_seconds:
@@ -192,6 +207,7 @@ class MultiwayRankJoin:
             if rho is None:
                 continue
             self._pulls += 1
+            pulled_here += 1
             self._m_pulls[index].inc()
             if self._max_pulls is not None and self._pulls > self._max_pulls:
                 raise PullBudgetExceeded(self._pulls, self._max_pulls)
@@ -205,17 +221,22 @@ class MultiwayRankJoin:
             with self._tracer.span("emit"):
                 self._emitted += 1
                 self._m_emitted.inc()
-                return heapq.heappop(self._output)[2]
+                result = heapq.heappop(self._output)[2]
+                self._history.append(result)
+                return result
         return None
 
     def top_k(self, k: int) -> list[MultiwayResult]:
-        results = []
-        for _ in range(k):
-            result = self.get_next()
-            if result is None:
+        """The first ``k`` results overall (resumable prefix, as in PBRJ)."""
+        while len(self._history) < k:
+            if self.get_next() is None:
                 break
-            results.append(result)
-        return results
+        return self._history[:k]
+
+    @property
+    def emitted_results(self) -> list[MultiwayResult]:
+        """All results emitted so far (the retained resumable prefix)."""
+        return self._history
 
     def __iter__(self):
         while True:

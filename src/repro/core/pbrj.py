@@ -22,6 +22,7 @@ from collections.abc import Iterator
 from repro.core.bounds import LEFT, RIGHT, BoundContext, BoundingScheme
 from repro.core.pulling import PullingStrategy
 from repro.core.scoring import ScoringFunction
+from repro.core.stepping import PENDING
 from repro.core.tuples import JoinResult, RankTuple
 from repro.errors import PullBudgetExceeded, TimeBudgetExceeded
 from repro.obs import NULL_OBS, Observability
@@ -98,6 +99,7 @@ class PBRJ:
         self._t = float("inf")
         self._exhausted = [False, False]
         self._pulls = 0
+        self._history: list[JoinResult] = []
         self._max_pulls = max_pulls
         self._max_seconds = max_seconds
         self._started_at: float | None = None
@@ -142,17 +144,32 @@ class PBRJ:
     def get_next(self) -> JoinResult | None:
         """Return the next result of ``R1 ⋈ R2`` in decreasing score order."""
         with self._tracer.span("get_next"):
-            return self._get_next_inner()
+            return self._get_next_inner(None)
 
-    def _get_next_inner(self) -> JoinResult | None:
+    def try_next(self, max_pulls: int | None = None):
+        """Bounded step: advance by at most ``max_pulls`` pulls.
+
+        Returns the next :class:`JoinResult`, ``None`` when the output is
+        exhausted, or :data:`~repro.core.stepping.PENDING` when the quantum
+        elapsed before a result could be emitted.  All state is retained
+        between calls, so ``try_next`` interleaves freely with ``get_next``
+        (the resumable execution contract of :mod:`repro.core.stepping`).
+        """
+        with self._tracer.span("get_next"):
+            return self._get_next_inner(max_pulls)
+
+    def _get_next_inner(self, pull_quantum: int | None):
         if self._started_at is None:
             self._started_at = time.perf_counter()
+        pulled_here = 0
         while True:
             self._refresh_exhausted()
             if self._output and self._peek_score() >= self._t - SCORE_EPS:
                 break
             if all(self._exhausted):
                 break
+            if pull_quantum is not None and pulled_here >= pull_quantum:
+                return PENDING
             if self._max_seconds is not None:
                 elapsed = time.perf_counter() - self._started_at
                 if elapsed > self._max_seconds:
@@ -163,6 +180,7 @@ class PBRJ:
             if rho is None:  # concurrent exhaustion guard
                 continue
             self._pulls += 1
+            pulled_here += 1
             self._m_pulls[side].inc()
             if self._max_pulls is not None and self._pulls > self._max_pulls:
                 raise PullBudgetExceeded(self._pulls, self._max_pulls)
@@ -178,7 +196,9 @@ class PBRJ:
             with self._tracer.span("emit"):
                 self._emitted += 1
                 self._m_emitted.inc()
-                return heapq.heappop(self._output)[2]
+                result = heapq.heappop(self._output)[2]
+                self._history.append(result)
+                return result
         return None
 
     def __iter__(self) -> Iterator[JoinResult]:
@@ -189,14 +209,24 @@ class PBRJ:
             yield result
 
     def top_k(self, k: int) -> list[JoinResult]:
-        """Answer ``k`` getNext calls; may return fewer if output is smaller."""
-        results = []
-        for _ in range(k):
-            result = self.get_next()
-            if result is None:
+        """The first ``k`` join results overall, in decreasing score order.
+
+        Resumable: emitted results are retained, so after ``top_k(k)`` a
+        later ``top_k(k + m)`` continues pulling from the retained operator
+        state instead of restarting — only the ``m`` extra results cost new
+        work.  ``top_k(k')`` for ``k' <= k`` is answered from the retained
+        prefix with zero pulls.  May return fewer than ``k`` results if the
+        join output is smaller.
+        """
+        while len(self._history) < k:
+            if self.get_next() is None:
                 break
-            results.append(result)
-        return results
+        return self._history[:k]
+
+    @property
+    def emitted_results(self) -> list[JoinResult]:
+        """All results emitted so far (the retained resumable prefix)."""
+        return self._history
 
     # ------------------------------------------------------------------
     # Internals

@@ -11,6 +11,7 @@ from repro.data.workload import (
     WorkloadParams,
     anti_correlated_instance,
     lineitem_orders_instance,
+    load_workload,
     pipeline_tables,
     random_instance,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "generate_tpch",
     "ideal_point_present",
     "lineitem_orders_instance",
+    "load_workload",
     "pipeline_tables",
     "random_instance",
     "sample_zipf_ranks",

@@ -9,13 +9,16 @@ synthetic generator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import json
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.scoring import ScoringFunction, SumScore
 from repro.data.scores import generate_score_vectors
 from repro.data.tpch import Table, TPCHConfig, generate_tpch
+from repro.errors import WorkloadError
 from repro.relation.cost import CostModel
 from repro.relation.relation import RankJoinInstance, Relation
 
@@ -43,6 +46,48 @@ class WorkloadParams:
             score_cut=self.c,
             join_skew=self.join_skew,
         )
+
+
+def load_workload(path: str | Path) -> WorkloadParams:
+    """Load :class:`WorkloadParams` from a JSON file.
+
+    The file must hold one JSON object whose keys are a subset of the
+    ``WorkloadParams`` fields (``e``, ``c``, ``z``, ``k``, ``scale``,
+    ``join_skew``, ``seed``).  Any problem — missing file, invalid JSON,
+    unknown keys, non-numeric values — raises
+    :class:`~repro.errors.WorkloadError` with a one-line message suitable
+    for direct CLI display.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise WorkloadError(f"cannot read workload file {path}: {exc.strerror or exc}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise WorkloadError(f"workload file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise WorkloadError(
+            f"workload file {path} must hold a JSON object, got {type(payload).__name__}"
+        )
+    known = {f.name: f.type for f in fields(WorkloadParams)}
+    unknown = sorted(set(payload) - set(known))
+    if unknown:
+        raise WorkloadError(
+            f"workload file {path} has unknown keys {unknown}; "
+            f"known keys: {sorted(known)}"
+        )
+    for key, value in payload.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise WorkloadError(
+                f"workload file {path}: key {key!r} must be a number, "
+                f"got {value!r}"
+            )
+    try:
+        return WorkloadParams(**payload)
+    except TypeError as exc:  # pragma: no cover - defensive
+        raise WorkloadError(f"workload file {path}: {exc}") from exc
 
 
 def lineitem_orders_instance(

@@ -41,3 +41,30 @@ class TimeBudgetExceeded(ReproError):
 
 class InstanceError(ReproError):
     """A rank join instance is malformed (e.g. K exceeds the join size)."""
+
+
+class WorkloadError(ReproError):
+    """A workload description file is missing or malformed.
+
+    Raised by :func:`repro.data.workload.load_workload`; the CLI turns it
+    into a clean one-line error and a nonzero exit code.
+    """
+
+
+class BudgetExhausted(ReproError):
+    """A query session spent its pull budget before completing its top-K.
+
+    Unlike :class:`PullBudgetExceeded` (raised from inside an operator,
+    aborting the run), this is the *graceful* service-layer variant: the
+    session ends with the partial answer it had accumulated, and this error
+    is raised only when the caller explicitly demands a complete answer.
+    """
+
+    def __init__(self, produced: int, requested: int, budget: int) -> None:
+        super().__init__(
+            f"pull budget {budget} exhausted after {produced} of "
+            f"{requested} results"
+        )
+        self.produced = produced
+        self.requested = requested
+        self.budget = budget

@@ -10,6 +10,7 @@ be run repeatedly on identical inputs.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Sequence
 from typing import Any
 
@@ -20,6 +21,26 @@ from repro.core.tuples import RankTuple
 from repro.errors import InstanceError
 from repro.relation.cost import CostModel
 from repro.relation.sources import SortedScan
+
+
+def _canonical_payload(payload: Any) -> str:
+    """A deterministic textual form of a tuple payload for hashing."""
+    if payload is None:
+        return ""
+    if isinstance(payload, dict):
+        items = sorted((str(k), repr(v)) for k, v in payload.items())
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    return repr(payload)
+
+
+def _tuple_digest(tup: RankTuple) -> bytes:
+    """A per-tuple content digest: join key, full-precision scores, payload."""
+    parts = (
+        repr(tup.key),
+        ",".join(repr(float(s)) for s in tup.scores),
+        _canonical_payload(tup.payload),
+    )
+    return hashlib.sha256("\x1f".join(parts).encode()).digest()
 
 
 class Relation:
@@ -34,6 +55,26 @@ class Relation:
                 f"relation {name!r} mixes score dimensions: {sorted(dims)}"
             )
         self.dimension = dims.pop() if dims else 0
+        self._fingerprint: str | None = None
+
+    def fingerprint(self) -> str:
+        """Stable content hash over the bag of (key, scores, payload).
+
+        Order-insensitive: permuted-but-equal relations hash equal, and any
+        change to a key, a score (at full float precision), or a payload
+        changes the digest.  The relation *name* is deliberately excluded —
+        two differently-named copies of the same data are the same content.
+        The digest is computed once and cached; relations are treated as
+        immutable after construction (mutating ``tuples`` in place will not
+        refresh a cached fingerprint).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(f"e={self.dimension};n={len(self.tuples)};".encode())
+            for tuple_digest in sorted(_tuple_digest(t) for t in self.tuples):
+                digest.update(tuple_digest)
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     @classmethod
     def from_arrays(

@@ -1,0 +1,73 @@
+"""Concurrent rank-join query service.
+
+This subsystem turns the library's incremental operators into a
+multi-query serving layer:
+
+* :class:`~repro.service.query.QuerySpec` — one top-K query over shared
+  relations, with a canonical content fingerprint;
+* :class:`~repro.service.session.QuerySession` — a suspendable execution
+  advancing in bounded pull-quantum steps;
+* :class:`~repro.service.scheduler.Scheduler` — cooperative multiplexing
+  under pluggable policies (round-robin, deadline/priority, shortest
+  remaining bound gap) with admission control and pull budgets;
+* :class:`~repro.service.cache.ResultCache` — LRU + TTL top-K prefix
+  cache with reuse (``k' <= K`` answered with zero pulls) and extension
+  (``k' > K`` resumes the suspended operator);
+* :class:`~repro.service.service.QueryService` — the facade gluing the
+  above together;
+* :class:`~repro.service.server.RankJoinServer` and
+  :class:`~repro.service.client.ServiceClient` — an asyncio JSON-lines
+  protocol served by ``python -m repro serve``.
+
+Quickstart (in-process)::
+
+    from repro import QueryService, QuerySpec, random_instance
+
+    instance = random_instance(n_left=500, n_right=500, e_left=2,
+                               e_right=2, num_keys=50, k=10)
+    service = QueryService(policy="round-robin", max_live=4)
+    spec = QuerySpec(relations=(instance.left, instance.right), k=10)
+    results = service.run_query(spec)        # computes
+    results = service.run_query(spec)        # served from cache, 0 pulls
+"""
+
+from repro.service.cache import CacheEntry, ResultCache
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.query import QuerySpec, scoring_fingerprint
+from repro.service.scheduler import (
+    POLICIES,
+    BoundGapPolicy,
+    DeadlinePolicy,
+    RoundRobinPolicy,
+    Scheduler,
+    SchedulingPolicy,
+    make_policy,
+)
+from repro.service.server import RankJoinServer
+from repro.service.service import QueryService
+from repro.service.session import (
+    DEFAULT_QUANTUM,
+    QuerySession,
+    SessionState,
+)
+
+__all__ = [
+    "BoundGapPolicy",
+    "CacheEntry",
+    "DEFAULT_QUANTUM",
+    "DeadlinePolicy",
+    "POLICIES",
+    "QueryService",
+    "QuerySession",
+    "QuerySpec",
+    "RankJoinServer",
+    "ResultCache",
+    "RoundRobinPolicy",
+    "Scheduler",
+    "SchedulingPolicy",
+    "ServiceClient",
+    "ServiceError",
+    "SessionState",
+    "make_policy",
+    "scoring_fingerprint",
+]

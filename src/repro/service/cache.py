@@ -1,0 +1,184 @@
+"""Result cache for top-K answers, with prefix reuse and extension.
+
+Keyed by the canonical query fingerprint (relation content hashes +
+scoring identity + plan shape — see
+:meth:`repro.service.query.QuerySpec.fingerprint`), the cache stores the
+longest top-K prefix computed so far for each distinct query:
+
+* **Prefix reuse** — a cached top-K answers any ``k' <= K`` request (and
+  any ``k'`` at all once the join output is known exhausted) without
+  touching an operator: zero pulls, counted as a hit.
+* **Prefix extension** — for ``k' > K`` the cache can hand back the
+  *suspended operator* that produced the prefix (resumable ``top_k``
+  retains all operator state), so only the ``k' - K`` marginal results
+  cost new pulls.  The continuation is checked out exclusively; it is
+  returned — with the longer prefix — when the extending session ends.
+
+Eviction is LRU over a bounded number of entries, with an optional TTL so
+long-lived servers do not serve stale answers after relation reloads.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs import Observability
+
+
+@dataclass
+class CacheEntry:
+    """The retained answer prefix (and optional continuation) for one query."""
+
+    results: list = field(default_factory=list)
+    exhausted: bool = False
+    operator: Any = None
+    created_at: float = 0.0
+    hits: int = 0
+
+    def covers(self, k: int) -> bool:
+        return self.exhausted or len(self.results) >= k
+
+
+class ResultCache:
+    """LRU + TTL cache of top-K prefixes keyed by query fingerprint."""
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 128,
+        ttl: float | None = None,
+        obs: Observability | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.ttl = ttl
+        self._clock = clock
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        # Default to an enabled exporter-less pipeline so hit/miss/eviction
+        # counters (and therefore stats()/hit_rate()) work standalone.
+        self._obs = obs if obs is not None else Observability()
+        metrics = self._obs.metrics
+        self._m_hits = metrics.counter("service_cache_hits_total")
+        self._m_misses = metrics.counter("service_cache_misses_total")
+        self._m_evictions = metrics.counter("service_cache_evictions_total")
+        self._m_expirations = metrics.counter("service_cache_expirations_total")
+        self._m_size = metrics.gauge("service_cache_size")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, key: str, k: int) -> list | None:
+        """The cached top-``k`` if fully answerable, else None.
+
+        Counts exactly one hit or one miss per call and refreshes LRU
+        recency on hits.
+        """
+        entry = self._fresh_entry(key)
+        if entry is not None and entry.covers(k):
+            entry.hits += 1
+            self._entries.move_to_end(key)
+            self._m_hits.inc()
+            return list(entry.results[:k])
+        self._m_misses.inc()
+        return None
+
+    def take_continuation(self, key: str) -> tuple[list, Any] | None:
+        """Check out the suspended operator for prefix extension.
+
+        Returns ``(prefix_results, operator)`` and removes the operator
+        from the entry so concurrent sessions cannot share live operator
+        state; the prefix results stay behind for ``k' <= K`` hits.  None
+        when there is no entry or its continuation is already checked out.
+        """
+        entry = self._fresh_entry(key)
+        if entry is None or entry.operator is None or entry.exhausted:
+            return None
+        operator = entry.operator
+        entry.operator = None
+        self._entries.move_to_end(key)
+        return list(entry.results), operator
+
+    # ------------------------------------------------------------------
+    # Store
+    # ------------------------------------------------------------------
+    def store(
+        self,
+        key: str,
+        results: list,
+        *,
+        exhausted: bool = False,
+        operator: Any = None,
+    ) -> None:
+        """Retain ``results`` for ``key`` if they improve on what is held.
+
+        A shorter prefix never overwrites a longer one (a concurrent
+        ``k' < K`` session finishing late must not shrink the entry);
+        the continuation operator is (re)attached whenever the stored
+        prefix is the one it produced.
+        """
+        now = self._clock()
+        entry = self._fresh_entry(key)
+        if entry is None:
+            entry = CacheEntry(created_at=now)
+            self._entries[key] = entry
+        if len(results) > len(entry.results) or exhausted:
+            entry.results = list(results)
+            entry.exhausted = entry.exhausted or exhausted
+            entry.operator = None if exhausted else operator
+        elif entry.operator is None and operator is not None \
+                and len(results) == len(entry.results) and not entry.exhausted:
+            entry.operator = operator
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._m_evictions.inc()
+        self._m_size.set(len(self._entries))
+
+    def invalidate(self, key: str) -> bool:
+        return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._m_size.set(0)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "ttl": self.ttl,
+            "hits": self._m_hits.value,
+            "misses": self._m_misses.value,
+            "evictions": self._m_evictions.value,
+            "expirations": self._m_expirations.value,
+            "hit_rate": self.hit_rate(),
+        }
+
+    def hit_rate(self) -> float:
+        total = self._m_hits.value + self._m_misses.value
+        return self._m_hits.value / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _fresh_entry(self, key: str) -> CacheEntry | None:
+        """The entry for ``key`` after TTL expiry, or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if self.ttl is not None and self._clock() - entry.created_at > self.ttl:
+            del self._entries[key]
+            self._m_expirations.inc()
+            self._m_size.set(len(self._entries))
+            return None
+        return entry

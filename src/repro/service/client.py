@@ -1,0 +1,134 @@
+"""Thin blocking client for the JSON-lines query service.
+
+Speaks the :mod:`repro.service.server` wire protocol over one persistent
+TCP connection.  Safe to use from multiple threads only if each thread
+owns its own client.  Typical use::
+
+    with ServiceClient("127.0.0.1", 7411) as client:
+        sid = client.submit(left="lineitem", right="orders", k=10)
+        final = client.wait(sid, timeout=30.0)
+        print(final["scores"])
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``ok: false``."""
+
+
+class ServiceClient:
+    """Blocking JSON-lines client for :class:`~repro.service.server.RankJoinServer`."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file = None
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def connect(self) -> "ServiceClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._file = self._sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def request(self, payload: dict) -> dict:
+        """Send one request object, return the decoded response.
+
+        Raises :class:`ServiceError` on an ``ok: false`` answer and
+        ``ConnectionError`` if the server hung up mid-exchange.
+        """
+        self.connect()
+        self._file.write((json.dumps(payload) + "\n").encode())
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok", False):
+            raise ServiceError(response.get("error", "unknown server error"))
+        return response
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    def submit(self, **query) -> str:
+        """Submit a query (see the server protocol); returns the session id."""
+        return self.request({"verb": "submit", **query})["session"]
+
+    def poll(self, session_id: str) -> dict:
+        return self.request({"verb": "poll", "session": session_id})
+
+    def cancel(self, session_id: str) -> bool:
+        return self.request({"verb": "cancel", "session": session_id})["cancelled"]
+
+    def stats(self) -> dict:
+        return self.request({"verb": "stats"})
+
+    def shutdown(self) -> None:
+        """Ask the server to stop serving (acknowledged before it stops)."""
+        self.request({"verb": "shutdown"})
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def wait(
+        self,
+        session_id: str,
+        *,
+        timeout: float = 30.0,
+        interval: float = 0.01,
+    ) -> dict:
+        """Poll until the session reaches a terminal state.
+
+        Returns the final snapshot; raises ``TimeoutError`` if the session
+        is still live after ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.poll(session_id)
+            if snapshot["state"] in ("DONE", "CANCELLED", "FAILED"):
+                return snapshot
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"session {session_id} still {snapshot['state']} "
+                    f"after {timeout}s"
+                )
+            time.sleep(interval)
+
+    def run(self, *, timeout: float = 30.0, **query) -> dict:
+        """Submit, wait, and return the final snapshot in one call."""
+        return self.wait(self.submit(**query), timeout=timeout)

@@ -1,0 +1,149 @@
+"""Query descriptions and canonical fingerprints for the service layer.
+
+A :class:`QuerySpec` is everything needed to evaluate one top-K rank join:
+the input relations (two for the binary PBRJ family, more for the multiway
+chain), the monotone scoring function, the requested ``k``, and the
+operator to run.  Specs are the unit of admission into the
+:class:`~repro.service.service.QueryService` and the source of the
+:class:`~repro.service.cache.ResultCache` key.
+
+The cache key deliberately **excludes** ``k``: two queries that differ only
+in ``k`` share one cache entry, because a retained top-K prefix answers any
+``k' <= k`` request directly and — thanks to resumable ``top_k`` — can be
+*extended* in place for ``k' > k``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.operators import OPERATORS, make_operator
+from repro.core.multiway import multiway_rank_join
+from repro.core.scoring import ScoringFunction, SumScore
+from repro.errors import InstanceError
+from repro.relation.relation import RankJoinInstance, Relation
+
+
+def scoring_fingerprint(scoring: ScoringFunction) -> str:
+    """A stable identity string for a scoring function.
+
+    Built from the class name plus every simple constructor parameter
+    (numbers, strings, tuples; numpy arrays are flattened to floats).
+    Scoring functions wrapping arbitrary callables cannot be fingerprinted
+    stably, so they fall back to ``id()`` — each instance gets a private
+    cache namespace rather than risking a false cache share.
+    """
+    params = []
+    opaque = False
+    for name, value in sorted(vars(scoring).items()):
+        if isinstance(value, np.ndarray):
+            value = tuple(float(v) for v in value.ravel())
+        if isinstance(value, (list, tuple)):
+            simple = all(isinstance(v, (int, float, str, bool)) for v in value)
+            if simple:
+                params.append((name, tuple(value)))
+                continue
+            opaque = True
+        elif isinstance(value, (int, float, str, bool)) or value is None:
+            params.append((name, value))
+        elif callable(value):
+            opaque = True
+    identity = f"{type(scoring).__name__}:{params!r}"
+    if opaque:
+        identity += f":opaque@{id(scoring)}"
+    return identity
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One top-K rank join query over shared relations.
+
+    Parameters
+    ----------
+    relations:
+        Two relations for a binary join on the tuple key, or ``n >= 3``
+        relations joined along a chain of payload attributes.
+    k:
+        Number of results requested.
+    scoring:
+        Monotone aggregate (default :class:`~repro.core.scoring.SumScore`).
+    operator:
+        Registry name from :data:`~repro.core.operators.OPERATORS` for
+        binary joins (default ``"FRPA"``); multiway queries always run the
+        multiway HRJN*-style operator.
+    join_attrs:
+        Chain attributes for multiway queries (``len(relations) - 1``
+        entries); must be empty for binary queries.
+    """
+
+    relations: tuple[Relation, ...]
+    k: int
+    scoring: ScoringFunction = field(default_factory=SumScore)
+    operator: str = "FRPA"
+    join_attrs: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "relations", tuple(self.relations))
+        object.__setattr__(self, "join_attrs", tuple(self.join_attrs))
+        if self.k < 1:
+            raise InstanceError("K must be positive")
+        if len(self.relations) < 2:
+            raise InstanceError("a query needs at least two relations")
+        if len(self.relations) == 2:
+            if self.join_attrs:
+                raise InstanceError("binary queries join on the tuple key; "
+                                    "join_attrs is for 3+ relations")
+            if self.operator not in OPERATORS:
+                raise InstanceError(
+                    f"unknown operator {self.operator!r}; "
+                    f"choose from {sorted(OPERATORS)}"
+                )
+        elif len(self.join_attrs) != len(self.relations) - 1:
+            raise InstanceError(
+                f"need {len(self.relations) - 1} join attributes for "
+                f"{len(self.relations)} relations, got {len(self.join_attrs)}"
+            )
+
+    @property
+    def is_multiway(self) -> bool:
+        return len(self.relations) > 2
+
+    def fingerprint(self) -> str:
+        """Canonical cache key: relation content + scoring + plan shape.
+
+        Excludes ``k`` (prefix reuse) but includes the operator name so a
+        cached answer is byte-identical to what the same query would
+        produce when run serially — operators agree on the top-K *set* but
+        may order exact score ties differently.
+        """
+        digest = hashlib.sha256()
+        for relation in self.relations:
+            digest.update(relation.fingerprint().encode())
+            digest.update(b";")
+        digest.update(scoring_fingerprint(self.scoring).encode())
+        digest.update(b";")
+        digest.update(self.operator.encode() if not self.is_multiway else b"multiway")
+        digest.update(b";")
+        digest.update(",".join(self.join_attrs).encode())
+        return digest.hexdigest()
+
+    def build_operator(self, *, obs=None):
+        """A fresh resumable operator evaluating this query from scratch."""
+        if self.is_multiway:
+            return multiway_rank_join(
+                list(self.relations),
+                list(self.join_attrs),
+                self.scoring,
+                obs=obs,
+            )
+        instance = RankJoinInstance(
+            self.relations[0], self.relations[1], self.scoring, self.k
+        )
+        return make_operator(self.operator, instance, obs=obs)
+
+    def describe(self) -> str:
+        names = " ⋈ ".join(r.name for r in self.relations)
+        return f"{names} top-{self.k} via {self.operator}"

@@ -1,0 +1,299 @@
+"""Cooperative scheduling of concurrent query sessions.
+
+The :class:`Scheduler` multiplexes many :class:`~repro.service.session.
+QuerySession` objects over one thread of control: each :meth:`tick` picks
+one live session under a pluggable :class:`SchedulingPolicy` and advances
+it by one pull quantum.  Because every session owns its operator and its
+sources, interleaving **cannot** change any query's answer or its depths
+relative to serial execution — the scheduler only changes *when* work
+happens, never *what* work happens (asserted by the determinism tests).
+
+Admission control bounds memory: at most ``max_live`` sessions hold live
+operator state; further submissions queue FIFO and are admitted as live
+sessions finish or are cancelled.  Per-session pull budgets are enforced
+inside the sessions themselves (graceful partial answers).
+
+Policies
+--------
+``round-robin``
+    Cycle through live sessions in admission order (fair, deterministic).
+``deadline``
+    Earliest deadline first, then highest priority (lower number wins),
+    then admission order — sessions without deadlines sort last.
+``bound-gap``
+    Shortest remaining bound gap first: favours sessions whose next result
+    is almost provable, minimizing mean completion latency (the rank-join
+    analogue of shortest-remaining-time-first).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from collections.abc import Sequence
+
+from repro.obs import Observability
+from repro.service.session import QuerySession, SessionState
+
+#: Histogram boundaries for session latency in seconds.
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+class SchedulingPolicy(ABC):
+    """Chooses which live session receives the next pull quantum."""
+
+    name: str = "policy"
+
+    @abstractmethod
+    def choose(self, sessions: Sequence[QuerySession]) -> QuerySession:
+        """Pick one of ``sessions`` (all live, never empty)."""
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Fair rotation in admission order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, sessions: Sequence[QuerySession]) -> QuerySession:
+        session = sessions[self._cursor % len(sessions)]
+        self._cursor += 1
+        return session
+
+
+class DeadlinePolicy(SchedulingPolicy):
+    """Earliest deadline, then priority, then admission order."""
+
+    name = "deadline"
+
+    def choose(self, sessions: Sequence[QuerySession]) -> QuerySession:
+        return min(
+            sessions,
+            key=lambda s: (
+                s.deadline if s.deadline is not None else float("inf"),
+                s.priority,
+                s.submitted_at,
+                s.session_id,
+            ),
+        )
+
+
+class BoundGapPolicy(SchedulingPolicy):
+    """Shortest remaining bound gap (closest-to-emitting) first.
+
+    Sessions that have buffered a candidate close to the current bound get
+    priority; among gapless sessions, the one missing the fewest results
+    wins.  Deterministic: ties break on session id.
+    """
+
+    name = "bound-gap"
+
+    def choose(self, sessions: Sequence[QuerySession]) -> QuerySession:
+        return min(
+            sessions,
+            key=lambda s: (
+                s.bound_gap(),
+                s.k - len(s.results),
+                s.session_id,
+            ),
+        )
+
+
+POLICIES: dict[str, type[SchedulingPolicy]] = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    DeadlinePolicy.name: DeadlinePolicy,
+    BoundGapPolicy.name: BoundGapPolicy,
+}
+
+
+def make_policy(policy: str | SchedulingPolicy) -> SchedulingPolicy:
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    try:
+        return POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling policy {policy!r}; choose from {sorted(POLICIES)}"
+        ) from None
+
+
+class Scheduler:
+    """Cooperative multiplexer with admission control.
+
+    Parameters
+    ----------
+    policy:
+        Policy name or instance (default round-robin).
+    max_live:
+        Maximum sessions holding live operator state; excess submissions
+        queue FIFO.
+    obs:
+        Optional observability pipeline: queue-depth / live-session
+        gauges, per-policy pull counters, per-state session counters, and
+        a session latency histogram.
+    """
+
+    def __init__(
+        self,
+        *,
+        policy: str | SchedulingPolicy = "round-robin",
+        max_live: int = 8,
+        obs: Observability | None = None,
+    ) -> None:
+        if max_live < 1:
+            raise ValueError("max_live must be at least 1")
+        self.policy = make_policy(policy)
+        self.max_live = max_live
+        self._live: list[QuerySession] = []
+        self._queue: deque[QuerySession] = deque()
+        self._finished: list[QuerySession] = []
+        self._on_finish = []
+        # Default to an enabled exporter-less pipeline so the pull counter
+        # backing stats() works even without a caller-supplied obs.
+        self._obs = obs if obs is not None else Observability()
+        metrics = self._obs.metrics
+        self._m_queue_depth = metrics.gauge("service_queue_depth")
+        self._m_live = metrics.gauge("service_live_sessions")
+        self._m_pulls = metrics.counter("service_pulls_total", policy=self.policy.name)
+        self._m_latency = metrics.histogram(
+            "service_session_seconds", buckets=LATENCY_BUCKETS,
+            policy=self.policy.name,
+        )
+        self._m_finished = {
+            state: metrics.counter("service_sessions_total", state=state.value)
+            for state in (SessionState.DONE, SessionState.CANCELLED, SessionState.FAILED)
+        }
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, session: QuerySession) -> QuerySession:
+        """Admit a session (live if a slot is free, else queued FIFO)."""
+        if session.done:
+            # Pre-answered (cache hit): bypass admission entirely.
+            self._retire(session)
+            return session
+        if len(self._live) < self.max_live:
+            self._live.append(session)
+        else:
+            self._queue.append(session)
+        self._export_gauges()
+        return session
+
+    def on_finish(self, callback) -> None:
+        """Register ``callback(session)`` to run when a session ends."""
+        self._on_finish.append(callback)
+
+    def cancel(self, session_id: str) -> bool:
+        """Cancel a live or queued session, freeing its admission slot."""
+        for index, session in enumerate(self._queue):
+            if session.session_id == session_id:
+                del self._queue[index]
+                session.cancel()
+                self._retire(session)
+                self._export_gauges()
+                return True
+        for session in list(self._live):
+            if session.session_id == session_id:
+                session.cancel()
+                self._reap(session)
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def tick(self) -> bool:
+        """Advance one session by one quantum; False when fully idle."""
+        if not self._live and not self._queue:
+            return False
+        if not self._live:
+            self._admit()
+        session = self.policy.choose(self._live)
+        pulls_before = session.pulls
+        session.step()
+        self._m_pulls.inc(session.pulls - pulls_before)
+        if session.done:
+            self._reap(session)
+        return True
+
+    def run_until_complete(self) -> list[QuerySession]:
+        """Drive ticks until every admitted session has ended."""
+        while self.tick():
+            pass
+        return self._finished
+
+    def drain(self, session_id: str) -> QuerySession | None:
+        """Tick until the named session ends (other sessions share ticks)."""
+        target = self.find(session_id)
+        if target is None:
+            return None
+        while target.live and self.tick():
+            pass
+        return target
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def find(self, session_id: str) -> QuerySession | None:
+        for pool in (self._live, self._queue, self._finished):
+            for session in pool:
+                if session.session_id == session_id:
+                    return session
+        return None
+
+    @property
+    def live_sessions(self) -> list[QuerySession]:
+        return list(self._live)
+
+    @property
+    def queued_sessions(self) -> list[QuerySession]:
+        return list(self._queue)
+
+    @property
+    def finished_sessions(self) -> list[QuerySession]:
+        return list(self._finished)
+
+    def stats(self) -> dict:
+        by_state: dict[str, int] = {}
+        for session in self._finished:
+            by_state[session.state.value] = by_state.get(session.state.value, 0) + 1
+        return {
+            "policy": self.policy.name,
+            "max_live": self.max_live,
+            "live": len(self._live),
+            "queued": len(self._queue),
+            "finished": by_state,
+            "pulls": self._m_pulls.value,
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _admit(self) -> None:
+        while self._queue and len(self._live) < self.max_live:
+            self._live.append(self._queue.popleft())
+        self._export_gauges()
+
+    def _reap(self, session: QuerySession) -> None:
+        self._live.remove(session)
+        self._retire(session)
+        self._admit()
+
+    def _retire(self, session: QuerySession) -> None:
+        self._finished.append(session)
+        self._m_finished.get(session.state, self._m_finished[SessionState.DONE]).inc()
+        if session.latency is not None:
+            self._m_latency.observe(session.latency)
+        for callback in self._on_finish:
+            callback(session)
+        self._export_gauges()
+
+    def _export_gauges(self) -> None:
+        self._m_queue_depth.set(len(self._queue))
+        self._m_live.set(len(self._live))

@@ -1,0 +1,208 @@
+"""Asyncio JSON-lines server exposing the query service over a socket.
+
+Wire protocol: one JSON object per line, one JSON object back per line.
+Verbs (the ``verb`` field selects one):
+
+``submit``
+    ``{"verb": "submit", "left": "lineitem", "right": "orders", "k": 10,
+    "operator": "FRPA", "weights": [[...], [...]], "max_pulls": 5000,
+    "priority": 0, "deadline": 12.5}`` →
+    ``{"ok": true, "session": "s7", "state": "PENDING"}``.
+    ``left``/``right`` name relations registered with the server; an
+    optional per-side ``weights`` list selects a weighted-sum scoring
+    function instead of the plain sum.
+``poll``
+    ``{"verb": "poll", "session": "s7"}`` → the session snapshot (state,
+    scores so far, pulls, depths, cache provenance).
+``cancel``
+    ``{"verb": "cancel", "session": "s7"}`` → ``{"ok": true, "cancelled":
+    true}``.
+``stats``
+    scheduler + cache + relation inventory.
+``shutdown``
+    acknowledges, then stops the server loop (used for clean shutdown in
+    tests and the CI smoke job).
+
+The server drives the scheduler from a single background task — one pull
+quantum per loop iteration, yielding to the event loop between quanta — so
+any number of client connections share one cooperative executor and
+results stay deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+from repro.core.scoring import SumScore, WeightedSum
+from repro.errors import ReproError
+from repro.relation.relation import Relation
+from repro.service.query import QuerySpec
+from repro.service.service import QueryService
+
+
+class RankJoinServer:
+    """Serves top-K rank join queries over named shared relations."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        relations: dict[str, Relation],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.relations = dict(relations)
+        self.host = host
+        self.port = port  # 0 → ephemeral; updated once bound
+        self.ready = threading.Event()  # set once the socket is listening
+        self._shutdown: asyncio.Event | None = None
+        self._server: asyncio.base_events.Server | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Bind, serve until shutdown, and tear down (blocking)."""
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._shutdown = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.ready.set()
+        driver = asyncio.create_task(self._drive())
+        try:
+            await self._shutdown.wait()
+        finally:
+            driver.cancel()
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def _drive(self) -> None:
+        """Advance the scheduler one quantum at a time, cooperatively."""
+        while True:
+            progressed = self.service.tick()
+            # Yield to the event loop after every quantum; back off briefly
+            # when idle so an idle server does not spin.
+            await asyncio.sleep(0 if progressed else 0.005)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not reader.at_eof():
+                line = await reader.readline()
+                if not line:
+                    break
+                response = self._dispatch_line(line)
+                writer.write((json.dumps(response) + "\n").encode())
+                await writer.drain()
+                if response.get("shutting_down"):
+                    self._shutdown.set()
+                    break
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    def _dispatch_line(self, line: bytes) -> dict:
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return {"ok": False, "error": f"invalid JSON: {exc}"}
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
+        verb = request.get("verb")
+        handler = {
+            "submit": self._verb_submit,
+            "poll": self._verb_poll,
+            "cancel": self._verb_cancel,
+            "stats": self._verb_stats,
+            "shutdown": self._verb_shutdown,
+        }.get(verb)
+        if handler is None:
+            return {"ok": False, "error": f"unknown verb {verb!r}"}
+        try:
+            return handler(request)
+        except ReproError as exc:
+            return {"ok": False, "error": str(exc)}
+        except (KeyError, TypeError, ValueError) as exc:
+            return {"ok": False, "error": f"bad request: {exc}"}
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    def _verb_submit(self, request: dict) -> dict:
+        spec = self._parse_spec(request)
+        session_id = self.service.submit(
+            spec,
+            priority=int(request.get("priority", 0)),
+            deadline=request.get("deadline"),
+            max_pulls=request.get("max_pulls"),
+        )
+        session = self.service.session(session_id)
+        return {
+            "ok": True,
+            "session": session_id,
+            "state": session.state.value,
+            "from_cache": session.from_cache,
+        }
+
+    def _verb_poll(self, request: dict) -> dict:
+        snapshot = self.service.poll(str(request["session"]))
+        if snapshot is None:
+            return {"ok": False, "error": f"no session {request['session']!r}"}
+        return {"ok": True, **snapshot}
+
+    def _verb_cancel(self, request: dict) -> dict:
+        cancelled = self.service.cancel(str(request["session"]))
+        return {"ok": True, "cancelled": cancelled}
+
+    def _verb_stats(self, request: dict) -> dict:
+        payload = self.service.stats()
+        payload["relations"] = {
+            name: len(relation) for name, relation in self.relations.items()
+        }
+        return {"ok": True, **payload}
+
+    def _verb_shutdown(self, request: dict) -> dict:
+        return {"ok": True, "shutting_down": True}
+
+    # ------------------------------------------------------------------
+    # Request parsing
+    # ------------------------------------------------------------------
+    def _parse_spec(self, request: dict) -> QuerySpec:
+        names = request.get("relations")
+        if names is None:
+            names = [request["left"], request["right"]]
+        missing = [n for n in names if n not in self.relations]
+        if missing:
+            raise ValueError(
+                f"unknown relations {missing}; registered: {sorted(self.relations)}"
+            )
+        relations = tuple(self.relations[n] for n in names)
+        weights = request.get("weights")
+        if weights is not None:
+            flat = [float(w) for side in weights for w in side]
+            scoring = WeightedSum(flat)
+        else:
+            scoring = SumScore()
+        return QuerySpec(
+            relations=relations,
+            k=int(request["k"]),
+            scoring=scoring,
+            operator=str(request.get("operator", "FRPA")),
+            join_attrs=tuple(request.get("join_attrs", ())),
+        )

@@ -1,0 +1,191 @@
+"""The query service facade: cache-aware session submission and driving.
+
+:class:`QueryService` ties the service layer together: it fingerprints an
+incoming :class:`~repro.service.query.QuerySpec`, consults the
+:class:`~repro.service.cache.ResultCache` (full hit → the session is born
+``DONE`` with zero pulls; partial hit → the suspended operator is checked
+out and extended), otherwise builds a fresh operator, and admits the
+session to the cooperative :class:`~repro.service.scheduler.Scheduler`.
+Finished sessions feed their (possibly partial, still-resumable) prefix
+back into the cache.
+
+The facade is synchronous and single-threaded by design — the asyncio
+server drives it from one task via :meth:`tick` — and fully instrumented
+through :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.obs import Observability
+from repro.service.cache import ResultCache
+from repro.service.query import QuerySpec
+from repro.service.scheduler import Scheduler, SchedulingPolicy
+from repro.service.session import DEFAULT_QUANTUM, QuerySession, SessionState
+
+
+class QueryService:
+    """Runs many concurrent top-K queries over shared relations.
+
+    Parameters
+    ----------
+    policy:
+        Scheduling policy name or instance (default round-robin).
+    max_live:
+        Admission-control bound on concurrently-executing sessions.
+    quantum:
+        Pulls per scheduling step for every session.
+    cache:
+        A :class:`ResultCache`, or None to build one from
+        ``cache_capacity`` / ``cache_ttl`` (pass ``cache_capacity=0`` to
+        disable caching entirely).
+    default_max_pulls:
+        Pull budget applied to sessions that do not specify their own.
+    """
+
+    def __init__(
+        self,
+        *,
+        policy: str | SchedulingPolicy = "round-robin",
+        max_live: int = 8,
+        quantum: int = DEFAULT_QUANTUM,
+        cache: ResultCache | None = None,
+        cache_capacity: int = 128,
+        cache_ttl: float | None = None,
+        default_max_pulls: int | None = None,
+        obs: Observability | None = None,
+    ) -> None:
+        # The service defaults to an *enabled* in-memory pipeline (no
+        # exporters) so queue/cache/pull counters are always live; pass an
+        # exporter-equipped Observability to stream them, or
+        # ``repro.obs.NULL_OBS`` to disable instrumentation entirely.
+        self.obs = obs if obs is not None else Observability()
+        self.scheduler = Scheduler(policy=policy, max_live=max_live, obs=self.obs)
+        if cache is not None:
+            self.cache = cache
+        elif cache_capacity > 0:
+            self.cache = ResultCache(
+                capacity=cache_capacity, ttl=cache_ttl, obs=self.obs
+            )
+        else:
+            self.cache = None
+        self.quantum = quantum
+        self.default_max_pulls = default_max_pulls
+        self._ids = itertools.count(1)
+        self._specs: dict[str, QuerySpec] = {}
+        self.scheduler.on_finish(self._store_in_cache)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: QuerySpec,
+        *,
+        priority: int = 0,
+        deadline: float | None = None,
+        max_pulls: int | None = None,
+        quantum: int | None = None,
+    ) -> str:
+        """Admit a query; returns the session id immediately.
+
+        The session may already be ``DONE`` on return (cache hit).
+        """
+        session_id = f"s{next(self._ids)}"
+        if max_pulls is None:
+            max_pulls = self.default_max_pulls
+        key = spec.fingerprint() if self.cache is not None else None
+        operator = None
+        preloaded: list | None = None
+        cached_answer: list | None = None
+        entry_exhausted = False
+        if self.cache is not None:
+            cached_answer = self.cache.lookup(key, spec.k)
+            if cached_answer is None:
+                continuation = self.cache.take_continuation(key)
+                if continuation is not None:
+                    preloaded, operator = continuation
+            else:
+                # Distinguish a truly-complete short answer from a prefix.
+                entry_exhausted = len(cached_answer) < spec.k
+        if operator is None and cached_answer is None:
+            operator = spec.build_operator(obs=self.obs)
+        session = QuerySession(
+            session_id,
+            operator,
+            spec.k,
+            quantum=quantum if quantum is not None else self.quantum,
+            max_pulls=max_pulls,
+            priority=priority,
+            deadline=deadline,
+            preloaded=cached_answer if cached_answer is not None else preloaded,
+            cache_key=key,
+            label=spec.describe(),
+        )
+        self._specs[session_id] = spec
+        if cached_answer is not None:
+            session.from_cache = True
+            session.exhausted = entry_exhausted
+            session._finish(SessionState.DONE)
+        self.scheduler.submit(session)
+        return session_id
+
+    def run_query(
+        self,
+        spec: QuerySpec,
+        *,
+        max_pulls: int | None = None,
+        strict: bool = False,
+    ) -> list:
+        """Submit and drive to completion; returns the top-K results.
+
+        Other live sessions share the ticks, so this is safe to call on a
+        service with concurrent work in flight.
+        """
+        session_id = self.submit(spec, max_pulls=max_pulls)
+        session = self.scheduler.drain(session_id)
+        return session.answer(strict=strict)
+
+    # ------------------------------------------------------------------
+    # Driving and introspection
+    # ------------------------------------------------------------------
+    def tick(self) -> bool:
+        """Advance one session by one quantum; False when idle."""
+        return self.scheduler.tick()
+
+    def run_until_complete(self) -> list[QuerySession]:
+        return self.scheduler.run_until_complete()
+
+    def session(self, session_id: str) -> QuerySession | None:
+        return self.scheduler.find(session_id)
+
+    def poll(self, session_id: str) -> dict | None:
+        session = self.scheduler.find(session_id)
+        return None if session is None else session.snapshot()
+
+    def cancel(self, session_id: str) -> bool:
+        return self.scheduler.cancel(session_id)
+
+    def stats(self) -> dict:
+        payload = {"scheduler": self.scheduler.stats()}
+        payload["cache"] = self.cache.stats() if self.cache is not None else None
+        return payload
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _store_in_cache(self, session: QuerySession) -> None:
+        """Feed a finished session's prefix (and continuation) back."""
+        if self.cache is None or session.cache_key is None:
+            return
+        if session.from_cache or session.state is SessionState.FAILED:
+            return
+        if session.state is SessionState.CANCELLED and not session.results:
+            return
+        self.cache.store(
+            session.cache_key,
+            session.results,
+            exhausted=session.exhausted,
+            operator=session.operator,
+        )

@@ -1,0 +1,174 @@
+"""Resumable execution: try_next quanta and incremental top_k.
+
+The resumability contract (repro.core.stepping):
+
+* ``try_next(max_pulls=q)`` returns a result, ``PENDING`` (quantum spent,
+  all state retained), or ``None`` (join exhausted);
+* ``top_k(k)`` retains its history, so ``top_k(k + m)`` after ``top_k(k)``
+  continues from where the first call stopped — pull counts do not
+  restart and the first ``k`` results are unchanged;
+* ``top_k(k')`` for ``k' <= k`` after ``top_k(k)`` costs zero new pulls.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import OPERATORS, SumScore, make_operator, multiway_rank_join
+from repro.core.stepping import PENDING, ResumableOperator
+from repro.core.tuples import RankTuple
+from repro.data.workload import random_instance
+from repro.relation.relation import Relation
+
+
+def make_binary(seed=0, k=20):
+    return random_instance(
+        n_left=250, n_right=250, e_left=2, e_right=2,
+        num_keys=25, k=k, seed=seed,
+    )
+
+
+def make_chain(seed=0):
+    """Three random relations joined A.x = B.x, B.y = C.y."""
+    rng = np.random.default_rng(seed)
+
+    def rows(name, attrs):
+        tuples = []
+        for i in range(40):
+            payload = {a: int(rng.integers(0, 8)) for a in attrs}
+            tuples.append(RankTuple(
+                key=i, scores=(float(rng.random()),), payload=payload
+            ))
+        return Relation(name, tuples)
+
+    relations = [rows("A", ["x"]), rows("B", ["x", "y"]), rows("C", ["y"])]
+    return relations, ["x", "y"]
+
+
+class TestPBRJResumableTopK:
+    @pytest.mark.parametrize("name", sorted(OPERATORS))
+    def test_extension_continues_from_retained_state(self, name):
+        instance = make_binary()
+        resumed = make_operator(name, instance)
+        fresh = make_operator(name, instance)
+
+        head = resumed.top_k(8)
+        pulls_at_8 = resumed.pulls
+        extended = resumed.top_k(16)
+
+        expected = fresh.top_k(16)
+        assert [r.score for r in extended] == [r.score for r in expected]
+        assert extended[:8] == head  # prefix is literally retained
+        # The extension resumed: no pulls were repeated, so the total
+        # matches a single straight run.
+        assert pulls_at_8 <= resumed.pulls == fresh.pulls
+
+    def test_shrinking_k_costs_zero_pulls(self):
+        operator = make_operator("FRPA", make_binary())
+        full = operator.top_k(10)
+        pulls = operator.pulls
+        assert operator.top_k(4) == full[:4]
+        assert operator.pulls == pulls
+
+    def test_repeated_top_k_is_idempotent(self):
+        operator = make_operator("HRJN*", make_binary())
+        assert operator.top_k(6) == operator.top_k(6)
+
+    def test_top_k_interleaves_with_get_next(self):
+        instance = make_binary()
+        mixed = make_operator("FRPA", instance)
+        straight = make_operator("FRPA", instance)
+        first = mixed.get_next()
+        rest = mixed.top_k(5)
+        assert rest[0] is first  # get_next results are part of the history
+        assert [r.score for r in rest] == [r.score for r in straight.top_k(5)]
+
+
+class TestPBRJTryNext:
+    def test_zero_quantum_on_fresh_operator_is_pending(self):
+        operator = make_operator("FRPA", make_binary())
+        assert operator.try_next(max_pulls=0) is PENDING
+        assert operator.pulls == 0
+
+    def test_quantum_bounds_pulls_per_call(self):
+        operator = make_operator("FRPA", make_binary())
+        while True:
+            before = operator.pulls
+            outcome = operator.try_next(max_pulls=5)
+            assert operator.pulls - before <= 5
+            if outcome is not PENDING:
+                break
+
+    def test_stepped_results_match_serial(self):
+        instance = make_binary()
+        stepped = make_operator("FRPA", instance)
+        serial = make_operator("FRPA", instance)
+        results = []
+        while len(results) < 10:
+            outcome = stepped.try_next(max_pulls=3)
+            if outcome is PENDING:
+                continue
+            if outcome is None:
+                break
+            results.append(outcome)
+        expected = serial.top_k(10)
+        assert [r.score for r in results] == [r.score for r in expected]
+        assert stepped.pulls == serial.pulls
+
+    def test_exhaustion_returns_none_not_pending(self):
+        instance = random_instance(
+            n_left=15, n_right=15, e_left=2, e_right=2,
+            num_keys=5, k=10, seed=1,
+        )
+        operator = make_operator("FRPA", instance)
+        while (outcome := operator.try_next(max_pulls=4)) is not None:
+            assert outcome is PENDING or outcome.score is not None
+        # Once exhausted, every further call answers None immediately.
+        assert operator.try_next(max_pulls=4) is None
+        assert operator.get_next() is None
+
+    def test_unbounded_try_next_equals_get_next(self):
+        instance = make_binary()
+        a = make_operator("HRJN", instance)
+        b = make_operator("HRJN", instance)
+        for _ in range(5):
+            assert a.try_next().score == b.get_next().score
+
+    def test_operators_satisfy_protocol(self):
+        assert isinstance(make_operator("FRPA", make_binary()), ResumableOperator)
+
+
+class TestMultiwayResumable:
+    def test_incremental_top_k_extension(self):
+        relations, attrs = make_chain()
+        resumed = multiway_rank_join(relations, attrs, SumScore())
+        fresh = multiway_rank_join(relations, attrs, SumScore())
+
+        head = resumed.top_k(4)
+        extended = resumed.top_k(12)
+        expected = fresh.top_k(12)
+        assert [r.score for r in extended] == [r.score for r in expected]
+        assert extended[:4] == head
+        assert resumed.pulls == fresh.pulls
+
+    def test_try_next_quantum_and_pending(self):
+        relations, attrs = make_chain()
+        stepped = multiway_rank_join(relations, attrs, SumScore())
+        serial = multiway_rank_join(relations, attrs, SumScore())
+        assert stepped.try_next(max_pulls=0) is PENDING
+        results = []
+        while len(results) < 6:
+            before = stepped.pulls
+            outcome = stepped.try_next(max_pulls=2)
+            assert stepped.pulls - before <= 2
+            if outcome is PENDING:
+                continue
+            if outcome is None:
+                break
+            results.append(outcome)
+        expected = serial.top_k(6)
+        assert [r.score for r in results] == [r.score for r in expected]
+
+    def test_multiway_satisfies_protocol(self):
+        relations, attrs = make_chain()
+        operator = multiway_rank_join(relations, attrs, SumScore())
+        assert isinstance(operator, ResumableOperator)

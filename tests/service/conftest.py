@@ -1,0 +1,34 @@
+"""Shared fixtures for the service-layer tests: small deterministic queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.workload import random_instance
+from repro.service import QuerySpec
+
+
+def make_instance(seed: int = 0, *, n: int = 300, num_keys: int = 30, k: int = 10):
+    return random_instance(
+        n_left=n, n_right=n, e_left=2, e_right=2,
+        num_keys=num_keys, k=k, seed=seed,
+    )
+
+
+def make_spec(seed: int = 0, *, k: int = 10, operator: str = "FRPA", n: int = 300):
+    instance = make_instance(seed, n=n, k=k)
+    return QuerySpec(
+        relations=(instance.left, instance.right), k=k, operator=operator
+    )
+
+
+@pytest.fixture
+def spec():
+    return make_spec()
+
+
+def serial_answer(spec: QuerySpec):
+    """Reference execution: a fresh operator run to top-k serially."""
+    operator = spec.build_operator()
+    results = operator.top_k(spec.k)
+    return results, operator

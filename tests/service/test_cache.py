@@ -1,0 +1,188 @@
+"""ResultCache: LRU+TTL mechanics, prefix reuse, and prefix extension."""
+
+import pytest
+
+from repro.obs import Observability
+from repro.relation import Relation
+from repro.service import QueryService, QuerySpec, ResultCache, SessionState
+
+from tests.service.conftest import make_instance, make_spec, serial_answer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCacheMechanics:
+    def test_lookup_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        assert cache.lookup("q1", 3) is None
+        cache.store("q1", ["a", "b", "c"])
+        assert cache.lookup("q1", 3) == ["a", "b", "c"]
+
+    def test_prefix_reuse_smaller_k(self):
+        cache = ResultCache(capacity=4)
+        cache.store("q1", ["a", "b", "c"])
+        assert cache.lookup("q1", 2) == ["a", "b"]
+        assert cache.lookup("q1", 4) is None  # prefix too short
+
+    def test_exhausted_entry_covers_any_k(self):
+        cache = ResultCache(capacity=4)
+        cache.store("q1", ["a", "b"], exhausted=True)
+        assert cache.lookup("q1", 100) == ["a", "b"]
+
+    def test_shorter_prefix_never_overwrites_longer(self):
+        cache = ResultCache(capacity=4)
+        cache.store("q1", ["a", "b", "c"])
+        cache.store("q1", ["a"])  # late k'=1 session must not shrink entry
+        assert cache.lookup("q1", 3) == ["a", "b", "c"]
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.store("q1", ["a"])
+        cache.store("q2", ["b"])
+        cache.lookup("q1", 1)  # refresh q1 → q2 is now least recent
+        cache.store("q3", ["c"])
+        assert cache.lookup("q2", 1) is None
+        assert cache.lookup("q1", 1) == ["a"]
+        assert cache.stats()["evictions"] == 1
+
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=4, ttl=10.0, clock=clock)
+        cache.store("q1", ["a"])
+        clock.now = 5.0
+        assert cache.lookup("q1", 1) == ["a"]
+        clock.now = 11.0
+        assert cache.lookup("q1", 1) is None
+        assert cache.stats()["expirations"] == 1
+
+    def test_continuation_exclusive_checkout(self):
+        cache = ResultCache(capacity=4)
+        operator = object()
+        cache.store("q1", ["a", "b"], operator=operator)
+        prefix, checked_out = cache.take_continuation("q1")
+        assert prefix == ["a", "b"] and checked_out is operator
+        # Second checkout fails — the operator is gone from the entry…
+        assert cache.take_continuation("q1") is None
+        # …but prefix hits still work.
+        assert cache.lookup("q1", 2) == ["a", "b"]
+
+    def test_no_continuation_when_exhausted(self):
+        cache = ResultCache(capacity=4)
+        cache.store("q1", ["a"], exhausted=True, operator=object())
+        assert cache.take_continuation("q1") is None
+
+    def test_stats_and_hit_rate(self):
+        cache = ResultCache(capacity=4)
+        cache.store("q1", ["a"])
+        cache.lookup("q1", 1)
+        cache.lookup("q2", 1)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_invalidate_and_clear(self):
+        cache = ResultCache(capacity=4)
+        cache.store("q1", ["a"])
+        assert cache.invalidate("q1") is True
+        assert cache.invalidate("q1") is False
+        cache.store("q2", ["b"])
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+
+
+class TestServiceCaching:
+    def test_repeat_query_served_with_zero_pulls(self):
+        spec = make_spec()
+        obs = Observability()
+        service = QueryService(obs=obs)
+        first = service.run_query(spec)
+        pulls_after_first = service.scheduler.stats()["pulls"]
+        second = service.run_query(spec)
+        assert [r.score for r in second] == [r.score for r in first]
+        # The repeat cost zero pulls and registered as a cache hit.
+        assert service.scheduler.stats()["pulls"] == pulls_after_first
+        assert obs.metrics.value("service_cache_hits_total") == 1
+        session = service.scheduler.finished_sessions[-1]
+        assert session.from_cache and session.pulls == 0
+
+    def test_prefix_reuse_smaller_k_through_service(self):
+        instance = make_instance()
+        big = QuerySpec(relations=(instance.left, instance.right), k=10)
+        small = QuerySpec(relations=(instance.left, instance.right), k=4)
+        service = QueryService()
+        full = service.run_query(big)
+        pulls = service.scheduler.stats()["pulls"]
+        head = service.run_query(small)
+        assert [r.score for r in head] == [r.score for r in full[:4]]
+        assert service.scheduler.stats()["pulls"] == pulls  # zero new pulls
+
+    def test_prefix_extension_resumes_suspended_operator(self):
+        instance = make_instance()
+        base = QuerySpec(relations=(instance.left, instance.right), k=10)
+        wider = QuerySpec(relations=(instance.left, instance.right), k=15)
+        service = QueryService()
+        service.run_query(base)
+        pulls_for_base = service.scheduler.stats()["pulls"]
+        extended = service.run_query(wider)
+        marginal = service.scheduler.stats()["pulls"] - pulls_for_base
+        # Correct answer…
+        expected, reference = serial_answer(wider)
+        assert [r.score for r in extended] == [r.score for r in expected]
+        # …for strictly fewer pulls than computing k=15 from scratch.
+        assert 0 < marginal < reference.pulls
+        # The longer prefix is cached now: the k=15 repeat is free.
+        before = service.scheduler.stats()["pulls"]
+        service.run_query(wider)
+        assert service.scheduler.stats()["pulls"] == before
+
+    def test_permuted_relations_share_cache_entry(self):
+        instance = make_instance()
+        shuffled = Relation(
+            "lineitem-permuted", list(reversed(instance.left.tuples))
+        )
+        spec_a = QuerySpec(relations=(instance.left, instance.right), k=5)
+        spec_b = QuerySpec(relations=(shuffled, instance.right), k=5)
+        assert spec_a.fingerprint() == spec_b.fingerprint()
+        service = QueryService()
+        first = service.run_query(spec_a)
+        second = service.run_query(spec_b)
+        assert [r.score for r in second] == [r.score for r in first]
+        session = service.scheduler.finished_sessions[-1]
+        assert session.from_cache
+
+    def test_cache_disabled_recomputes(self):
+        spec = make_spec()
+        service = QueryService(cache_capacity=0)
+        service.run_query(spec)
+        pulls = service.scheduler.stats()["pulls"]
+        service.run_query(spec)
+        assert service.scheduler.stats()["pulls"] == 2 * pulls
+
+    def test_failed_sessions_are_not_cached(self):
+        spec = make_spec()
+        service = QueryService()
+        key = spec.fingerprint()
+
+        session_id = service.submit(spec)
+        session = service.session(session_id)
+
+        class Exploding:
+            pulls = 0
+
+            def try_next(self, max_pulls=None):
+                raise RuntimeError("boom")
+
+        session.operator = Exploding()
+        service.run_until_complete()
+        assert session.state is SessionState.FAILED
+        assert service.cache.lookup(key, 1) is None

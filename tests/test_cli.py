@@ -55,6 +55,62 @@ class TestCompare:
             assert name in out
 
 
+class TestWorkloadFile:
+    """--workload error handling: nonzero exit + one-line error, no traceback."""
+
+    def test_run_with_valid_workload_file(self, tmp_path, capsys):
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps({"scale": 0.0003, "k": 3, "e": 2}))
+        assert main(["run", "FRPA", "--workload", str(path)]) == 0
+        assert "top scores" in capsys.readouterr().out
+
+    def test_workload_file_overrides_flags(self, tmp_path, capsys):
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps({"scale": 0.0003, "k": 2}))
+        # The file wins over the (conflicting) --k flag.
+        assert main(["run", "FRPA", "--workload", str(path), "--k", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "top scores" in out and "K=2" in out
+
+    @pytest.mark.parametrize("command", ["run", "compare"])
+    def test_missing_workload_file(self, command, tmp_path, capsys):
+        argv = [command, "--workload", str(tmp_path / "missing.json")]
+        if command == "run":
+            argv.insert(1, "FRPA")
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: cannot read workload file")
+        assert len(captured.err.strip().splitlines()) == 1  # no traceback
+        assert "Traceback" not in captured.err
+
+    @pytest.mark.parametrize("command", ["run", "compare"])
+    def test_malformed_workload_file(self, command, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        argv = [command, "--workload", str(path)]
+        if command == "run":
+            argv.insert(1, "FRPA")
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "not valid JSON" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_unknown_keys_rejected(self, tmp_path, capsys):
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps({"scale": 0.0003, "kk": 3}))
+        assert main(["run", "FRPA", "--workload", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown keys" in err and "'kk'" in err
+
+    def test_non_numeric_values_rejected(self, tmp_path, capsys):
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps({"scale": "big"}))
+        assert main(["run", "FRPA", "--workload", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "must be a number" in err
+
+
 class TestFigures:
     def test_single_figure(self, capsys):
         assert main(["figures", "11", "--scale", "0.0003", "--seeds", "1"]) == 0
