@@ -62,6 +62,17 @@ from repro.data import (
     lineitem_orders_instance,
     random_instance,
 )
+from repro.exec import (
+    ExecConfig,
+    GlobalTopKMerger,
+    HashPartitionPlan,
+    PartitionStats,
+    ShardedRankJoin,
+    ShardWorker,
+    partition_instance,
+    partition_relation,
+    skew_aware_plan,
+)
 from repro.errors import (
     BudgetExhausted,
     InstanceError,
@@ -92,8 +103,11 @@ __all__ = [
     "CornerBound",
     "CostModel",
     "DepthReport",
+    "ExecConfig",
     "FRBound",
     "FRStarBound",
+    "GlobalTopKMerger",
+    "HashPartitionPlan",
     "InstanceError",
     "JStar",
     "JoinResult",
@@ -101,6 +115,7 @@ __all__ = [
     "NotSortedError",
     "OPERATORS",
     "OperatorStats",
+    "PartitionStats",
     "PBRJ",
     "Pipeline",
     "PotentialAdaptive",
@@ -121,6 +136,8 @@ __all__ = [
     "ScoringFunction",
     "ServiceClient",
     "SessionState",
+    "ShardWorker",
+    "ShardedRankJoin",
     "SortedScan",
     "SumScore",
     "TimingBreakdown",
@@ -141,7 +158,10 @@ __all__ = [
     "multiway_rank_join",
     "naive_top_k",
     "oracle_operator",
+    "partition_instance",
+    "partition_relation",
     "pbrj_fr_rr",
     "random_instance",
+    "skew_aware_plan",
     "__version__",
 ]

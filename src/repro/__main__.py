@@ -141,6 +141,32 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_sharded(args: argparse.Namespace, instance, obs) -> int:
+    """``run --shards N``: drive the sharded engine and report."""
+    import time
+
+    from repro.exec import ExecConfig, ShardedRankJoin
+
+    config = ExecConfig(shards=args.shards, backend=args.exec_backend)
+    started = time.perf_counter()
+    with ShardedRankJoin(instance, args.operator, config=config, obs=obs) as engine:
+        results = engine.top_k(instance.k)
+        elapsed = time.perf_counter() - started
+        depths = engine.depths()
+        print(f"operator     : {args.operator} "
+              f"(sharded x{config.shards}, backend={config.backend})")
+        print(f"instance     : L={len(instance.left)} O={len(instance.right)} "
+              f"K={instance.k}")
+        print(f"top scores   : {[round(r.score, 4) for r in results]}")
+        print(f"depths       : left={depths.left} right={depths.right} "
+              f"sum={depths.left + depths.right}")
+        print(f"rounds       : {engine.rounds} "
+              f"(imbalance {engine.partition_stats.imbalance:.2f})")
+        print(f"time         : total={elapsed:.4f}s")
+    _finish_obs(obs, args)
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     if args.operator not in OPERATORS:
         print(f"unknown operator {args.operator!r}; choose from {sorted(OPERATORS)}")
@@ -151,6 +177,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         return _fail(exc)
     instance = lineitem_orders_instance(params)
     obs = _build_obs(args, "run")
+    if args.shards > 1:
+        return _run_sharded(args, instance, obs)
     result = run_operator(args.operator, instance, obs=obs)
     stats = result.stats
     print(f"operator     : {args.operator}")
@@ -254,7 +282,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         "orders": tables["orders"].to_relation("orderkey"),
     }
     server = RankJoinServer(
-        service, relations, host=args.host, port=args.port
+        service, relations, host=args.host, port=args.port,
+        default_shards=args.shards,
     )
     sizes = ", ".join(f"{name}={len(rel)}" for name, rel in relations.items())
     print(f"relations loaded: {sizes}", flush=True)
@@ -307,6 +336,11 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("operator")
     _add_workload_args(p_run)
     _add_obs_args(p_run)
+    p_run.add_argument("--shards", type=int, default=1,
+                       help="hash-partitioned parallel execution (1 = serial)")
+    p_run.add_argument("--exec-backend", default="thread",
+                       choices=["serial", "thread", "process"],
+                       help="sharded execution backend (with --shards > 1)")
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="run every operator on a workload")
@@ -345,6 +379,9 @@ def main(argv: list[str] | None = None) -> int:
                          help="result cache entries (0 disables caching)")
     p_serve.add_argument("--cache-ttl", type=float, default=None,
                          help="result cache TTL in seconds")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="sharded execution for every binary query "
+                              "(1 = serial; requests may override)")
     _add_workload_args(p_serve)
     _add_obs_args(p_serve)
     p_serve.set_defaults(func=cmd_serve)

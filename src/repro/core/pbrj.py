@@ -262,6 +262,22 @@ class PBRJ:
         """Current bound ``t`` on undiscovered results."""
         return self._t
 
+    def frontier(self) -> float:
+        """Upper bound on the score of any result this operator can still emit.
+
+        Combines the bounding scheme's bound ``t`` on *undiscovered*
+        results with the best *buffered-but-unemitted* result.  Once both
+        inputs are exhausted ``t`` is vacuous and only the buffer matters.
+        Non-increasing over the operator's lifetime; ``-inf`` means fully
+        drained.  Used by the sharded merge gate
+        (:class:`repro.exec.merge.GlobalTopKMerger`) to decide when a
+        candidate's score provably beats everything a shard still holds.
+        """
+        best_buffered = self._peek_score() if self._output else float("-inf")
+        if all(self._exhausted):
+            return best_buffered
+        return max(self._t, best_buffered)
+
     @property
     def bound_scheme(self) -> BoundingScheme:
         return self._bound

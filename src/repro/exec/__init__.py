@@ -1,0 +1,66 @@
+"""Sharded parallel execution for rank joins.
+
+Hash-partition both inputs by join key, run an independent PBRJ-family
+operator per shard in bounded pull quanta, and merge shard outputs
+through a gate that releases a result only once no live shard can beat
+or tie it.  The public facade is :class:`ShardedRankJoin`, a drop-in
+:class:`~repro.core.stepping.ResumableOperator`.
+
+Correctness invariant (test-enforced): for any instance, operator, shard
+count and backend, the sharded top-K equals the serial top-K — same
+scores bit-for-bit, ties broken by the canonical result identity of
+:func:`repro.exec.merge.result_identity`.
+"""
+
+from repro.exec.backends import (
+    ExecBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
+from repro.exec.engine import ShardedRankJoin
+from repro.exec.merge import GlobalTopKMerger, result_identity
+from repro.exec.partition import (
+    HashPartitionPlan,
+    PartitionStats,
+    SkewAwarePlan,
+    make_plan,
+    partition_instance,
+    partition_relation,
+    skew_aware_plan,
+    stable_key_hash,
+)
+from repro.exec.worker import (
+    BACKENDS,
+    DEFAULT_QUANTUM,
+    PARTITIONERS,
+    AdvanceOutcome,
+    ExecConfig,
+    ShardWorker,
+)
+
+__all__ = [
+    "AdvanceOutcome",
+    "BACKENDS",
+    "DEFAULT_QUANTUM",
+    "ExecBackend",
+    "ExecConfig",
+    "GlobalTopKMerger",
+    "HashPartitionPlan",
+    "PARTITIONERS",
+    "PartitionStats",
+    "ProcessBackend",
+    "SerialBackend",
+    "ShardWorker",
+    "ShardedRankJoin",
+    "SkewAwarePlan",
+    "ThreadBackend",
+    "make_backend",
+    "make_plan",
+    "partition_instance",
+    "partition_relation",
+    "result_identity",
+    "skew_aware_plan",
+    "stable_key_hash",
+]

@@ -1,0 +1,205 @@
+"""Execution backends: how shard advance rounds actually run.
+
+A backend receives the full worker set once (:meth:`ExecBackend.start`)
+and then serves advance rounds: ``advance([(shard, quantum), ...])``
+returns the matching :class:`~repro.exec.worker.AdvanceOutcome` list, in
+request order.  Three implementations:
+
+* :class:`SerialBackend` — runs advances in-line, one after another.
+  Zero overhead, fully deterministic; the debugging baseline.
+* :class:`ThreadBackend` — a ``ThreadPoolExecutor`` with one slot per
+  shard.  The default: shard operators are pure Python compute sharing
+  nothing, so threads cost no copying and the GIL interleaves them
+  fairly (on free-threaded builds they run truly concurrent).
+* :class:`ProcessBackend` — persistent ``multiprocessing`` children, one
+  per shard, each running a small command loop over a pipe.  Workers are
+  shipped once at start (fork inherits them cheaply); afterwards only
+  ``(quantum)`` commands travel down and picklable outcomes travel back.
+
+All backends preserve the per-shard sequential contract: a shard's
+advances never overlap, so worker state needs no locking.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import InstanceError
+from repro.exec.worker import AdvanceOutcome, ShardWorker
+
+#: Seconds to wait for a child process to exit before terminating it.
+_JOIN_TIMEOUT = 5.0
+
+
+class ExecBackend:
+    """Common interface: start once, advance repeatedly, close once."""
+
+    name = "abstract"
+
+    def start(self, workers: list[ShardWorker]) -> None:
+        raise NotImplementedError
+
+    def advance(self, requests: list[tuple[int, int]]) -> list[AdvanceOutcome]:
+        """Run one advance round; outcomes come back in request order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release executor/process resources.  Idempotent."""
+
+
+class SerialBackend(ExecBackend):
+    """In-line advance loop — no concurrency, no overhead."""
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        self._workers: dict[int, ShardWorker] = {}
+
+    def start(self, workers: list[ShardWorker]) -> None:
+        self._workers = {worker.shard: worker for worker in workers}
+
+    def advance(self, requests: list[tuple[int, int]]) -> list[AdvanceOutcome]:
+        return [self._workers[shard].advance(quantum) for shard, quantum in requests]
+
+
+class ThreadBackend(ExecBackend):
+    """One executor slot per shard; advances within a round run concurrently."""
+
+    name = "thread"
+
+    def __init__(self) -> None:
+        self._workers: dict[int, ShardWorker] = {}
+        self._pool: ThreadPoolExecutor | None = None
+
+    def start(self, workers: list[ShardWorker]) -> None:
+        self._workers = {worker.shard: worker for worker in workers}
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, len(workers)), thread_name_prefix="repro-shard"
+        )
+
+    def advance(self, requests: list[tuple[int, int]]) -> list[AdvanceOutcome]:
+        if self._pool is None:
+            # Re-open after close(): worker state lives in this process, so
+            # a resumed (e.g. cache-continued) engine just needs new threads.
+            self._pool = ThreadPoolExecutor(
+                max_workers=max(1, len(self._workers)),
+                thread_name_prefix="repro-shard",
+            )
+        futures = [
+            self._pool.submit(self._workers[shard].advance, quantum)
+            for shard, quantum in requests
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def _child_loop(conn, worker: ShardWorker) -> None:  # pragma: no cover - child
+    """Command loop run inside a shard child process.
+
+    Protocol: parent sends an int quantum → child replies with the
+    AdvanceOutcome; parent sends ``None`` (or closes the pipe) → child
+    exits.
+    """
+    try:
+        while True:
+            command = conn.recv()
+            if command is None:
+                break
+            conn.send(worker.advance(command))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()
+
+
+class ProcessBackend(ExecBackend):
+    """Persistent child process per shard, command loop over a pipe.
+
+    Child lifetime is tied to the backend: :meth:`close` asks each child
+    to exit and terminates stragglers; a ``weakref.finalize`` guard does
+    the same if the backend is garbage-collected unclosed.
+    """
+
+    name = "process"
+
+    def __init__(self) -> None:
+        self._conns: dict[int, mp.connection.Connection] = {}
+        self._children: list[mp.Process] = []
+        self._finalizer: weakref.finalize | None = None
+
+    def start(self, workers: list[ShardWorker]) -> None:
+        context = mp.get_context()
+        for worker in workers:
+            parent_conn, child_conn = context.Pipe()
+            child = context.Process(
+                target=_child_loop,
+                args=(child_conn, worker),
+                name=f"repro-shard-{worker.shard}",
+                daemon=True,
+            )
+            child.start()
+            child_conn.close()
+            self._conns[worker.shard] = parent_conn
+            self._children.append(child)
+        self._finalizer = weakref.finalize(
+            self, _shutdown_children, dict(self._conns), list(self._children)
+        )
+
+    def advance(self, requests: list[tuple[int, int]]) -> list[AdvanceOutcome]:
+        for shard, quantum in requests:
+            self._conns[shard].send(quantum)
+        outcomes = []
+        for shard, _ in requests:
+            try:
+                outcomes.append(self._conns[shard].recv())
+            except EOFError:
+                raise InstanceError(
+                    f"shard {shard} worker process died mid-round"
+                ) from None
+        return outcomes
+
+    def close(self) -> None:
+        if self._finalizer is not None and self._finalizer.alive:
+            self._finalizer()  # runs _shutdown_children exactly once
+        self._conns = {}
+        self._children = []
+
+
+def _shutdown_children(conns, children) -> None:
+    """Ask every child to exit; terminate any that ignore the request."""
+    for conn in conns.values():
+        try:
+            conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+    for child in children:
+        child.join(timeout=_JOIN_TIMEOUT)
+        if child.is_alive():  # pragma: no cover - defensive
+            child.terminate()
+            child.join(timeout=_JOIN_TIMEOUT)
+    for conn in conns.values():
+        conn.close()
+
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def make_backend(name: str) -> ExecBackend:
+    """Instantiate a backend by name (``serial`` / ``thread`` / ``process``)."""
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        raise InstanceError(
+            f"unknown backend {name!r}; choose from {tuple(_BACKENDS)}"
+        ) from None
+    return factory()

@@ -1,0 +1,243 @@
+"""Deterministic hash partitioning of rank join inputs by join key.
+
+Join results only form between tuples that agree on the join key, so
+splitting both inputs with one key → shard mapping decomposes a binary
+rank join into ``S`` completely independent shard-local rank joins: every
+join result lives in exactly one shard, and the global top-K is a merge of
+shard-local output streams (:mod:`repro.exec.merge`).
+
+Two partitioning plans are provided:
+
+* :class:`HashPartitionPlan` — a stable content hash of the join key
+  modulo the shard count.  Deterministic across processes and platforms
+  (it deliberately avoids Python's randomized ``hash``), so the same
+  relation always partitions the same way — a prerequisite for the
+  sharded-equals-serial correctness invariant and for cross-process
+  workers.
+* :class:`SkewAwarePlan` — the skew-resistant variant: join keys whose
+  estimated result contribution ``count_left · count_right`` exceeds an
+  average shard's share are *heavy hitters* and are split off onto
+  dedicated shards (heaviest first, cycling over the reserved shards);
+  the remaining keys hash over the unreserved shards.  Under zipfian key
+  skew this keeps the per-shard work balanced instead of letting one
+  shard serialize the whole join.
+
+Partitioning preserves score-bound order: tuples are assigned in input
+order, so each shard-local relation is a subsequence of its parent and
+re-sorting inside :class:`~repro.relation.relation.RankJoinInstance` is a
+stable no-op for already-sorted inputs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.errors import InstanceError
+from repro.relation.relation import RankJoinInstance, Relation
+
+
+def stable_key_hash(key: Hashable) -> int:
+    """A 64-bit content hash of a join key, stable across processes.
+
+    Python's builtin ``hash`` is salted per process for strings, so it
+    cannot be used to partition work that must agree across workers (or
+    across the runs a determinism test compares).
+    """
+    digest = hashlib.blake2b(repr(key).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashPartitionPlan:
+    """Stable ``key → shard`` mapping via content hash modulo shards."""
+
+    name = "hash"
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise InstanceError("a partition plan needs at least one shard")
+        self.shards = shards
+
+    def shard_of(self, key: Hashable) -> int:
+        if self.shards == 1:
+            return 0
+        return stable_key_hash(key) % self.shards
+
+    def describe(self) -> str:
+        return f"{self.name}({self.shards})"
+
+
+class SkewAwarePlan(HashPartitionPlan):
+    """Hash partitioning with heavy-hitter keys on dedicated shards.
+
+    ``dedicated`` maps each heavy key to its shard; all other keys hash
+    over the shards not reserved for heavy hitters (or over all shards
+    when every shard is reserved).
+    """
+
+    name = "skew"
+
+    def __init__(self, shards: int, dedicated: dict[Hashable, int]) -> None:
+        super().__init__(shards)
+        self.dedicated = dict(dedicated)
+        reserved = set(self.dedicated.values())
+        self._open = [s for s in range(shards) if s not in reserved] or list(
+            range(shards)
+        )
+
+    def shard_of(self, key: Hashable) -> int:
+        if self.shards == 1:
+            return 0
+        shard = self.dedicated.get(key)
+        if shard is not None:
+            return shard
+        return self._open[stable_key_hash(key) % len(self._open)]
+
+    def describe(self) -> str:
+        return f"{self.name}({self.shards}, heavy={len(self.dedicated)})"
+
+
+def _pair_counts(left: Relation, right: Relation) -> dict[Hashable, int]:
+    """Estimated join results per key: ``count_left(key) · count_right(key)``."""
+    left_counts: dict[Hashable, int] = {}
+    for tup in left.tuples:
+        left_counts[tup.key] = left_counts.get(tup.key, 0) + 1
+    pairs: dict[Hashable, int] = {}
+    for tup in right.tuples:
+        count = left_counts.get(tup.key)
+        if count:
+            pairs[tup.key] = pairs.get(tup.key, 0) + count
+    return pairs
+
+
+def skew_aware_plan(
+    left: Relation,
+    right: Relation,
+    shards: int,
+    *,
+    heavy_fraction: float | None = None,
+) -> SkewAwarePlan:
+    """Build a :class:`SkewAwarePlan` from the observed key frequencies.
+
+    A key is *heavy* when its estimated result contribution exceeds
+    ``heavy_fraction`` of the total (default ``1 / shards`` — more than
+    one average shard's worth of work).  Heavy keys are assigned, largest
+    first, to dedicated shards cycling over at most ``shards - 1`` of the
+    available shards (one shard always remains open for the long tail).
+    Fully deterministic: ties between equally-heavy keys break on the
+    key's stable hash.
+    """
+    if shards < 1:
+        raise InstanceError("a partition plan needs at least one shard")
+    pairs = _pair_counts(left, right)
+    total = sum(pairs.values())
+    if shards == 1 or total == 0:
+        return SkewAwarePlan(shards, {})
+    threshold = (heavy_fraction if heavy_fraction is not None else 1.0 / shards)
+    cutoff = threshold * total
+    heavies = sorted(
+        (key for key, count in pairs.items() if count > cutoff),
+        key=lambda key: (-pairs[key], stable_key_hash(key)),
+    )
+    reserve = max(1, shards - 1)
+    dedicated = {key: index % reserve for index, key in enumerate(heavies)}
+    return SkewAwarePlan(shards, dedicated)
+
+
+def partition_relation(relation: Relation, plan: HashPartitionPlan) -> list[Relation]:
+    """Split ``relation`` into ``plan.shards`` shard-local relations.
+
+    Tuples are assigned in input order (score-bound order is preserved
+    per shard).  Empty shards keep the parent's score dimension so the
+    downstream operator plumbing sees consistent metadata.
+    """
+    buckets: list[list] = [[] for _ in range(plan.shards)]
+    for tup in relation.tuples:
+        buckets[plan.shard_of(tup.key)].append(tup)
+    shards = []
+    for index, bucket in enumerate(buckets):
+        shard = Relation(f"{relation.name}[{index}/{plan.shards}]", bucket)
+        if not bucket:
+            shard.dimension = relation.dimension
+        shards.append(shard)
+    return shards
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Balance diagnostics for one partitioning of a join."""
+
+    shards: int
+    plan: str
+    pairs_per_shard: tuple[int, ...]
+    tuples_per_shard: tuple[tuple[int, int], ...]
+
+    @property
+    def total_pairs(self) -> int:
+        return sum(self.pairs_per_shard)
+
+    @property
+    def imbalance(self) -> float:
+        """Largest shard's estimated result share over the fair share.
+
+        1.0 is perfect balance; ``shards`` means one shard got everything.
+        Empty joins report 1.0.
+        """
+        total = self.total_pairs
+        if total == 0:
+            return 1.0
+        return max(self.pairs_per_shard) * self.shards / total
+
+
+def make_plan(
+    left: Relation,
+    right: Relation,
+    shards: int,
+    *,
+    partitioner: str = "hash",
+    heavy_fraction: float | None = None,
+) -> HashPartitionPlan:
+    """Build the requested partition plan (``"hash"`` or ``"skew"``)."""
+    if partitioner == "hash":
+        return HashPartitionPlan(shards)
+    if partitioner == "skew":
+        return skew_aware_plan(left, right, shards, heavy_fraction=heavy_fraction)
+    raise InstanceError(
+        f"unknown partitioner {partitioner!r}; choose from ('hash', 'skew')"
+    )
+
+
+def partition_instance(
+    instance: RankJoinInstance,
+    plan: HashPartitionPlan,
+) -> tuple[list[RankJoinInstance], PartitionStats]:
+    """Split a problem instance into shard-local instances plus diagnostics.
+
+    Each shard instance shares the parent's scoring function, ``k`` and
+    cost model; shard inputs are subsequences of the parent inputs, so
+    every shard sees the access model of Definition 2.1 unchanged.
+    """
+    left_shards = partition_relation(instance.left, plan)
+    right_shards = partition_relation(instance.right, plan)
+    shard_instances = []
+    pairs: list[int] = []
+    sizes: list[tuple[int, int]] = []
+    for left, right in zip(left_shards, right_shards):
+        shard = RankJoinInstance(
+            left,
+            right,
+            instance.scoring,
+            instance.k,
+            cost_model=instance.cost_model,
+        )
+        shard_instances.append(shard)
+        pairs.append(shard.join_size())
+        sizes.append((len(left), len(right)))
+    stats = PartitionStats(
+        shards=plan.shards,
+        plan=plan.describe(),
+        pairs_per_shard=tuple(pairs),
+        tuples_per_shard=tuple(sizes),
+    )
+    return shard_instances, stats

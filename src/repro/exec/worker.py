@@ -1,0 +1,162 @@
+"""Shard workers: one resumable rank join operator per shard.
+
+A :class:`ShardWorker` owns a shard-local operator (any entry of
+:data:`repro.core.operators.OPERATORS` — PBRJ with corner/FR/FR*/aFR
+bounds and RR/PA pulling) and advances it in bounded *pull quanta*.  Each
+:meth:`ShardWorker.advance` call performs at most ``quantum`` pulls,
+collects every result the operator emitted along the way, and returns an
+:class:`AdvanceOutcome` — a picklable snapshot the merge layer consumes.
+Workers never talk to each other; all coordination happens through the
+outcomes (the global threshold is ``max`` over shard frontiers, computed
+by :class:`repro.exec.merge.GlobalTopKMerger`).
+
+Workers deliberately run without an observability pipeline of their own:
+outcomes carry the pull/depth deltas, and the engine accounts them into
+shared metrics.  This keeps the process backend simple — a child process
+only ships outcomes over a pipe, never metric state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.operators import make_operator
+from repro.core.stepping import PENDING
+from repro.core.tuples import JoinResult
+from repro.errors import InstanceError
+from repro.relation.relation import RankJoinInstance
+
+#: Backends accepted by :class:`ExecConfig`.
+BACKENDS = ("serial", "thread", "process")
+
+#: Partitioners accepted by :class:`ExecConfig` (see repro.exec.partition).
+PARTITIONERS = ("hash", "skew")
+
+#: Default per-round pull quantum.  Small enough that shards overshoot the
+#: serial stopping depth by at most a few tuples (the sumDepths overhead),
+#: large enough to amortize scheduling.
+DEFAULT_QUANTUM = 32
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """Configuration of a sharded execution run.
+
+    Parameters
+    ----------
+    shards:
+        Number of hash partitions (1 = no sharding benefit, still valid).
+    backend:
+        ``"thread"`` (default, ``ThreadPoolExecutor``), ``"process"``
+        (persistent ``multiprocessing`` children over pipes), or
+        ``"serial"`` (in-line loop — deterministic debugging baseline).
+    quantum:
+        Pulls granted to a shard per advance round.
+    partitioner:
+        ``"hash"`` or ``"skew"`` (heavy hitters on dedicated shards).
+    heavy_fraction:
+        Skew partitioner knob: a key is heavy when its estimated result
+        share exceeds this fraction (default ``1 / shards``).
+    """
+
+    shards: int = 1
+    backend: str = "thread"
+    quantum: int = DEFAULT_QUANTUM
+    partitioner: str = "hash"
+    heavy_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise InstanceError("ExecConfig.shards must be >= 1")
+        if self.quantum < 1:
+            raise InstanceError("ExecConfig.quantum must be >= 1")
+        if self.backend not in BACKENDS:
+            raise InstanceError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
+        if self.partitioner not in PARTITIONERS:
+            raise InstanceError(
+                f"unknown partitioner {self.partitioner!r}; "
+                f"choose from {PARTITIONERS}"
+            )
+
+
+@dataclass(frozen=True)
+class AdvanceOutcome:
+    """Everything one advance round of one shard produced.
+
+    ``frontier`` is the shard's upper bound on any result it can still
+    emit (see :meth:`repro.core.pbrj.PBRJ.frontier`) — non-increasing,
+    ``-inf`` once drained.  ``exhausted`` means the shard's operator
+    returned ``None``: the shard is complete and will never be advanced
+    again.  The dataclass is pickle-friendly so the process backend can
+    ship it over a pipe unchanged.
+    """
+
+    shard: int
+    results: tuple[JoinResult, ...]
+    pulls: int
+    depth_left: int
+    depth_right: int
+    frontier: float
+    exhausted: bool = field(default=False)
+
+
+class ShardWorker:
+    """One shard's operator plus the bounded-advance protocol around it."""
+
+    def __init__(
+        self,
+        shard: int,
+        instance: RankJoinInstance,
+        operator: str = "FRPA",
+        **operator_kwargs,
+    ) -> None:
+        self.shard = shard
+        self.instance = instance
+        self.operator_name = operator
+        # ``track_time=False``: per-pull span timing on every shard is pure
+        # overhead — the engine reports wall clock at the facade level.
+        self._operator = make_operator(
+            operator, instance, track_time=False, **operator_kwargs
+        )
+        self._exhausted = False
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted
+
+    @property
+    def pulls(self) -> int:
+        return self._operator.pulls
+
+    def advance(self, quantum: int) -> AdvanceOutcome:
+        """Spend at most ``quantum`` pulls; return everything emitted.
+
+        Zero-pull emissions (results already provable from buffered
+        state) are drained too — the loop only stops on PENDING, on
+        exhaustion, or once the quantum is used up with nothing further
+        provable.  Calling ``advance`` on an exhausted worker is a no-op
+        returning an empty outcome.
+        """
+        operator = self._operator
+        start_pulls = operator.pulls
+        results: list[JoinResult] = []
+        while not self._exhausted:
+            remaining = quantum - (operator.pulls - start_pulls)
+            step = operator.try_next(max_pulls=max(0, remaining))
+            if step is PENDING:
+                break
+            if step is None:
+                self._exhausted = True
+                break
+            results.append(step)
+        return AdvanceOutcome(
+            shard=self.shard,
+            results=tuple(results),
+            pulls=operator.pulls - start_pulls,
+            depth_left=operator.depth(0),
+            depth_right=operator.depth(1),
+            frontier=operator.frontier(),
+            exhausted=self._exhausted,
+        )

@@ -43,19 +43,64 @@ def _tuple_digest(tup: RankTuple) -> bytes:
     return hashlib.sha256("\x1f".join(parts).encode()).digest()
 
 
+class _TrackedTuples(list):
+    """A tuple list that invalidates its relation's cached fingerprint.
+
+    Every mutating list operation clears the owner's cached digest, so a
+    relation edited in place (appends during data loading, test fixtures
+    patching a score) re-fingerprints on next use instead of serving the
+    stale cached hash to the result cache.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "Relation", iterable: Iterable[RankTuple] = ()):
+        super().__init__(iterable)
+        self._owner = owner
+
+    def _dirty(self) -> None:
+        self._owner._fingerprint = None
+
+
+def _tracked_mutator(method_name: str):
+    base = getattr(list, method_name)
+
+    def mutate(self, *args, **kwargs):
+        self._dirty()
+        return base(self, *args, **kwargs)
+
+    mutate.__name__ = method_name
+    return mutate
+
+
+for _name in ("append", "extend", "insert", "remove", "pop", "clear", "sort",
+              "reverse", "__setitem__", "__delitem__", "__iadd__", "__imul__"):
+    setattr(_TrackedTuples, _name, _tracked_mutator(_name))
+
+
 class Relation:
     """A named, unordered collection of rank tuples of equal dimension."""
 
     def __init__(self, name: str, tuples: Iterable[RankTuple]) -> None:
         self.name = name
-        self.tuples = list(tuples)
-        dims = {t.dimension for t in self.tuples}
+        self._fingerprint: str | None = None
+        self._tuples = _TrackedTuples(self, tuples)
+        dims = {t.dimension for t in self._tuples}
         if len(dims) > 1:
             raise InstanceError(
                 f"relation {name!r} mixes score dimensions: {sorted(dims)}"
             )
         self.dimension = dims.pop() if dims else 0
-        self._fingerprint: str | None = None
+
+    @property
+    def tuples(self) -> list[RankTuple]:
+        """The tuple bag.  Mutations invalidate the cached fingerprint."""
+        return self._tuples
+
+    @tuples.setter
+    def tuples(self, tuples: Iterable[RankTuple]) -> None:
+        self._tuples = _TrackedTuples(self, tuples)
+        self._fingerprint = None
 
     def fingerprint(self) -> str:
         """Stable content hash over the bag of (key, scores, payload).
@@ -64,9 +109,9 @@ class Relation:
         change to a key, a score (at full float precision), or a payload
         changes the digest.  The relation *name* is deliberately excluded —
         two differently-named copies of the same data are the same content.
-        The digest is computed once and cached; relations are treated as
-        immutable after construction (mutating ``tuples`` in place will not
-        refresh a cached fingerprint).
+        The digest is computed once and cached; mutating ``tuples`` (in
+        place or by reassignment) invalidates the cache, so the next call
+        rehashes the current content.
         """
         if self._fingerprint is None:
             digest = hashlib.sha256()

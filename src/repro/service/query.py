@@ -77,6 +77,13 @@ class QuerySpec:
     join_attrs:
         Chain attributes for multiway queries (``len(relations) - 1``
         entries); must be empty for binary queries.
+    shards:
+        Number of hash partitions for sharded execution (binary joins
+        only).  ``1`` (the default) runs the plain serial operator;
+        ``> 1`` builds a :class:`~repro.exec.engine.ShardedRankJoin`.
+    exec_backend:
+        Backend for sharded execution (``"thread"`` / ``"process"`` /
+        ``"serial"``).  Ignored when ``shards == 1``.
     """
 
     relations: tuple[Relation, ...]
@@ -84,6 +91,8 @@ class QuerySpec:
     scoring: ScoringFunction = field(default_factory=SumScore)
     operator: str = "FRPA"
     join_attrs: tuple[str, ...] = ()
+    shards: int = 1
+    exec_backend: str = "thread"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "relations", tuple(self.relations))
@@ -105,6 +114,13 @@ class QuerySpec:
             raise InstanceError(
                 f"need {len(self.relations) - 1} join attributes for "
                 f"{len(self.relations)} relations, got {len(self.join_attrs)}"
+            )
+        if self.shards < 1:
+            raise InstanceError("shards must be >= 1")
+        if self.shards > 1 and self.is_multiway:
+            raise InstanceError(
+                "sharded execution supports binary joins only; "
+                "multiway queries must use shards=1"
             )
 
     @property
@@ -128,6 +144,12 @@ class QuerySpec:
         digest.update(self.operator.encode() if not self.is_multiway else b"multiway")
         digest.update(b";")
         digest.update(",".join(self.join_attrs).encode())
+        if self.shards > 1:
+            # Sharded runs order exact-score ties canonically, which may
+            # differ from the serial operator's discovery order — keep the
+            # cache namespaces separate.  The backend is deliberately
+            # excluded: it never changes the answer (test-enforced).
+            digest.update(f";shards={self.shards}".encode())
         return digest.hexdigest()
 
     def build_operator(self, *, obs=None):
@@ -142,8 +164,20 @@ class QuerySpec:
         instance = RankJoinInstance(
             self.relations[0], self.relations[1], self.scoring, self.k
         )
+        if self.shards > 1:
+            from repro.exec import ExecConfig, ShardedRankJoin
+
+            return ShardedRankJoin(
+                instance,
+                self.operator,
+                config=ExecConfig(shards=self.shards, backend=self.exec_backend),
+                obs=obs,
+            )
         return make_operator(self.operator, instance, obs=obs)
 
     def describe(self) -> str:
         names = " ⋈ ".join(r.name for r in self.relations)
-        return f"{names} top-{self.k} via {self.operator}"
+        label = f"{names} top-{self.k} via {self.operator}"
+        if self.shards > 1:
+            label += f" x{self.shards} shards"
+        return label

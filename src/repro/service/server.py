@@ -32,7 +32,9 @@ results stay deterministic.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
+import signal
 import threading
 
 from repro.core.scoring import SumScore, WeightedSum
@@ -43,7 +45,17 @@ from repro.service.service import QueryService
 
 
 class RankJoinServer:
-    """Serves top-K rank join queries over named shared relations."""
+    """Serves top-K rank join queries over named shared relations.
+
+    ``default_shards`` applies sharded execution to every submitted
+    binary query unless the request carries its own ``shards`` field.
+
+    Shutdown is graceful: SIGINT/SIGTERM (or :meth:`begin_shutdown`)
+    switches the server into *draining* — new submits are rejected with a
+    clean error while live sessions run to completion, then the loop
+    stops and observability exporters are flushed.  A second signal skips
+    the drain and stops immediately.
+    """
 
     def __init__(
         self,
@@ -52,14 +64,18 @@ class RankJoinServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        default_shards: int = 1,
     ) -> None:
         self.service = service
         self.relations = dict(relations)
         self.host = host
         self.port = port  # 0 → ephemeral; updated once bound
+        self.default_shards = default_shards
         self.ready = threading.Event()  # set once the socket is listening
+        self.draining = False
         self._shutdown: asyncio.Event | None = None
         self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -70,6 +86,8 @@ class RankJoinServer:
 
     async def _main(self) -> None:
         self._shutdown = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        self._install_signal_handlers()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -82,14 +100,70 @@ class RankJoinServer:
             driver.cancel()
             self._server.close()
             await self._server.wait_closed()
+            self._remove_signal_handlers()
+            self._loop = None
+            # Flush (don't close) the obs pipeline so spans/metrics
+            # buffered during the run reach their exporters even when the
+            # process exits right after ``run()`` returns.
+            self.service.obs.flush()
 
     async def _drive(self) -> None:
         """Advance the scheduler one quantum at a time, cooperatively."""
         while True:
             progressed = self.service.tick()
+            if self.draining and not progressed and self._idle():
+                self._shutdown.set()
+                return
             # Yield to the event loop after every quantum; back off briefly
             # when idle so an idle server does not spin.
             await asyncio.sleep(0 if progressed else 0.005)
+
+    def _idle(self) -> bool:
+        scheduler = self.service.scheduler
+        return not scheduler.live_sessions and not scheduler.queued_sessions
+
+    # ------------------------------------------------------------------
+    # Graceful shutdown
+    # ------------------------------------------------------------------
+    def begin_shutdown(self) -> None:
+        """Start draining: finish live sessions, reject new submits.
+
+        Thread-safe — callable from signal handlers, other threads, or
+        request handlers.  Idempotent; a second call while already
+        draining forces an immediate stop.
+        """
+        loop = self._loop
+        if loop is None or self._shutdown is None:
+            return
+        if not self.draining:
+            self.draining = True
+            return
+        # Already draining → escalate to immediate stop (thread-safely;
+        # asyncio.Event.set is not safe to call off-loop).
+        with contextlib.suppress(RuntimeError):
+            loop.call_soon_threadsafe(self._shutdown.set)
+
+    def _install_signal_handlers(self) -> None:
+        # Only possible from the main thread of the main interpreter;
+        # servers embedded in worker threads (tests) simply skip this and
+        # use begin_shutdown()/the shutdown verb instead.
+        assert self._loop is not None
+        self._signals_installed = False
+        try:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                self._loop.add_signal_handler(signum, self.begin_shutdown)
+            self._signals_installed = True
+        except (NotImplementedError, ValueError, RuntimeError):
+            pass
+
+    def _remove_signal_handlers(self) -> None:
+        if not getattr(self, "_signals_installed", False):
+            return
+        assert self._loop is not None
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(Exception):
+                self._loop.remove_signal_handler(signum)
+        self._signals_installed = False
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -145,6 +219,13 @@ class RankJoinServer:
     # Verbs
     # ------------------------------------------------------------------
     def _verb_submit(self, request: dict) -> dict:
+        if self.draining:
+            return {
+                "ok": False,
+                "error": "server is draining (shutdown in progress); "
+                         "not accepting new queries",
+                "draining": True,
+            }
         spec = self._parse_spec(request)
         session_id = self.service.submit(
             spec,
@@ -175,6 +256,8 @@ class RankJoinServer:
         payload["relations"] = {
             name: len(relation) for name, relation in self.relations.items()
         }
+        payload["draining"] = self.draining
+        payload["default_shards"] = self.default_shards
         return {"ok": True, **payload}
 
     def _verb_shutdown(self, request: dict) -> dict:
@@ -199,10 +282,15 @@ class RankJoinServer:
             scoring = WeightedSum(flat)
         else:
             scoring = SumScore()
+        shards = int(request.get("shards", self.default_shards))
+        kwargs = {}
+        if shards > 1 and len(relations) == 2:
+            kwargs["shards"] = shards
         return QuerySpec(
             relations=relations,
             k=int(request["k"]),
             scoring=scoring,
             operator=str(request.get("operator", "FRPA")),
             join_attrs=tuple(request.get("join_attrs", ())),
+            **kwargs,
         )

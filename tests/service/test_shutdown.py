@@ -1,0 +1,130 @@
+"""Graceful shutdown: drain live sessions, reject submits, flush obs.
+
+Also covers the ``shards`` field over the wire (``--shards`` on the
+serve CLI maps to ``default_shards`` here).
+"""
+
+import contextlib
+import threading
+
+import pytest
+
+from repro.obs import Observability
+from repro.service import (
+    QueryService,
+    RankJoinServer,
+    ServiceClient,
+    ServiceError,
+    SessionState,
+)
+
+from tests.service.test_server import REFERENCE_SCORES, RELATIONS
+
+
+@contextlib.contextmanager
+def running_server(*, default_shards=1, **service_kwargs):
+    service_kwargs.setdefault("quantum", 16)
+    service = QueryService(**service_kwargs)
+    server = RankJoinServer(
+        service, RELATIONS, port=0, default_shards=default_shards
+    )
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    assert server.ready.wait(timeout=10.0), "server never became ready"
+    try:
+        yield server, thread
+    finally:
+        if thread.is_alive():
+            server.begin_shutdown()
+            server.begin_shutdown()  # escalate so a failing test can't hang
+        thread.join(timeout=10.0)
+        assert not thread.is_alive(), "server thread failed to shut down"
+
+
+class TestGracefulShutdown:
+    def test_idle_server_exits_after_begin_shutdown(self):
+        with running_server() as (server, thread):
+            server.begin_shutdown()
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+            assert server.draining is True
+
+    def test_draining_rejects_new_submits(self):
+        with running_server(quantum=4) as (server, thread):
+            with ServiceClient(server.host, server.port) as client:
+                sid = client.submit(left="lineitem", right="orders", k=20)
+                server.begin_shutdown()
+                assert client.stats()["draining"] is True
+                with pytest.raises(ServiceError, match="draining"):
+                    client.submit(left="lineitem", right="orders", k=3)
+                # The in-flight session still runs to completion.  The
+                # server exits the moment it finishes, so the final poll
+                # may race the socket teardown; the authoritative check
+                # is the server-side session state below.
+                final = None
+                with contextlib.suppress(OSError, ConnectionError,
+                                         ServiceError):
+                    final = client.wait(sid, timeout=30.0)
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+            session = server.service.scheduler.find(sid)
+            assert session is not None
+            assert session.state is SessionState.DONE
+            assert [round(r.score, 6) for r in session.results] \
+                == [round(s, 6) for s in REFERENCE_SCORES[:20]]
+            if final is not None:
+                assert final["state"] == "DONE"
+
+    def test_second_shutdown_call_stops_immediately(self):
+        with running_server(quantum=1) as (server, thread):
+            with ServiceClient(server.host, server.port) as client:
+                client.submit(left="lineitem", right="orders", k=20)
+                server.begin_shutdown()
+                server.begin_shutdown()
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+
+    def test_obs_exporters_flushed_on_exit(self):
+        obs = Observability()
+        flushed = threading.Event()
+        original_flush = obs.flush
+
+        def recording_flush(*args, **kwargs):
+            result = original_flush(*args, **kwargs)
+            flushed.set()
+            return result
+
+        obs.flush = recording_flush
+        with running_server(obs=obs) as (server, thread):
+            with ServiceClient(server.host, server.port) as client:
+                client.run(left="lineitem", right="orders", k=3)
+            server.begin_shutdown()
+            thread.join(timeout=10.0)
+        assert flushed.is_set()
+
+
+class TestShardsOverTheWire:
+    def test_request_level_shards_preserve_the_answer(self):
+        with running_server() as (server, _):
+            with ServiceClient(server.host, server.port) as client:
+                final = client.run(
+                    left="lineitem", right="orders", k=6, shards=4,
+                )
+        assert final["state"] == "DONE"
+        assert final["scores"] == [round(s, 6) for s in REFERENCE_SCORES[:6]]
+
+    def test_default_shards_apply_to_every_query(self):
+        with running_server(default_shards=4) as (server, _):
+            with ServiceClient(server.host, server.port) as client:
+                assert client.stats()["default_shards"] == 4
+                final = client.run(left="lineitem", right="orders", k=6)
+        assert final["state"] == "DONE"
+        assert final["scores"] == [round(s, 6) for s in REFERENCE_SCORES[:6]]
+
+    def test_explicit_shards_one_overrides_default(self):
+        with running_server(default_shards=4) as (server, _):
+            with ServiceClient(server.host, server.port) as client:
+                final = client.run(
+                    left="lineitem", right="orders", k=4, shards=1,
+                )
+        assert final["scores"] == [round(s, 6) for s in REFERENCE_SCORES[:4]]
