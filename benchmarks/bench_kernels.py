@@ -1,0 +1,228 @@
+"""Kernel backend micro/macro benchmarks: python vs numpy.
+
+Times the batch kernels that dominate FR-family bound computation under
+both backends and writes ``benchmarks/results/BENCH_kernels.json``:
+
+* ``micro`` — per-op wall-clock (skyline filter, dominance masks, corner
+  scores, cover carve) on synthetic unit vectors;
+* ``bound_refresh`` — the FR*/aFR bound hot path at e=3 over n-row seen
+  columns: a full partial-score recompute on both sides, the seen×seen
+  cross-product max, and the capped-cover corner max (the aFR shape,
+  |CR| ≤ 500).  This is exactly the work :class:`repro.core.frstar_bound.
+  FRStarBound` re-does when a prepared operand's stamp invalidates.
+
+Acceptance: numpy must beat python on the bound refresh (the tentpole's
+reason to exist).  The full run uses n = 50,000 rows; ``--quick`` (CI)
+shrinks the inputs but keeps the same invariant.
+
+Run directly: ``python benchmarks/bench_kernels.py [--quick]`` — or via
+pytest, where ``REPRO_BENCH_KERNELS_QUICK=1`` selects the quick shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import kernels  # noqa: E402
+from repro.kernels import PointSet, use_backend  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+DIMENSION = 3  # the paper's mid-size e; covers stay non-trivial
+
+FULL_PARAMS = {
+    "n": 50_000,       # seen-column rows for the bound refresh
+    "micro_n": 20_000,  # rows for linear-scan micro ops
+    "skyline_n": 20_000,
+    "carve_n": 400,
+    "repeats": 5,
+}
+QUICK_PARAMS = {
+    "n": 8_000,
+    "micro_n": 4_000,
+    "skyline_n": 3_000,
+    "carve_n": 150,
+    "repeats": 3,
+}
+
+#: aFR cover budget (max_cr_size default) for the capped-cover segment.
+COVER_CAP = 500
+
+BACKENDS = ("python", "numpy")
+
+
+def _vectors(n: int, seed: int) -> list[tuple[float, ...]]:
+    rng = random.Random(seed)
+    return [tuple(rng.random() for _ in range(DIMENSION)) for _ in range(n)]
+
+
+def _time(fn, repeats: int) -> float:
+    """Best-of-N wall clock (seconds) — robust to scheduler noise."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _speedup(timings: dict) -> float:
+    return timings["python"] / timings["numpy"] if timings["numpy"] else 1.0
+
+
+def bench_micro(params: dict) -> dict:
+    n = params["micro_n"]
+    repeats = params["repeats"]
+    points = _vectors(n, seed=11)
+    ps = PointSet(DIMENSION, points)
+    probe = tuple([0.5] * DIMENSION)
+    weights = (0.7, 1.0, 1.3)
+    sky_points = _vectors(params["skyline_n"], seed=13)
+    carve_obs = _vectors(params["carve_n"], seed=17)
+
+    cases = {
+        "strict_dominance_mask": lambda: kernels.strict_dominance_mask(ps, probe),
+        "dominates_any": lambda: kernels.dominates_any(ps, probe),
+        "cover_corner_scores": lambda: kernels.cover_corner_scores(ps, weights),
+        "max_corner_score": lambda: kernels.max_corner_score(ps, weights),
+        "skyline_filter": lambda: kernels.skyline_filter(sky_points),
+        "cover_carve": lambda: kernels.cover_carve(
+            [kernels.ones(DIMENSION)], carve_obs, skyline_mode=True
+        ),
+    }
+    out = {}
+    for name, fn in cases.items():
+        timings = {}
+        for backend in BACKENDS:
+            with use_backend(backend):
+                timings[backend] = _time(fn, repeats)
+        out[name] = {**timings, "speedup": _speedup(timings)}
+    return out
+
+
+def bench_bound_refresh(params: dict) -> dict:
+    """The FR*/aFR prepared-operand rebuild at e=3, n seen rows per side."""
+    n = params["n"]
+    repeats = params["repeats"]
+    left = PointSet(DIMENSION, _vectors(n, seed=23))
+    right = PointSet(DIMENSION, _vectors(n, seed=29))
+    # A budget-capped cover, as aFR maintains after grid degradation.
+    cover = PointSet(DIMENSION, _vectors(COVER_CAP, seed=31))
+    weights = (1.0, 0.9, 1.1)
+
+    def refresh() -> float:
+        # Full recompute of both sides' partial scores (stamp invalidated),
+        # then the three FR cross-product cases — the Figure 3 structure.
+        seen_l = kernels.cover_corner_scores(left, weights)
+        seen_r = kernels.cover_corner_scores(right, weights)
+        cr_max = kernels.max_corner_score(cover, weights)
+        t_both = 2 * cr_max
+        t_left = cr_max + kernels.cross_product_max([0.0], seen_r)
+        t_right = kernels.cross_product_max(seen_l, [0.0]) + cr_max
+        return max(t_both, t_left, t_right)
+
+    timings = {}
+    values = {}
+    for backend in BACKENDS:
+        with use_backend(backend):
+            values[backend] = refresh()  # warm + capture for the identity check
+            timings[backend] = _time(refresh, repeats)
+    assert values["python"] == values["numpy"], (
+        f"bound value diverges across backends: {values}"
+    )
+    return {
+        "e": DIMENSION,
+        "n": n,
+        "cover_cap": COVER_CAP,
+        "bound_value": values["python"],
+        **timings,
+        "speedup": _speedup(timings),
+    }
+
+
+def run_bench(quick: bool) -> dict:
+    params = QUICK_PARAMS if quick else FULL_PARAMS
+    return {
+        "mode": "quick" if quick else "full",
+        "dimension": DIMENSION,
+        "params": params,
+        "backends": list(kernels.available_backends()),
+        "micro": bench_micro(params),
+        "bound_refresh": bench_bound_refresh(params),
+    }
+
+
+def check(record: dict) -> list[str]:
+    errors = []
+    refresh = record["bound_refresh"]
+    if refresh["speedup"] <= 1.0:
+        errors.append(
+            f"numpy does not beat python on the bound refresh "
+            f"(n={refresh['n']}, e={refresh['e']}): "
+            f"python={refresh['python']:.6f}s numpy={refresh['numpy']:.6f}s"
+        )
+    return errors
+
+
+def report(record: dict) -> None:
+    print()
+    print(f"kernel benchmarks ({record['mode']}, e={record['dimension']})")
+    for name, row in record["micro"].items():
+        print(
+            f"  {name:22s}: python={row['python'] * 1e3:8.3f}ms "
+            f"numpy={row['numpy'] * 1e3:8.3f}ms  ({row['speedup']:.1f}x)"
+        )
+    refresh = record["bound_refresh"]
+    print(
+        f"  bound refresh (n={refresh['n']}): "
+        f"python={refresh['python'] * 1e3:.3f}ms "
+        f"numpy={refresh['numpy'] * 1e3:.3f}ms  ({refresh['speedup']:.1f}x)"
+    )
+
+
+def write_record(record: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_kernels.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+
+
+def test_kernel_backends():
+    if "numpy" not in kernels.available_backends():
+        import pytest
+
+        pytest.skip("numpy backend unavailable")
+    quick = bool(os.environ.get("REPRO_BENCH_KERNELS_QUICK"))
+    record = run_bench(quick)
+    report(record)
+    write_record(record)
+    errors = check(record)
+    assert not errors, errors
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller inputs for CI freshness runs")
+    args = parser.parse_args()
+    if "numpy" not in kernels.available_backends():
+        print("BENCH SKIPPED: numpy backend unavailable")
+        sys.exit(0)
+    bench_record = run_bench(args.quick)
+    report(bench_record)
+    write_record(bench_record)
+    failures = check(bench_record)
+    if failures:
+        print("BENCH FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        sys.exit(1)
+    print("BENCH OK")

@@ -26,6 +26,7 @@ Quickstart::
     print(operator.depths())
 """
 
+from repro.config import ReproConfig
 from repro.core import (
     AFRBound,
     CornerBound,
@@ -81,6 +82,7 @@ from repro.errors import (
     ReproError,
     WorkloadError,
 )
+from repro.kernels import PointSet, available_backends, kernel_name, set_backend
 from repro.plan import Pipeline, QueryInput, RankQuery
 from repro.relation import CostModel, RankJoinInstance, Relation, SortedScan
 from repro.service import (
@@ -118,6 +120,7 @@ __all__ = [
     "PartitionStats",
     "PBRJ",
     "Pipeline",
+    "PointSet",
     "PotentialAdaptive",
     "PullBudgetExceeded",
     "QueryInput",
@@ -129,6 +132,7 @@ __all__ = [
     "RankQuery",
     "RankTuple",
     "Relation",
+    "ReproConfig",
     "ReproError",
     "ResultCache",
     "RoundRobin",
@@ -147,12 +151,14 @@ __all__ = [
     "WorkloadParams",
     "a_frpa",
     "anti_correlated_instance",
+    "available_backends",
     "certificate_optimal_sum_depths",
     "frpa",
     "generate_tpch",
     "hrjn",
     "hrjn_star",
     "jstar_from_instance",
+    "kernel_name",
     "lineitem_orders_instance",
     "make_operator",
     "multiway_rank_join",
@@ -162,6 +168,7 @@ __all__ = [
     "partition_relation",
     "pbrj_fr_rr",
     "random_instance",
+    "set_backend",
     "skew_aware_plan",
     "__version__",
 ]

@@ -24,6 +24,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import kernels
 from repro.core.operators import OPERATORS
 from repro.data.workload import WorkloadParams, lineitem_orders_instance, load_workload
 from repro.errors import ReproError
@@ -58,6 +59,13 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workload", metavar="PATH",
         help="JSON file of WorkloadParams fields; overrides the flags above",
+    )
+
+
+def _add_kernel_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel", choices=kernels.BACKEND_CHOICES, default=None,
+        help="point-set kernel backend (default: REPRO_KERNEL env or auto)",
     )
 
 
@@ -147,14 +155,18 @@ def _run_sharded(args: argparse.Namespace, instance, obs) -> int:
 
     from repro.exec import ExecConfig, ShardedRankJoin
 
-    config = ExecConfig(shards=args.shards, backend=args.exec_backend)
+    config = ExecConfig(
+        shards=args.shards, backend=args.exec_backend,
+        kernel=getattr(args, "kernel", None),
+    )
     started = time.perf_counter()
     with ShardedRankJoin(instance, args.operator, config=config, obs=obs) as engine:
         results = engine.top_k(instance.k)
         elapsed = time.perf_counter() - started
         depths = engine.depths()
         print(f"operator     : {args.operator} "
-              f"(sharded x{config.shards}, backend={config.backend})")
+              f"(sharded x{config.shards}, backend={config.backend}, "
+              f"kernel={kernels.kernel_name()})")
         print(f"instance     : L={len(instance.left)} O={len(instance.right)} "
               f"K={instance.k}")
         print(f"top scores   : {[round(r.score, 4) for r in results]}")
@@ -181,7 +193,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         return _run_sharded(args, instance, obs)
     result = run_operator(args.operator, instance, obs=obs)
     stats = result.stats
-    print(f"operator     : {args.operator}")
+    print(f"operator     : {args.operator} (kernel={kernels.kernel_name()})")
     print(f"instance     : L={len(instance.left)} O={len(instance.right)} K={instance.k}")
     print(f"top scores   : {[round(s, 4) for s in result.scores]}")
     print(f"depths       : left={stats.depths.left} right={stats.depths.right} "
@@ -237,7 +249,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         args.operator, instance,
         obs=obs, operator_kwargs={"trace": trace},
     )
-    print(f"operator : {args.operator}")
+    print(f"operator : {args.operator} (kernel={kernels.kernel_name()})")
     print(f"instance : L={len(instance.left)} O={len(instance.right)} "
           f"K={instance.k}")
     print()
@@ -312,6 +324,8 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(f"repro {__version__} — SIGMOD 2009 rank join reproduction")
     print(f"operators : {', '.join(sorted(OPERATORS))}")
     print(f"figures   : {', '.join(sorted(FIGURES))}")
+    print(f"kernels   : {', '.join(kernels.available_backends())} "
+          f"(active: {kernels.kernel_name()})")
     print("defaults  : e=2 c=.5 z=.5 K=10 (the paper's Table 2)")
     return 0
 
@@ -336,6 +350,7 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("operator")
     _add_workload_args(p_run)
     _add_obs_args(p_run)
+    _add_kernel_arg(p_run)
     p_run.add_argument("--shards", type=int, default=1,
                        help="hash-partitioned parallel execution (1 = serial)")
     p_run.add_argument("--exec-backend", default="thread",
@@ -346,6 +361,7 @@ def main(argv: list[str] | None = None) -> int:
     p_cmp = sub.add_parser("compare", help="run every operator on a workload")
     _add_workload_args(p_cmp)
     _add_obs_args(p_cmp)
+    _add_kernel_arg(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_trace = sub.add_parser(
@@ -354,6 +370,7 @@ def main(argv: list[str] | None = None) -> int:
     p_trace.add_argument("operator")
     _add_workload_args(p_trace)
     _add_obs_args(p_trace)
+    _add_kernel_arg(p_trace)
     p_trace.add_argument(
         "--pulls", action="store_true",
         help="also stream one bound_trace event per pull to --obs-out",
@@ -384,12 +401,15 @@ def main(argv: list[str] | None = None) -> int:
                               "(1 = serial; requests may override)")
     _add_workload_args(p_serve)
     _add_obs_args(p_serve)
+    _add_kernel_arg(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
     p_info = sub.add_parser("info", help="library inventory")
     p_info.set_defaults(func=cmd_info)
 
     args = parser.parse_args(argv)
+    if getattr(args, "kernel", None) is not None:
+        kernels.set_backend(args.kernel)
     return args.func(args)
 
 

@@ -1,0 +1,54 @@
+"""Process-wide configuration knobs (:class:`ReproConfig`).
+
+Currently the one global knob is the kernel backend of
+:mod:`repro.kernels`.  Resolution order for the backend, highest priority
+first:
+
+1. an explicit ``--kernel`` CLI flag / :func:`repro.kernels.set_backend`
+   call / ``ReproConfig(kernel=...).apply()``;
+2. the ``REPRO_KERNEL`` environment variable;
+3. ``auto`` (numpy when importable, pure Python otherwise).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.kernels import BACKEND_CHOICES, ENV_VAR, kernel_name, set_backend
+
+
+@dataclass(frozen=True)
+class ReproConfig:
+    """Declarative bundle of process-wide settings.
+
+    ``kernel`` is one of :data:`repro.kernels.BACKEND_CHOICES`
+    (``auto``/``numpy``/``python``).  Construct-and-:meth:`apply`, or use
+    :meth:`from_env` to mirror the environment.
+    """
+
+    kernel: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.kernel not in BACKEND_CHOICES:
+            raise ValueError(
+                f"unknown kernel backend {self.kernel!r}; "
+                f"choose from {BACKEND_CHOICES}"
+            )
+
+    @classmethod
+    def from_env(cls) -> "ReproConfig":
+        """Config as the environment would resolve it (invalid → auto)."""
+        raw = os.environ.get(ENV_VAR, "auto").strip().lower()
+        if raw not in BACKEND_CHOICES:
+            raw = "auto"
+        return cls(kernel=raw)
+
+    @classmethod
+    def current(cls) -> "ReproConfig":
+        """Config reflecting the backend that is active right now."""
+        return cls(kernel=kernel_name())
+
+    def apply(self) -> str:
+        """Install these settings; returns the resolved kernel name."""
+        return set_backend(self.kernel)

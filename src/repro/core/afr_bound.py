@@ -71,6 +71,14 @@ class AdaptiveCover:
         return self._grid.cover_points()
 
     @property
+    def pointset(self):
+        """Columnar cover storage while exact; ``None`` in grid mode."""
+        if self._grid is None:
+            assert self._exact is not None
+            return self._exact.pointset
+        return None
+
+    @property
     def array(self) -> np.ndarray:
         """Cover points as an ``(n, e)`` array (fast prepared-operand path)."""
         if self._grid is None:
@@ -145,6 +153,10 @@ class FrozenCover:
     @property
     def points(self) -> list[Point]:
         return self._exact.points
+
+    @property
+    def pointset(self):
+        return self._exact.pointset
 
     @property
     def array(self) -> np.ndarray:

@@ -34,10 +34,16 @@ class BoundContext:
 
     ``dims`` holds the per-input score dimensionalities ``(e_1, e_2)``;
     ``scoring`` is the monotone aggregate over the concatenated vector.
+    ``columns``, when provided by the operator, are the per-side columnar
+    score columns (:class:`~repro.kernels.PointSet`) it appends every
+    pulled tuple's score vector to — FR-family bounds alias them as their
+    "seen" sets so bound refreshes never re-materialize tuples; without
+    them a bound keeps private columns.
     """
 
     scoring: ScoringFunction
     dims: tuple[int, int]
+    columns: tuple | None = None
 
     def score_bound(self, side: int, scores: tuple[float, ...]) -> float:
         """``S̄`` of a tuple from ``side``: substitute 1 for missing scores."""

@@ -24,9 +24,13 @@ engineering concessions to pure Python (documented in DESIGN.md):
   monotone ``S``, so bound values — and therefore operator depths — are
   bit-identical (the test suite verifies this equivalence).  Set
   ``prune_covers=False`` for the literal unpruned pseudo-code.
-* Cross-product operands are cached as *prepared* numpy arrays so each
-  recomputation is one vectorized O(n·m) broadcast instead of a Python
-  loop, mirroring the paper's compiled C++ constants.
+* Cross-product operands are cached as *prepared* operands over columnar
+  :class:`~repro.kernels.PointSet` storage, so each recomputation is one
+  O(n·m) batch kernel call (:func:`repro.kernels.cross_product_max`)
+  instead of a Python loop, mirroring the paper's compiled C++ constants.
+  The "seen" operands alias the operator's shared score columns
+  (:attr:`~repro.core.bounds.BoundContext.columns`) when available and
+  sync incrementally via the column's mutation stamp.
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ from repro.core.bounds import LEFT, RIGHT, POS_INF, BoundContext, BoundingScheme
 from repro.core.scoring import NEG_INF, PreparedPoints
 from repro.core.tuples import RankTuple
 from repro.geometry.cover import CoverRegion
+from repro.kernels import PointSet
 from repro.obs.metrics import NULL_METRIC, MetricRegistry
 
 
@@ -49,7 +54,8 @@ class FRBound(BoundingScheme):
         self._cr: list = []
         self._group: list[list[tuple[float, ...]]] = [[], []]
         self._g: list[float] = [POS_INF, POS_INF]
-        self._seen: list[list[tuple[float, ...]]] = [[], []]
+        self._seen_cols: tuple[PointSet, PointSet] = (PointSet(), PointSet())
+        self._owns_columns = True
         self._seen_prep: list[PreparedPoints | None] = [None, None]
         self._cr_prep: list[PreparedPoints | None] = [None, None]
         self._components: dict[str, float] = {}
@@ -73,6 +79,9 @@ class FRBound(BoundingScheme):
             CoverRegion(context.dims[LEFT], skyline_mode=self.prune_covers),
             CoverRegion(context.dims[RIGHT], skyline_mode=self.prune_covers),
         ]
+        if context.columns is not None:
+            self._seen_cols = (context.columns[LEFT], context.columns[RIGHT])
+            self._owns_columns = False
         self._rebind_prepared()
 
     def _rebind_prepared(self) -> None:
@@ -82,7 +91,7 @@ class FRBound(BoundingScheme):
         scoring = self.context.scoring
         for side in (LEFT, RIGHT):
             self._seen_prep[side] = scoring.prepare(
-                self._seen[side], offset=offsets[side]
+                offset=offsets[side], source=self._seen_cols[side]
             )
             self._cr_prep[side] = scoring.prepare(offset=offsets[side])
             self._cr_prep[side].replace(self._cover_operand(side))
@@ -90,6 +99,9 @@ class FRBound(BoundingScheme):
     def _cover_operand(self, side: int):
         """Cover points in the fastest available representation."""
         cover = self._cr[side]
+        pointset = getattr(cover, "pointset", None)
+        if pointset is not None:
+            return pointset
         return cover.array if hasattr(cover, "array") else cover.points
 
     # ------------------------------------------------------------------
@@ -109,8 +121,11 @@ class FRBound(BoundingScheme):
         else:
             self._group[side].append(tup.scores)
             closed = False
-        self._seen[side].append(tup.scores)
-        self._seen_prep[side].append(tup.scores)
+        if self._owns_columns:
+            # Shared columns are appended by the operator before update();
+            # standalone bounds maintain their own.  Either way the prepared
+            # operand re-syncs lazily from the column's stamp.
+            self._seen_cols[side].append(tup.scores)
         return closed
 
     # ------------------------------------------------------------------

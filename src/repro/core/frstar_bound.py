@@ -59,8 +59,11 @@ class FRStarBound(FRBound):
         super().bind(context)
         offsets = (0, context.dims[LEFT])
         for side in (LEFT, RIGHT):
+            # Alias the skyline's columnar storage: SHR mutations (appends
+            # and dominated-point compressions) reach the prepared operand
+            # through the PointSet stamp, no explicit rebuilds needed.
             self._shr_prep[side] = context.scoring.prepare(
-                self._shr[side].points, offset=offsets[side]
+                offset=offsets[side], source=self._shr[side].pointset
             )
         self._t_both_cover = context.combine(
             ones(context.dims[LEFT]), ones(context.dims[RIGHT])
@@ -71,8 +74,8 @@ class FRStarBound(FRBound):
         assert self.context is not None, "bind() must be called first"
         skyline_changed = self._shr[side].add(tup.scores)
         if skyline_changed:
-            # Rebuild the prepared operand; SHR stays small (early freeze).
-            self._shr_prep[side].replace(self._shr[side].points)
+            # The prepared operand tracks the skyline's PointSet by stamp;
+            # SHR stays small (early freeze), so re-syncs are cheap.
             self._m_skyline_size[side].observe(len(self._shr[side]))
         group_closed = self._absorb(side, tup)
         other = 1 - side

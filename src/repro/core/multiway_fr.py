@@ -22,6 +22,7 @@ from __future__ import annotations
 import itertools
 from abc import ABC, abstractmethod
 
+from repro import kernels
 from repro.core.afr_bound import AdaptiveCover
 from repro.core.scoring import NEG_INF, ScoringFunction, SumScore, WeightedSum
 from repro.core.tuples import RankTuple
@@ -29,6 +30,14 @@ from repro.errors import InstanceError
 from repro.geometry.skyline import IncrementalSkyline
 
 POS_INF = float("inf")
+
+
+def _cover_operand(cover):
+    """A cover's points in the fastest kernel-consumable representation."""
+    pointset = getattr(cover, "pointset", None)
+    if pointset is not None:
+        return pointset
+    return cover.array if hasattr(cover, "array") else cover.points
 
 
 class MultiwayBound(ABC):
@@ -132,16 +141,15 @@ class MultiwayFeasibleBound(MultiwayBound):
         return float(sum(w * s for w, s in zip(weights, scores)))
 
     def _max_cover(self, index: int) -> float:
-        points = self._covers[index].points
-        if not points:
-            return NEG_INF
-        return max(self._partial(index, p) for p in points)
+        # One batch kernel call over the cover's columnar view; -inf empty.
+        return kernels.max_corner_score(
+            _cover_operand(self._covers[index]), self._weights[index]
+        )
 
     def _max_seen(self, index: int) -> float:
-        points = self._seen_sky[index].points
-        if not points:
-            return NEG_INF
-        return max(self._partial(index, p) for p in points)
+        return kernels.max_corner_score(
+            self._seen_sky[index].pointset, self._weights[index]
+        )
 
     def update(self, index, tup, score_bound) -> float:
         self._seen_sky[index].add(tup.scores)

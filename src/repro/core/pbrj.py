@@ -19,12 +19,14 @@ import heapq
 import time
 from collections.abc import Iterator
 
+from repro import kernels
 from repro.core.bounds import LEFT, RIGHT, BoundContext, BoundingScheme
 from repro.core.pulling import PullingStrategy
 from repro.core.scoring import ScoringFunction
 from repro.core.stepping import PENDING
 from repro.core.tuples import JoinResult, RankTuple
 from repro.errors import PullBudgetExceeded, TimeBudgetExceeded
+from repro.kernels import PointSet
 from repro.obs import NULL_OBS, Observability
 from repro.obs.span import Tracer
 from repro.stats.metrics import (
@@ -92,7 +94,18 @@ class PBRJ:
         self._sources = (left, right)
         self._bound = bound
         self._strategy = strategy
-        self._bound.bind(BoundContext(scoring, (left.dimension, right.dimension)))
+        # Columnar per-side score columns: every pulled tuple's score vector
+        # is appended here before the bound refresh, so FR-family bounds
+        # read contiguous batches instead of re-materializing tuples.
+        self._columns: tuple[PointSet, PointSet] = (
+            PointSet(left.dimension),
+            PointSet(right.dimension),
+        )
+        self._bound.bind(
+            BoundContext(
+                scoring, (left.dimension, right.dimension), self._columns
+            )
+        )
         self._buffers: tuple[dict, dict] = ({}, {})
         self._output: list[tuple[float, int, JoinResult]] = []
         self._sequence = 0
@@ -113,6 +126,9 @@ class PBRJ:
             self._tracer = self._obs.tracer(name)
             self._bound.observe(self._obs.metrics, name)
             self._strategy.observe(self._obs.metrics, name)
+            # Per-kernel-call counters + bound_kernel_seconds histogram:
+            # the per-backend Figure 2(b) breakdown under `repro trace`.
+            kernels.observe(self._obs.metrics)
         else:
             # Legacy timing without an observability pipeline: a private,
             # unregistered tracer driven by ``track_time`` alone.
@@ -186,6 +202,7 @@ class PBRJ:
                 raise PullBudgetExceeded(self._pulls, self._max_pulls)
             with self._tracer.span("join"):
                 self._join_and_buffer(side, rho)
+            self._columns[side].append(rho.scores)
             with self._tracer.span("bound"):
                 self._t = self._bound.update(side, rho)
             if self._trace is not None:
@@ -281,6 +298,11 @@ class PBRJ:
     @property
     def bound_scheme(self) -> BoundingScheme:
         return self._bound
+
+    @property
+    def score_columns(self) -> tuple[PointSet, PointSet]:
+        """Per-side columnar score columns (one row per pulled tuple)."""
+        return self._columns
 
     @property
     def tracer(self) -> Tracer:

@@ -8,9 +8,13 @@ Besides pointwise evaluation, the bounding schemes need the maximum of ``S``
 over a cross product of two point sets (the paper's *cover bounds*,
 ``max S(c1 ⊕ c2)``).  :meth:`ScoringFunction.max_combination` provides that;
 the default implementation enumerates all pairs (exactly the combinatorial
-cost the paper attributes to the FR bound), and additive functions override
-it with a vectorized numpy version for reasonable constants — mirroring the
-paper's compiled C++ implementation.  An *exact separable* shortcut
+cost the paper attributes to the FR bound), and additive functions route
+the partial scores and the cross-product maximum through
+:mod:`repro.kernels` (vectorized under the numpy backend) for reasonable
+constants — mirroring the paper's compiled C++ implementation.  Prepared
+operands (:class:`PreparedPoints`) sit on columnar
+:class:`~repro.kernels.PointSet` storage and stay in sync with externally
+shared columns via the set's mutation stamp.  An *exact separable* shortcut
 (``max_combination_separable``) also exists for additive functions; it is
 deliberately **not** used by the faithful operators and is exercised only by
 the ablation benchmark (see DESIGN.md).
@@ -22,6 +26,10 @@ from abc import ABC, abstractmethod
 from collections.abc import Callable, Sequence
 
 import numpy as np
+
+from repro import kernels
+from repro.kernels import PointSet
+from repro.kernels.pointset import HAS_NUMPY
 
 NEG_INF = float("-inf")
 
@@ -78,15 +86,23 @@ class ScoringFunction(ABC):
     # (the paper's combinatorial cost) intact.
     # ------------------------------------------------------------------
     def prepare(
-        self, points: Sequence[Sequence[float]] = (), *, offset: int = 0
+        self,
+        points: Sequence[Sequence[float]] = (),
+        *,
+        offset: int = 0,
+        source: PointSet | None = None,
     ) -> "PreparedPoints":
         """Build a cached representation of one cross-product operand.
 
         ``offset`` is the starting coordinate of these points within the
         concatenated score vector (0 for left-input sets, ``e_1`` for
         right-input sets); additive functions use it to select weights.
+        ``source`` binds the operand to an externally maintained columnar
+        :class:`~repro.kernels.PointSet` (e.g. a PBRJ score column): the
+        operand tracks the set through its mutation stamp instead of
+        keeping its own copy.
         """
-        return PreparedPoints(self, points)
+        return PreparedPoints(self, points, source=source)
 
     def max_prepared(self, left: "PreparedPoints", right: "PreparedPoints") -> float:
         """``max_combination`` over prepared operands; ``-inf`` if empty."""
@@ -94,92 +110,121 @@ class ScoringFunction(ABC):
 
 
 class PreparedPoints:
-    """Generic prepared operand: just the point list (no acceleration)."""
+    """Generic prepared operand: a columnar point source (no acceleration).
 
-    def __init__(self, scoring: "ScoringFunction", points: Sequence[Sequence[float]] = ()) -> None:
+    Either owns a private :class:`~repro.kernels.PointSet` (built from
+    ``points``) or aliases an external one (``source``) that some other
+    component appends to.
+    """
+
+    def __init__(
+        self,
+        scoring: "ScoringFunction",
+        points: Sequence[Sequence[float]] = (),
+        *,
+        source: PointSet | None = None,
+    ) -> None:
         self._scoring = scoring
-        self._points: list[tuple[float, ...]] = [tuple(p) for p in points]
+        if source is not None:
+            self._source = source
+        else:
+            self._source = PointSet()
+            self._source.extend(points)
+
+    @property
+    def pointset(self) -> PointSet:
+        """The backing columnar store (shared when built with ``source``)."""
+        return self._source
 
     @property
     def points(self) -> list[tuple[float, ...]]:
-        return self._points
+        """The operand as canonical tuples (a cached view; do not mutate)."""
+        return self._source.tuples()
 
     def __len__(self) -> int:
-        return len(self._points)
+        return len(self._source)
 
     def append(self, point: Sequence[float]) -> None:
-        self._points.append(tuple(point))
+        self._source.append(point)
 
     def replace(self, points) -> None:
         """Swap in a new point set (accepts an ``(n, e)`` array or tuples)."""
-        self._points = [tuple(p) for p in points]
+        self._source.replace(points)
 
 
 class _AdditivePrepared(PreparedPoints):
     """Prepared operand for additive functions: cached partial scores.
 
-    Keeps a capacity-doubling numpy buffer of per-point partial scores so
-    appends are O(1) amortized and the cross-product maximum is a single
-    vectorized broadcast.  ``replace`` accepts an ``(n, e)`` numpy array and
-    computes all partials in one vectorized pass; the tuple view is then
-    materialized lazily (only the generic fallback path needs it).
+    Keeps a capacity-doubling buffer of per-point partial scores, lazily
+    synchronized with the columnar source through its mutation stamp:
+    appended rows extend the buffer incrementally (one batch
+    :func:`repro.kernels.cover_corner_scores` call over the new slice);
+    a replace/compress triggers a full recompute.  The cross-product
+    maximum is then a single :func:`repro.kernels.cross_product_max`.
     """
 
-    def __init__(self, scoring, points=(), *, weights: np.ndarray | None = None) -> None:
-        self._weights = weights  # None means plain sum
-        self._buffer = np.empty(16, dtype=float)
+    def __init__(
+        self,
+        scoring,
+        points=(),
+        *,
+        weights: Sequence[float] | None = None,
+        source: PointSet | None = None,
+    ) -> None:
+        super().__init__(scoring, points, source=source)
+        # None means plain sum; partials always accumulate left-to-right.
+        self._weights = (
+            None if weights is None else tuple(float(w) for w in weights)
+        )
+        self._buffer = np.empty(16, dtype=float) if HAS_NUMPY else []
         self._size = 0
-        self._lazy_array: np.ndarray | None = None
-        super().__init__(scoring, ())
-        for point in points:
-            self.append(point)
+        self._synced = (-1, 0)  # impossible stamp: first access recomputes
 
-    def _partial(self, point: tuple[float, ...]) -> float:
-        if self._weights is None:
-            return float(sum(point))
-        return float(np.dot(self._weights[: len(point)], point))
+    def _new_rows(self, start: int, stop: int):
+        src = self._source
+        if HAS_NUMPY and src.dimension is not None:
+            return src.array[start:stop]
+        return src.tuples()[start:stop]
 
-    def _partials_of(self, array: np.ndarray) -> np.ndarray:
-        if self._weights is None:
-            return array.sum(axis=1) if array.size else np.zeros(array.shape[0])
-        return array @ self._weights[: array.shape[1]]
+    def _extend_partials(self, values) -> None:
+        if HAS_NUMPY:
+            values = np.asarray(values, dtype=float)
+            needed = self._size + values.shape[0]
+            if needed > len(self._buffer):
+                self._buffer = np.resize(
+                    self._buffer, max(2 * len(self._buffer), needed)
+                )
+            self._buffer[self._size: needed] = values
+            self._size = needed
+        else:
+            self._buffer.extend(float(v) for v in values)
+            self._size = len(self._buffer)
 
-    @property
-    def partials(self) -> np.ndarray:
-        return self._buffer[: self._size]
-
-    @property
-    def points(self) -> list[tuple[float, ...]]:
-        if self._lazy_array is not None:
-            self._points = [tuple(row) for row in self._lazy_array]
-            self._lazy_array = None
-        return self._points
-
-    def __len__(self) -> int:
-        return self._size
-
-    def append(self, point) -> None:
-        point = tuple(point)
-        self.points.append(point)  # materializes the lazy view first
-        if self._size == len(self._buffer):
-            self._buffer = np.resize(self._buffer, 2 * len(self._buffer))
-        self._buffer[self._size] = self._partial(point)
-        self._size += 1
-
-    def replace(self, points) -> None:
-        if isinstance(points, np.ndarray):
-            array = points.astype(float, copy=False)
-            self._lazy_array = array
-            self._points = []
-            self._buffer = self._partials_of(array)
-            self._size = array.shape[0]
+    def _sync(self) -> None:
+        stamp = self._source.stamp
+        if stamp == self._synced:
             return
-        self._lazy_array = None
-        self._points = []
-        self._buffer = np.empty(max(16, len(points)), dtype=float)
-        self._size = 0
-        for point in points:
-            self.append(point)
+        version, size = stamp
+        if version == self._synced[0] and size >= self._synced[1]:
+            fresh = self._new_rows(self._synced[1], size)
+        else:
+            self._size = 0
+            if not HAS_NUMPY:
+                self._buffer = []
+            fresh = self._new_rows(0, size)
+        if len(fresh):
+            self._extend_partials(
+                kernels.cover_corner_scores(fresh, self._weights)
+            )
+        self._synced = stamp
+
+    @property
+    def partials(self):
+        """Per-point partial scores, synced with the source (1-D view)."""
+        self._sync()
+        if HAS_NUMPY:
+            return self._buffer[: self._size]
+        return self._buffer
 
 
 class SumScore(ScoringFunction):
@@ -194,12 +239,13 @@ class SumScore(ScoringFunction):
     def max_combination(self, left, right) -> float:
         if not left or not right:
             return NEG_INF
-        left_sums = np.asarray([sum(c) for c in left], dtype=float)
-        right_sums = np.asarray([sum(c) for c in right], dtype=float)
-        # Full cross product, vectorized: faithful to the paper's general
-        # implementation (see module docstring); the separable shortcut is
-        # exposed separately for the ablation study.
-        return float((left_sums[:, None] + right_sums[None, :]).max())
+        # Full cross product via the kernel layer: faithful to the paper's
+        # general implementation (see module docstring); the separable
+        # shortcut is exposed separately for the ablation study.
+        return kernels.cross_product_max(
+            kernels.cover_corner_scores(list(left)),
+            kernels.cover_corner_scores(list(right)),
+        )
 
     def max_combination_separable(self, left, right) -> float:
         """Exact O(n + m) shortcut valid only for additive functions."""
@@ -210,19 +256,19 @@ class SumScore(ScoringFunction):
     def bound_with_ones(self, vector: Sequence[float], missing: int) -> float:
         return float(sum(vector)) + missing
 
-    def prepare(self, points=(), *, offset: int = 0) -> PreparedPoints:
-        return _AdditivePrepared(self, points)
+    def prepare(
+        self, points=(), *, offset: int = 0, source: PointSet | None = None
+    ) -> PreparedPoints:
+        return _AdditivePrepared(self, points, source=source)
 
     def max_prepared(self, left: PreparedPoints, right: PreparedPoints) -> float:
         if not isinstance(left, _AdditivePrepared) or not isinstance(
             right, _AdditivePrepared
         ):
             return super().max_prepared(left, right)
-        if not len(left) or not len(right):
-            return NEG_INF
-        # Full vectorized cross product — same combinatorial work the paper
-        # ascribes to cover bounds, with compiled-constant speed.
-        return float((left.partials[:, None] + right.partials[None, :]).max())
+        # Full cross product over cached partials — same combinatorial work
+        # the paper ascribes to cover bounds, with kernel-backed constants.
+        return kernels.cross_product_max(left.partials, right.partials)
 
 
 class WeightedSum(ScoringFunction):
@@ -247,11 +293,10 @@ class WeightedSum(ScoringFunction):
         if not left or not right:
             return NEG_INF
         split = len(left[0]) if left else 0
-        w_left = np.asarray(self.weights[:split])
-        w_right = np.asarray(self.weights[split:])
-        left_vals = np.asarray([list(c) for c in left], dtype=float) @ w_left
-        right_vals = np.asarray([list(c) for c in right], dtype=float) @ w_right
-        return float((left_vals[:, None] + right_vals[None, :]).max())
+        return kernels.cross_product_max(
+            kernels.cover_corner_scores(list(left), self.weights[:split]),
+            kernels.cover_corner_scores(list(right), self.weights[split:]),
+        )
 
     def max_combination_separable(self, left, right) -> float:
         """Exact additive shortcut (ablation only)."""
@@ -263,9 +308,11 @@ class WeightedSum(ScoringFunction):
         best_right = max(sum(w * x for w, x in zip(w_right, c)) for c in right)
         return float(best_left + best_right)
 
-    def prepare(self, points=(), *, offset: int = 0) -> PreparedPoints:
+    def prepare(
+        self, points=(), *, offset: int = 0, source: PointSet | None = None
+    ) -> PreparedPoints:
         return _AdditivePrepared(
-            self, points, weights=np.asarray(self.weights[offset:])
+            self, points, weights=self.weights[offset:], source=source
         )
 
     def max_prepared(self, left: PreparedPoints, right: PreparedPoints) -> float:
@@ -273,9 +320,7 @@ class WeightedSum(ScoringFunction):
             right, _AdditivePrepared
         ):
             return super().max_prepared(left, right)
-        if not len(left) or not len(right):
-            return NEG_INF
-        return float((left.partials[:, None] + right.partials[None, :]).max())
+        return kernels.cross_product_max(left.partials, right.partials)
 
 
 class AverageScore(ScoringFunction):

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+from repro import kernels
 from repro.core.stepping import PENDING
 from repro.core.tuples import JoinResult
 from repro.exec.backends import make_backend
@@ -70,6 +71,11 @@ class ShardedRankJoin:
         self.operator_name = operator
         self.name = f"sharded[{operator}]x{self.config.shards}"
         self._obs = obs if obs is not None else NULL_OBS
+        if self.config.kernel is not None:
+            # Process-wide: shard operators (and fork-based process-backend
+            # children, which inherit the parent's module state) all compute
+            # through the selected kernel backend.
+            kernels.set_backend(self.config.kernel)
 
         plan = make_plan(
             instance.left,
@@ -242,6 +248,7 @@ class ShardedRankJoin:
                 "backend": self.config.backend,
                 "quantum": self.config.quantum,
                 "partitioner": self.config.partitioner,
+                "kernel": kernels.kernel_name(),
             },
             "pulls": self._pulls,
             "rounds": self._rounds,

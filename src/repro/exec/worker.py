@@ -24,6 +24,7 @@ from repro.core.operators import make_operator
 from repro.core.stepping import PENDING
 from repro.core.tuples import JoinResult
 from repro.errors import InstanceError
+from repro.kernels import BACKEND_CHOICES as KERNEL_CHOICES
 from repro.relation.relation import RankJoinInstance
 
 #: Backends accepted by :class:`ExecConfig`.
@@ -57,6 +58,11 @@ class ExecConfig:
     heavy_fraction:
         Skew partitioner knob: a key is heavy when its estimated result
         share exceeds this fraction (default ``1 / shards``).
+    kernel:
+        Optional :mod:`repro.kernels` backend for the run (``"auto"`` /
+        ``"numpy"`` / ``"python"``).  ``None`` (default) inherits the
+        process-wide selection.  Applied by the engine before workers
+        start; fork-based process children inherit the selection.
     """
 
     shards: int = 1
@@ -64,6 +70,7 @@ class ExecConfig:
     quantum: int = DEFAULT_QUANTUM
     partitioner: str = "hash"
     heavy_fraction: float | None = None
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -78,6 +85,10 @@ class ExecConfig:
             raise InstanceError(
                 f"unknown partitioner {self.partitioner!r}; "
                 f"choose from {PARTITIONERS}"
+            )
+        if self.kernel is not None and self.kernel not in KERNEL_CHOICES:
+            raise InstanceError(
+                f"unknown kernel {self.kernel!r}; choose from {KERNEL_CHOICES}"
             )
 
 

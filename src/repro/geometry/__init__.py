@@ -2,10 +2,16 @@
 
 These data structures implement the feasible-region machinery that the FR,
 FR* and aFR bounding schemes are built on (Sections 4 and 5 of the paper).
+The batch forms of these operations (and the columnar storage behind
+``CoverRegion``/``IncrementalSkyline``/``GridTree``) live in
+:mod:`repro.kernels`.
 """
 
 from repro.geometry.dominance import (
+    Point,
+    as_point,
     dominates,
+    ones,
     strictly_dominates,
     strongly_dominates,
     substitute,
@@ -15,6 +21,9 @@ from repro.geometry.cover import CoverRegion, covers, update_cover
 from repro.geometry.gridtree import GridTree
 
 __all__ = [
+    "Point",
+    "as_point",
+    "ones",
     "dominates",
     "strictly_dominates",
     "strongly_dominates",

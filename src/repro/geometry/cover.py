@@ -10,7 +10,10 @@ region ``{x : x ⪰ y}`` is carved out of the feasible region (Figure 4(b)).
 ``update_cover`` implements the carving exactly as in the paper's pseudo-code:
 cover points dominating ``y`` are removed and replaced by their projections
 ``s[i ↦ y_i]``, clipped to ``(0, 1]^e`` (projections with a zero coordinate
-cover nothing and are dropped).
+cover nothing and are dropped).  It is a deliberately loop-based oracle; the
+production path is :class:`CoverRegion`, which keeps its points in a columnar
+:class:`~repro.kernels.PointSet` and carves through the batch kernel
+:func:`repro.kernels.cover_carve` (vectorized under the numpy backend).
 
 The FR* variant additionally skylines the result.  Note a deliberate
 deviation documented in DESIGN.md: the paper skylines only the new points
@@ -23,8 +26,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
-import numpy as np
-
+from repro import kernels
 from repro.geometry.dominance import (
     Point,
     as_point,
@@ -34,6 +36,7 @@ from repro.geometry.dominance import (
     substitute,
 )
 from repro.geometry.skyline import skyline
+from repro.kernels import PointSet
 
 
 def covers(cover: Iterable[Sequence[float]], point: Sequence[float]) -> bool:
@@ -98,11 +101,12 @@ class CoverRegion:
     completes — and shrinks through :meth:`update` calls.  With
     ``skyline_mode=True`` the point set is kept as a skyline (FR* behaviour).
 
-    The point set is stored as an ``(n, e)`` numpy array so the dominance
-    scans inside :meth:`update` are vectorized — cover maintenance runs on
-    every pull of the FR-family bounds and is their hottest loop.  The
-    semantics are identical to the reference :func:`update_cover` (the test
-    suite asserts the equivalence property-based).
+    The point set lives in a columnar :class:`~repro.kernels.PointSet` and
+    each :meth:`update` is a single :func:`repro.kernels.cover_carve` batch
+    call — cover maintenance runs on every pull of the FR-family bounds and
+    is their hottest loop.  The semantics are identical to the reference
+    :func:`update_cover` under either kernel backend (the test suite asserts
+    the equivalence property-based).
     """
 
     def __init__(self, dimension: int, *, skyline_mode: bool = False) -> None:
@@ -110,76 +114,49 @@ class CoverRegion:
             raise ValueError("dimension must be non-negative")
         self.dimension = dimension
         self.skyline_mode = skyline_mode
-        self._array = np.ones((1, dimension), dtype=float)
+        self._ps = PointSet(dimension, [ones(dimension)])
 
     @property
-    def array(self) -> np.ndarray:
+    def pointset(self) -> PointSet:
+        """The columnar cover storage (shared; do not mutate)."""
+        return self._ps
+
+    @property
+    def array(self):
         """Current cover points as an ``(n, e)`` array (do not mutate)."""
-        return self._array
+        return self._ps.array
 
     @property
     def points(self) -> list[Point]:
         """Current cover points as tuples (a fresh list)."""
-        return [tuple(row) for row in self._array]
+        return list(self._ps.tuples())
 
     def __len__(self) -> int:
-        return self._array.shape[0]
+        return len(self._ps)
 
     def __iter__(self):
-        return iter(self.points)
+        return iter(self._ps.tuples())
 
     def update(self, observed: Iterable[Sequence[float]]) -> None:
         """Carve out the regions dominating each vector in ``observed``."""
-        current = self._array
-        for raw in observed:
-            y = np.asarray(raw, dtype=float)
-            if y.shape != (self.dimension,):
+        batch = [as_point(raw) for raw in observed]
+        for y in batch:
+            if len(y) != self.dimension:
                 raise ValueError(
                     f"dimension mismatch: cover is {self.dimension}-d, "
-                    f"point is {y.shape}-d"
+                    f"point is {(len(y),)}-d"
                 )
-            if not current.size and current.shape[0] == 0:
-                break
-            removed_mask = (current >= y).all(axis=1)
-            if not removed_mask.any():
-                continue
-            removed = current[removed_mask]
-            survivors = current[~removed_mask]
-            # Project each removed point one coordinate down onto y.
-            projected = np.repeat(removed, self.dimension, axis=0)
-            cols = np.tile(np.arange(self.dimension), removed.shape[0])
-            projected[np.arange(projected.shape[0]), cols] = y[cols]
-            projected = projected[(projected > 0.0).all(axis=1)]
-            projected = np.unique(projected, axis=0)
-            if self.skyline_mode and projected.shape[0]:
-                fresh = np.array(
-                    skyline([tuple(row) for row in projected]), dtype=float
-                ).reshape(-1, self.dimension)
-                if survivors.shape[0] and fresh.shape[0]:
-                    # new-vs-survivor dominations, both directions
-                    dominated_new = (
-                        (survivors[:, None, :] >= fresh[None, :, :])
-                        .all(axis=2)
-                        .any(axis=0)
-                    )
-                    fresh = fresh[~dominated_new]
-                if survivors.shape[0] and fresh.shape[0]:
-                    strictly = (
-                        (fresh[:, None, :] >= survivors[None, :, :]).all(axis=2)
-                        & (fresh[:, None, :] > survivors[None, :, :]).any(axis=2)
-                    ).any(axis=0)
-                    survivors = survivors[~strictly]
-                current = np.concatenate([survivors, fresh], axis=0)
-            else:
-                current = np.concatenate([survivors, projected], axis=0)
-        self._array = current
+        if not batch or not len(self._ps):
+            return
+        self._ps.replace(
+            kernels.cover_carve(self._ps, batch, skyline_mode=self.skyline_mode)
+        )
 
     def covers(self, point: Sequence[float]) -> bool:
         """True if ``point`` lies inside the covered (feasible) region."""
-        if not self._array.shape[0]:
+        if not len(self._ps):
             return False
-        target = np.asarray(point, dtype=float)
-        return bool((self._array >= target).all(axis=1).any())
+        return kernels.dominates_any(self._ps, as_point(point))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CoverRegion(dim={self.dimension}, points={len(self)})"

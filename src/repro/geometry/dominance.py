@@ -8,17 +8,28 @@ points ``x`` and ``y``:
 * ``x ≺ y`` (:func:`strictly_dominates`): ``x ⪯ y`` and ``x != y``.
 * ``x ≪ y`` (:func:`strongly_dominates`): ``x_i < y_i`` for all ``i``.
 
-Score vectors are plain tuples of floats in ``[0, 1]``.  Tuples are used
-rather than numpy arrays because the vectors are tiny (e <= 4 in the paper's
-experiments) and hashing/equality on tuples is what the skyline and cover
-structures need.
+These are the scalar (one-pair-at-a-time) forms; the batch forms over
+columnar point sets live in :mod:`repro.kernels`.  The canonical
+``Point`` type and its constructors are defined in
+:mod:`repro.kernels.types` and re-exported here for backward
+compatibility.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
-Point = tuple[float, ...]
+from repro.kernels.types import Point, as_point, ones, substitute
+
+__all__ = [
+    "Point",
+    "as_point",
+    "dominates",
+    "ones",
+    "strictly_dominates",
+    "strongly_dominates",
+    "substitute",
+]
 
 
 def dominates(y: Sequence[float], x: Sequence[float]) -> bool:
@@ -28,35 +39,34 @@ def dominates(y: Sequence[float], x: Sequence[float]) -> bool:
     """
     if len(x) != len(y):
         raise ValueError(f"dimension mismatch: {len(y)} vs {len(x)}")
-    return all(xi <= yi for xi, yi in zip(x, y))
+    for xi, yi in zip(x, y):
+        if not xi <= yi:
+            return False
+    return True
 
 
 def strictly_dominates(y: Sequence[float], x: Sequence[float]) -> bool:
-    """Return True if ``x ≺ y``: ``x ⪯ y`` and ``x != y``."""
-    return dominates(y, x) and tuple(x) != tuple(y)
+    """Return True if ``x ≺ y``: ``x ⪯ y`` and ``x != y``.
+
+    Coordinates are compared directly — no per-call tuple materialization
+    — so mixed ``Sequence`` inputs (lists vs tuples) behave identically.
+    """
+    if len(x) != len(y):
+        raise ValueError(f"dimension mismatch: {len(y)} vs {len(x)}")
+    strict = False
+    for xi, yi in zip(x, y):
+        if not xi <= yi:
+            return False
+        if xi != yi:  # xi < yi given the check above
+            strict = True
+    return strict
 
 
 def strongly_dominates(y: Sequence[float], x: Sequence[float]) -> bool:
     """Return True if ``x ≪ y``: every coordinate of ``y`` exceeds ``x``'s."""
     if len(x) != len(y):
         raise ValueError(f"dimension mismatch: {len(y)} vs {len(x)}")
-    return all(xi < yi for xi, yi in zip(x, y))
-
-
-def substitute(point: Sequence[float], index: int, value: float) -> Point:
-    """Return ``point[index ↦ value]`` — the paper's coordinate substitution."""
-    if not 0 <= index < len(point):
-        raise IndexError(f"coordinate {index} out of range for {len(point)}-d point")
-    replaced = list(point)
-    replaced[index] = value
-    return tuple(replaced)
-
-
-def as_point(values: Sequence[float]) -> Point:
-    """Normalize any sequence of floats into the canonical tuple form."""
-    return tuple(float(v) for v in values)
-
-
-def ones(dimension: int) -> Point:
-    """The ideal point ``(1, …, 1)`` of the given dimension."""
-    return (1.0,) * dimension
+    for xi, yi in zip(x, y):
+        if not xi < yi:
+            return False
+    return True

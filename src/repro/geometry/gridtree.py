@@ -17,14 +17,20 @@ cover-bound computation wants.
 Implementation notes (see DESIGN.md):
 
 * The structure is stored **sparsely** — marked cells live in an ``(n, e)``
-  integer array; a 64x64x64 grid costs memory proportional to the number of
-  marked cells, never the number of grid cells.
+  table; a 64x64x64 grid costs memory proportional to the number of marked
+  cells, never the number of grid cells.
+* The batch set operations (carve, antichain reduction, bulk quantization)
+  are delegated to :mod:`repro.kernels` — :func:`~repro.kernels.grid_carve`,
+  :func:`~repro.kernels.antichain` and
+  :func:`~repro.kernels.grid_cell_assign` — so the grid tree runs
+  vectorized under the numpy backend and loop-based under the pure-Python
+  one, with identical marked sets.
 * ``UpdateGridCR``'s recursive unmark-and-slide (which walks the grid cell
-  by cell) is implemented as an equivalent *vectorized carve*: a marked
-  cell is unmarked iff its corner strictly dominates the up-quantized
-  vector, and its replacement corners are the single-coordinate projections
-  onto the quantized value — exactly where the paper's cascade terminates.
-  The antichain invariant is restored by cross-filtering new points against
+  by cell) is implemented as an equivalent *batch carve*: a marked cell is
+  unmarked iff its corner strictly dominates the up-quantized vector, and
+  its replacement corners are the single-coordinate projections onto the
+  quantized value — exactly where the paper's cascade terminates.  The
+  antichain invariant is restored by cross-filtering new points against
   survivors.  Update vectors are quantized **up** to the nearest cell
   corner first, matching the "s is quantized on the grid" premise of the
   paper's Theorem 5.1, which keeps the carved region inside the truly
@@ -40,11 +46,10 @@ import itertools
 import math
 from collections.abc import Iterable, Sequence
 
-import numpy as np
-
+from repro import kernels
 from repro.geometry.dominance import Point, as_point
-
-Cell = tuple[int, ...]
+from repro.kernels.pointset import HAS_NUMPY
+from repro.kernels.types import Cell
 
 #: guard against float fuzz when mapping real coordinates onto grid corners
 _EPS = 1e-9
@@ -63,17 +68,11 @@ def _partial_deltas(dimension: int) -> list[Cell]:
     return deltas
 
 
-def _antichain(cells: np.ndarray) -> np.ndarray:
-    """Reduce an ``(n, e)`` integer cell array to its dominance antichain."""
-    if cells.shape[0] <= 1:
-        return cells
-    cells = np.unique(cells, axis=0)
-    n = cells.shape[0]
-    dominated = np.zeros(n, dtype=bool)
-    ge = (cells[:, None, :] >= cells[None, :, :]).all(axis=2)
-    np.fill_diagonal(ge, False)
-    dominated = ge.any(axis=0)
-    return cells[~dominated]
+def _as_cells(cells) -> list[Cell]:
+    """Normalize a kernel result (ndarray or tuple list) to ``list[Cell]``."""
+    if hasattr(cells, "tolist"):
+        cells = cells.tolist()
+    return [tuple(int(v) for v in row) for row in cells]
 
 
 class GridTree:
@@ -98,7 +97,7 @@ class GridTree:
         self._deltas = _partial_deltas(dimension)
         # Initially only the cell touching the ideal corner (1, …, 1) is
         # marked, inducing the trivial cover {(1, …, 1)} (Figure 6(a)).
-        self._cells = np.full((1, dimension), resolution - 1, dtype=np.int64)
+        self._cells: list[Cell] = [(resolution - 1,) * dimension]
 
     # ------------------------------------------------------------------
     # Geometry helpers
@@ -138,40 +137,45 @@ class GridTree:
     @property
     def marked_cells(self) -> set[Cell]:
         """The currently marked cells as a set of coordinate tuples."""
-        return {tuple(int(c) for c in row) for row in self._cells}
+        return set(self._cells)
 
     @marked_cells.setter
     def marked_cells(self, cells: Iterable[Sequence[int]]) -> None:
-        rows = [tuple(int(c) for c in cell) for cell in cells]
-        self._cells = np.array(sorted(rows), dtype=np.int64).reshape(
-            -1, self.dimension
-        )
+        self._cells = sorted(tuple(int(c) for c in cell) for cell in cells)
 
     @property
     def num_marked(self) -> int:
-        return self._cells.shape[0]
+        return len(self._cells)
 
     def cover_points(self) -> list[Point]:
         """Cover points induced by the marked cells, in sorted order."""
         return sorted(self.upper_corner(row) for row in self._cells)
 
-    def cover_array(self) -> np.ndarray:
-        """Cover points as an ``(n, e)`` float array."""
-        return (self._cells + 1) / self.resolution
+    def cover_array(self):
+        """Cover points as an ``(n, e)`` float array (requires numpy)."""
+        if not HAS_NUMPY:  # pragma: no cover - numpy is a declared dependency
+            raise RuntimeError("GridTree.cover_array requires numpy")
+        import numpy as np
+
+        cells = np.asarray(self._cells, dtype=np.int64).reshape(
+            -1, self.dimension
+        )
+        return (cells + 1) / self.resolution
 
     def covers(self, point: Sequence[float]) -> bool:
         """True if some induced cover point weakly dominates ``point``."""
-        if not self._cells.shape[0]:
+        if not self._cells:
             return False
-        target = np.asarray(as_point(point))
-        return bool((self.cover_array() >= target - _EPS).all(axis=1).any())
+        target = tuple(v - _EPS for v in as_point(point))
+        corners = [self.upper_corner(cell) for cell in self._cells]
+        return kernels.dominates_any(corners, target)
 
     def _dominated_by_marked(self, cell: Cell) -> bool:
         """True if a marked cell strictly dominates ``cell``."""
-        target = np.asarray(cell, dtype=np.int64)
-        ge = (self._cells >= target).all(axis=1)
-        neq = (self._cells != target).any(axis=1)
-        return bool((ge & neq).any())
+        for row in self._cells:
+            if row != cell and all(r >= c for r, c in zip(row, cell)):
+                return True
+        return False
 
     def covered_count(self, cell: Cell) -> int:
         """The paper's ``covered`` counter, computed from the marked set.
@@ -199,10 +203,10 @@ class GridTree:
         budget is transferred onto the grid.  ``initialize`` (the invariant
         enforcement of ``aFR::InitializeGridCR``) is applied automatically.
         """
-        cells = np.array(
-            [self.cell_containing(p) for p in points], dtype=np.int64
-        ).reshape(-1, self.dimension)
-        self._cells = cells
+        batch = [as_point(p) for p in points]
+        self._cells = _as_cells(
+            kernels.grid_cell_assign(batch, self.resolution)
+        )
         self.initialize()
 
     def initialize(self) -> None:
@@ -212,7 +216,7 @@ class GridTree:
         marked cell, leaving an antichain — equivalent to unmarking cells
         with ``covered > 0`` (see DESIGN.md for the equivalence argument).
         """
-        self._cells = _antichain(self._cells)
+        self._cells = _as_cells(kernels.antichain(self._cells))
 
     def update(self, point: Sequence[float]) -> bool:
         """Carve the region dominating ``point`` (``aFR::UpdateGridCR``).
@@ -223,43 +227,12 @@ class GridTree:
         """
         if self.resolution == 1:
             return False
-        # Integer grid coordinates of the up-quantized vector: a marked
-        # cell's corner strictly dominates the quantized point iff
-        # cell >= m component-wise.
-        m = np.array(
-            [
-                min(max(math.ceil(v * self.resolution), 0), self.resolution)
-                for v in point
-            ],
-            dtype=np.int64,
+        new_cells, changed = kernels.grid_carve(
+            self._cells, as_point(point), self.resolution
         )
-        cells = self._cells
-        removed_mask = (cells >= m).all(axis=1)
-        if not removed_mask.any():
-            return False
-        removed = cells[removed_mask]
-        survivors = cells[~removed_mask]
-        # Slide each removed corner down onto the carved boundary: one
-        # projection per axis, at cell index m_i - 1 (dropped if below the
-        # grid) — where the paper's cell-by-cell cascade terminates.
-        projected = np.repeat(removed, self.dimension, axis=0)
-        cols = np.tile(np.arange(self.dimension), removed.shape[0])
-        projected[np.arange(projected.shape[0]), cols] = m[cols] - 1
-        projected = projected[(projected >= 0).all(axis=1)]
-        fresh = _antichain(projected)
-        if survivors.shape[0] and fresh.shape[0]:
-            dominated_new = (
-                (survivors[:, None, :] >= fresh[None, :, :]).all(axis=2).any(axis=0)
-            )
-            fresh = fresh[~dominated_new]
-        if survivors.shape[0] and fresh.shape[0]:
-            strictly = (
-                (fresh[:, None, :] >= survivors[None, :, :]).all(axis=2)
-                & (fresh[:, None, :] > survivors[None, :, :]).any(axis=2)
-            ).any(axis=0)
-            survivors = survivors[~strictly]
-        self._cells = np.concatenate([survivors, fresh], axis=0)
-        return True
+        if changed:
+            self._cells = _as_cells(new_cells)
+        return changed
 
     def reduce_resolution(self) -> int:
         """Halve the cells per dimension (paper: ``L ← L - 1``).
@@ -271,7 +244,7 @@ class GridTree:
         if self.resolution == 1:
             raise ValueError("already at minimum resolution")
         self.resolution //= 2
-        self._cells = self._cells // 2
+        self._cells = [tuple(c // 2 for c in cell) for cell in self._cells]
         self.initialize()
         return self.resolution
 

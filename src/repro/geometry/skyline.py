@@ -7,38 +7,42 @@ maintains the skyline ``SHR_i`` of the seen score vectors incrementally, and
 relies on the "early freeze" property: because inputs arrive in decreasing
 score-bound order, dominating points tend to arrive first and the skyline
 stabilizes quickly.
+
+The data plane is columnar: :class:`IncrementalSkyline` holds its points
+in a :class:`~repro.kernels.PointSet` and filters candidates in one
+kernel call per insertion (:func:`repro.kernels.dominates_any` +
+:func:`repro.kernels.strict_dominance_mask`), so both the pure-Python and
+the numpy backend serve it interchangeably.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
-from repro.geometry.dominance import Point, as_point, dominates, strictly_dominates
+from repro import kernels
+from repro.kernels import PointSet
+from repro.kernels.types import Point, as_point
 
 
 def skyline(points: Iterable[Sequence[float]]) -> list[Point]:
     """Return the skyline (maxima under ⪯) of ``points``.
 
-    Duplicates collapse to a single representative.  The result preserves no
-    particular order.  Complexity is O(n * s) where ``s`` is the skyline size,
-    which is what the paper's structures need (s stays small in practice).
+    Duplicates collapse to a single representative (the first occurrence).
+    The result preserves the input order of the surviving points.
+    Complexity is O(n * s) where ``s`` is the skyline size, which is what
+    the paper's structures need (s stays small in practice).
     """
-    result: list[Point] = []
-    for raw in points:
-        point = as_point(raw)
-        if any(dominates(kept, point) for kept in result):
-            continue
-        result = [kept for kept in result if not strictly_dominates(point, kept)]
-        result.append(point)
-    return result
+    normalized = [as_point(p) for p in points]
+    return [normalized[i] for i in kernels.skyline_filter(normalized)]
 
 
 def is_skyline(points: Iterable[Sequence[float]]) -> bool:
     """Check that no point in ``points`` strictly dominates another."""
     normalized = [as_point(p) for p in points]
     for i, p in enumerate(normalized):
-        for j, q in enumerate(normalized):
-            if i != j and strictly_dominates(p, q):
+        mask = kernels.strict_dominance_mask(normalized, p)
+        for j, dominated in enumerate(mask):
+            if j != i and dominated:
                 return False
     return True
 
@@ -46,14 +50,15 @@ def is_skyline(points: Iterable[Sequence[float]]) -> bool:
 class IncrementalSkyline:
     """Maintains the skyline of a growing point set.
 
-    ``add`` runs in time linear to the current skyline size.  The structure
-    also exposes :attr:`frozen_since` — the number of consecutive ``add``
-    calls that left the skyline unchanged — which quantifies the paper's
+    ``add`` runs in time linear to the current skyline size (one batch
+    kernel call against the columnar point set).  The structure also
+    exposes :attr:`frozen_since` — the number of consecutive ``add`` calls
+    that left the skyline unchanged — which quantifies the paper's
     early-freeze property and is handy for diagnostics.
     """
 
     def __init__(self, points: Iterable[Sequence[float]] = ()) -> None:
-        self._points: list[Point] = []
+        self._ps = PointSet()
         self._inserted = 0
         self.frozen_since = 0
         for point in points:
@@ -63,20 +68,26 @@ class IncrementalSkyline:
         """Insert a point; return True iff the skyline changed."""
         point = as_point(raw)
         self._inserted += 1
-        if any(dominates(kept, point) for kept in self._points):
-            self.frozen_since += 1
-            return False
-        self._points = [
-            kept for kept in self._points if not strictly_dominates(point, kept)
-        ]
-        self._points.append(point)
+        if len(self._ps):
+            if kernels.dominates_any(self._ps, point):
+                self.frozen_since += 1
+                return False
+            dominated = kernels.strict_dominance_mask(self._ps, point)
+            if kernels.mask_any(dominated):
+                self._ps.compress([not d for d in dominated])
+        self._ps.append(point)
         self.frozen_since = 0
         return True
 
     @property
+    def pointset(self) -> PointSet:
+        """The columnar skyline storage (shared; do not mutate)."""
+        return self._ps
+
+    @property
     def points(self) -> list[Point]:
         """The current skyline points (a copy; safe to mutate)."""
-        return list(self._points)
+        return list(self._ps.tuples())
 
     @property
     def inserted(self) -> int:
@@ -84,18 +95,19 @@ class IncrementalSkyline:
         return self._inserted
 
     def __len__(self) -> int:
-        return len(self._points)
+        return len(self._ps)
 
     def __iter__(self):
-        return iter(self._points)
+        return iter(self._ps.tuples())
 
     def __contains__(self, raw: Sequence[float]) -> bool:
-        return as_point(raw) in self._points
+        return as_point(raw) in self._ps
 
     def covers(self, raw: Sequence[float]) -> bool:
         """True if some skyline point weakly dominates ``raw``."""
-        point = as_point(raw)
-        return any(dominates(kept, point) for kept in self._points)
+        if not len(self._ps):
+            return False
+        return kernels.dominates_any(self._ps, as_point(raw))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"IncrementalSkyline({self._points!r})"
+        return f"IncrementalSkyline({self._ps.tuples()!r})"

@@ -1,0 +1,324 @@
+"""Columnar point-set kernels: the compute plane of the FR-family bounds.
+
+The paper's empirical finding (Figure 2(b)) is that *bound computation*
+dominates rank-join runtime.  This package concentrates that hot path
+into a small batch-kernel interface over columnar :class:`PointSet`
+storage, with two interchangeable backends:
+
+* ``"python"`` — :class:`~repro.kernels.reference.ReferenceBackend`,
+  pure loops, the semantic oracle and numpy-free fallback;
+* ``"numpy"`` — :class:`~repro.kernels.vectorized.NumpyBackend`,
+  one broadcast per batch (default when numpy is importable).
+
+The two backends are **bit-identical**: same skylines, same cover sets,
+same partial scores (float additions happen in the same order), so every
+operator-level invariant test doubles as a kernel-equivalence oracle.
+
+Selection
+---------
+The active backend is resolved, in priority order, from
+
+1. an explicit :func:`set_backend` call (the CLI ``--kernel`` flag and
+   :class:`repro.config.ReproConfig` end here),
+2. the ``REPRO_KERNEL`` environment variable (``numpy``/``python``/``auto``),
+3. ``auto``: numpy when importable, else the pure-Python fallback.
+
+Requesting ``numpy`` without numpy installed warns and falls back.
+
+Observability
+-------------
+:func:`observe` attaches a :class:`~repro.obs.metrics.MetricRegistry`;
+afterwards every kernel call increments
+``kernel_calls_total{kernel=…, fn=…}`` and records its wall-clock in the
+``bound_kernel_seconds{kernel=…}`` histogram — the per-backend
+Figure 2(b) breakdown shown by ``python -m repro trace``.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+from time import perf_counter
+
+from repro.kernels.pointset import HAS_NUMPY, PointSet
+from repro.kernels.reference import ReferenceBackend
+from repro.kernels.types import (
+    Cell,
+    Point,
+    as_cell,
+    as_point,
+    ones,
+    substitute,
+)
+
+#: The operations every kernel backend must implement.
+KERNEL_OPS = (
+    "dominates_any",
+    "weak_dominance_mask",
+    "strict_dominance_mask",
+    "skyline_filter",
+    "cover_corner_scores",
+    "max_corner_score",
+    "cross_product_max",
+    "cover_carve",
+    "grid_cell_assign",
+    "antichain",
+    "grid_carve",
+)
+
+#: Histogram boundaries for per-call kernel latencies (seconds).
+KERNEL_SECONDS_BUCKETS = (
+    1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 1.0,
+)
+
+_BACKENDS: dict[str, object] = {"python": ReferenceBackend()}
+if HAS_NUMPY:
+    from repro.kernels.vectorized import NumpyBackend
+
+    _BACKENDS["numpy"] = NumpyBackend()
+
+#: Names accepted by :func:`set_backend` / ``REPRO_KERNEL`` / ``--kernel``.
+BACKEND_CHOICES = ("auto", "numpy", "python")
+
+ENV_VAR = "REPRO_KERNEL"
+
+
+def available_backends() -> tuple[str, ...]:
+    """Installed backend names (``python`` always, ``numpy`` if importable)."""
+    return tuple(sorted(_BACKENDS))
+
+
+def _resolve(name: str | None):
+    if name is None:
+        name = "auto"
+    name = str(name).strip().lower()
+    if name == "auto":
+        return _BACKENDS.get("numpy", _BACKENDS["python"])
+    if name not in BACKEND_CHOICES:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; choose from {BACKEND_CHOICES}"
+        )
+    backend = _BACKENDS.get(name)
+    if backend is None:  # numpy requested but unavailable
+        warnings.warn(
+            f"kernel backend {name!r} unavailable; falling back to 'python'",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return _BACKENDS["python"]
+    return backend
+
+
+def _from_env():
+    raw = os.environ.get(ENV_VAR)
+    if raw is None:
+        return _resolve("auto")
+    try:
+        return _resolve(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring invalid {ENV_VAR}={raw!r}; using 'auto' "
+            f"(choose from {BACKEND_CHOICES})",
+            RuntimeWarning,
+        )
+        return _resolve("auto")
+
+
+_active = _from_env()
+
+
+def set_backend(name: str | None) -> str:
+    """Select the active kernel backend; returns the resolved name.
+
+    ``name`` is one of :data:`BACKEND_CHOICES` (``None`` means ``auto``).
+    ``auto`` prefers numpy and falls back to pure Python; an explicit
+    ``numpy`` without numpy installed warns and falls back.
+    """
+    global _active
+    _active = _resolve(name)
+    return _active.name
+
+
+def get_backend():
+    """The active backend object (exposes the :data:`KERNEL_OPS` methods)."""
+    return _active
+
+
+def kernel_name() -> str:
+    """Name of the active backend (``"numpy"`` or ``"python"``)."""
+    return _active.name
+
+
+@contextmanager
+def use_backend(name: str):
+    """Temporarily switch backends (tests and benchmarks)."""
+    global _active
+    previous = _active
+    _active = _resolve(name)
+    try:
+        yield _active
+    finally:
+        _active = previous
+
+
+# ----------------------------------------------------------------------
+# Instrumentation
+# ----------------------------------------------------------------------
+class _InstrumentationSink:
+    """Resolves and caches metric handles for kernel-call accounting."""
+
+    __slots__ = ("_metrics", "_counters", "_hists")
+
+    def __init__(self, metrics) -> None:
+        self._metrics = metrics
+        self._counters: dict[tuple[str, str], object] = {}
+        self._hists: dict[str, object] = {}
+
+    def record(self, fn: str, backend: str, seconds: float) -> None:
+        key = (fn, backend)
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = self._metrics.counter(
+                "kernel_calls_total", kernel=backend, fn=fn
+            )
+        counter.inc()
+        hist = self._hists.get(backend)
+        if hist is None:
+            hist = self._hists[backend] = self._metrics.histogram(
+                "bound_kernel_seconds",
+                buckets=KERNEL_SECONDS_BUCKETS,
+                kernel=backend,
+            )
+        hist.observe(seconds)
+
+
+_sink: _InstrumentationSink | None = None
+
+
+def observe(metrics) -> None:
+    """Route kernel-call counters/latencies into ``metrics``.
+
+    Called by instrumented operators (PBRJ with an observability
+    pipeline).  The sink is process-global — concurrent pipelines share
+    it, last registration wins — and adds one ``perf_counter`` pair per
+    kernel call, nothing when never registered.
+    """
+    global _sink
+    _sink = _InstrumentationSink(metrics)
+
+
+def unobserve() -> None:
+    """Detach kernel instrumentation (zero-overhead dispatch again)."""
+    global _sink
+    _sink = None
+
+
+def _call(fn: str, *args, **kwargs):
+    backend = _active
+    sink = _sink
+    if sink is None:
+        return getattr(backend, fn)(*args, **kwargs)
+    start = perf_counter()
+    try:
+        return getattr(backend, fn)(*args, **kwargs)
+    finally:
+        sink.record(fn, backend.name, perf_counter() - start)
+
+
+# ----------------------------------------------------------------------
+# Dispatch surface — one thin wrapper per kernel op
+# ----------------------------------------------------------------------
+def dominates_any(points, q) -> bool:
+    """True if some row of ``points`` weakly dominates ``q``."""
+    return _call("dominates_any", points, q)
+
+
+def weak_dominance_mask(points, q):
+    """Per-row mask: the row weakly dominates ``q`` (row ``⪰ q``)."""
+    return _call("weak_dominance_mask", points, q)
+
+
+def strict_dominance_mask(points, q):
+    """Per-row mask: the row is strictly dominated by ``q`` (``q ≻`` row)."""
+    return _call("strict_dominance_mask", points, q)
+
+
+def skyline_filter(points) -> list[int]:
+    """Indices (input order, first-occurrence dedup) of the skyline."""
+    return _call("skyline_filter", points)
+
+
+def cover_corner_scores(points, weights=None):
+    """Per-row partial score: plain or weighted left-to-right sum."""
+    return _call("cover_corner_scores", points, weights)
+
+
+def max_corner_score(points, weights=None) -> float:
+    """Max partial score over the rows; ``-inf`` on an empty set."""
+    return _call("max_corner_score", points, weights)
+
+
+def cross_product_max(left, right) -> float:
+    """Max of ``l + r`` over the full cross product of two score lists."""
+    return _call("cross_product_max", left, right)
+
+
+def cover_carve(cover, observed, *, skyline_mode: bool = False):
+    """``FR::UpdateCR`` (``FR*`` with ``skyline_mode``): new cover points."""
+    return _call("cover_carve", cover, observed, skyline_mode=skyline_mode)
+
+
+def grid_cell_assign(points, resolution: int):
+    """Cell containing each point (coordinates rounded up onto the grid)."""
+    return _call("grid_cell_assign", points, resolution)
+
+
+def antichain(cells):
+    """Reduce integer grid cells to their dominance antichain."""
+    return _call("antichain", cells)
+
+
+def grid_carve(cells, point, resolution: int):
+    """``aFR::UpdateGridCR`` for one vector: ``(new_cells, changed)``."""
+    return _call("grid_carve", cells, point, resolution)
+
+
+def mask_any(mask) -> bool:
+    """Truthiness of a backend-native mask (ndarray or plain list)."""
+    if hasattr(mask, "any"):
+        return bool(mask.any())
+    return any(mask)
+
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "Cell",
+    "HAS_NUMPY",
+    "KERNEL_OPS",
+    "Point",
+    "PointSet",
+    "antichain",
+    "as_cell",
+    "as_point",
+    "available_backends",
+    "cover_carve",
+    "cover_corner_scores",
+    "cross_product_max",
+    "dominates_any",
+    "get_backend",
+    "grid_carve",
+    "grid_cell_assign",
+    "kernel_name",
+    "mask_any",
+    "max_corner_score",
+    "observe",
+    "ones",
+    "set_backend",
+    "skyline_filter",
+    "strict_dominance_mask",
+    "substitute",
+    "unobserve",
+    "use_backend",
+    "weak_dominance_mask",
+]

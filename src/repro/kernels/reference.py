@@ -1,0 +1,277 @@
+"""The pure-Python reference kernel backend.
+
+Every kernel is written as the plainest possible loop over canonical
+tuples — no numpy on the compute path.  This backend is the *semantic
+oracle*: the vectorized backend must produce bit-identical results (same
+point sets, same masks, same scores), which the property-test suite
+enforces.  It is also the automatic fallback when numpy is unavailable.
+
+Floating-point discipline: partial scores are accumulated strictly
+left-to-right (``s = 0.0; s += w*x``).  The vectorized backend sums the
+same way (numpy's reduction is sequential for rows of <= 8 elements, and
+the wide-row path falls back to explicit loops), so the two backends
+agree bit-for-bit, not just approximately.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from collections.abc import Sequence
+
+from repro.kernels.pointset import PointSet
+from repro.kernels.types import Cell, Point, as_point, substitute
+
+NEG_INF = float("-inf")
+
+
+def _rows(points) -> list[Point]:
+    """Materialize any supported operand as a list of tuples."""
+    if isinstance(points, PointSet):
+        return points.tuples()
+    if hasattr(points, "tolist"):  # numpy array
+        return [tuple(row) for row in points.tolist()]
+    return [tuple(p) for p in points]
+
+
+def _weak_dom(a: Sequence[float], b: Sequence[float]) -> bool:
+    """``a ⪰ b`` componentwise (NaN anywhere ⇒ False, like numpy ``>=``)."""
+    for ai, bi in zip(a, b):
+        if not ai >= bi:
+            return False
+    return True
+
+
+def _strict_dom(a: Sequence[float], b: Sequence[float]) -> bool:
+    """``a ≻ b``: weakly dominates and differs somewhere."""
+    strict = False
+    for ai, bi in zip(a, b):
+        if not ai >= bi:
+            return False
+        if ai != bi:
+            strict = True
+    return strict
+
+
+class ReferenceBackend:
+    """Loop-based kernels with oracle semantics."""
+
+    name = "python"
+
+    # ------------------------------------------------------------------
+    # Dominance primitives
+    # ------------------------------------------------------------------
+    def dominates_any(self, points, q: Sequence[float]) -> bool:
+        """True if some row of ``points`` weakly dominates ``q``."""
+        q = tuple(q)
+        for row in _rows(points):
+            if _weak_dom(row, q):
+                return True
+        return False
+
+    def weak_dominance_mask(self, points, q: Sequence[float]) -> list[bool]:
+        """Per-row mask: row ``⪰ q`` (the row weakly dominates ``q``)."""
+        q = tuple(q)
+        return [_weak_dom(row, q) for row in _rows(points)]
+
+    def strict_dominance_mask(self, points, q: Sequence[float]) -> list[bool]:
+        """Per-row mask: ``q ≻ row`` (the row is strictly dominated)."""
+        q = tuple(q)
+        return [_strict_dom(q, row) for row in _rows(points)]
+
+    # ------------------------------------------------------------------
+    # Skylines
+    # ------------------------------------------------------------------
+    def skyline_filter(self, points) -> list[int]:
+        """Indices (input order) of the skyline of ``points``.
+
+        A point survives iff no other point strictly dominates it and no
+        earlier point equals it (duplicates collapse to their first
+        occurrence) — exactly the result of the classic incremental
+        insertion loop.
+        """
+        rows = _rows(points)
+        kept: list[int] = []
+        for i, point in enumerate(rows):
+            dominated = False
+            for j in kept:
+                if _weak_dom(rows[j], point):
+                    dominated = True
+                    break
+            if dominated:
+                continue
+            kept = [j for j in kept if not _strict_dom(point, rows[j])]
+            kept.append(i)
+        return kept
+
+    # ------------------------------------------------------------------
+    # Partial scores
+    # ------------------------------------------------------------------
+    def cover_corner_scores(
+        self, points, weights: Sequence[float] | None = None
+    ) -> list[float]:
+        """Per-row partial score: plain sum, or weighted sum if given."""
+        scores: list[float] = []
+        if weights is None:
+            for row in _rows(points):
+                s = 0.0
+                for v in row:
+                    s += v
+                scores.append(s)
+        else:
+            for row in _rows(points):
+                s = 0.0
+                for w, v in zip(weights, row):
+                    s += w * v
+                scores.append(s)
+        return scores
+
+    def max_corner_score(
+        self, points, weights: Sequence[float] | None = None
+    ) -> float:
+        """``max`` of :meth:`cover_corner_scores`; ``-inf`` on empty."""
+        scores = self.cover_corner_scores(points, weights)
+        if not scores:
+            return NEG_INF
+        best = NEG_INF
+        for s in scores:
+            if s > best:
+                best = s
+        return best
+
+    def cross_product_max(self, left, right) -> float:
+        """``max(l + r)`` over the full cross product of two score lists.
+
+        The nested loop is deliberate: this is the combinatorial cost the
+        paper ascribes to cover bounds, kept intact (only constant-factor
+        acceleration differs between backends).  ``-inf`` if either side
+        is empty.
+        """
+        best = NEG_INF
+        right_list = [float(r) for r in right]
+        if not right_list:
+            return best
+        for l_val in left:
+            l_val = float(l_val)
+            for r_val in right_list:
+                if l_val + r_val > best:
+                    best = l_val + r_val
+        return best
+
+    # ------------------------------------------------------------------
+    # Cover maintenance (FR::UpdateCR / FR*::UpdateCR)
+    # ------------------------------------------------------------------
+    def cover_carve(
+        self, cover, observed, *, skyline_mode: bool = False
+    ) -> list[Point]:
+        """Carve the regions dominating each observed vector out of ``cover``.
+
+        Returns the new cover point list.  With ``skyline_mode`` the result
+        is kept an antichain (FR* behaviour); new points are considered in
+        sorted order so both backends emit identical sets deterministically.
+        """
+        current = _rows(cover)
+        for raw in observed:
+            y = as_point(raw)
+            if not current:
+                break
+            removed = [s for s in current if _weak_dom(s, y)]
+            if not removed:
+                continue
+            survivors = [s for s in current if not _weak_dom(s, y)]
+            projected: set[Point] = set()
+            for s in removed:
+                for axis, value in enumerate(y):
+                    candidate = substitute(s, axis, value)
+                    if all(coord > 0.0 for coord in candidate):
+                        projected.add(candidate)
+            fresh = sorted(projected)
+            if skyline_mode:
+                # Survivors are an antichain by induction: only new-vs-new
+                # and new-vs-survivor dominations need resolving.
+                fresh = [fresh[i] for i in self.skyline_filter(fresh)]
+                fresh = [
+                    p
+                    for p in fresh
+                    if not any(_weak_dom(s, p) for s in survivors)
+                ]
+                survivors = [
+                    s
+                    for s in survivors
+                    if not any(_strict_dom(p, s) for p in fresh)
+                ]
+            current = survivors + fresh
+        return current
+
+    # ------------------------------------------------------------------
+    # Grid kernels (aFR)
+    # ------------------------------------------------------------------
+    def grid_cell_assign(self, points, resolution: int) -> list[Cell]:
+        """Cell containing each point: coordinates rounded *up* onto the grid.
+
+        Matches ``GridTree.cell_containing``: exact ``ceil`` so float fuzz
+        can only push a corner upward (the corner keeps weakly dominating
+        the point).
+        """
+        cells: list[Cell] = []
+        for row in _rows(points):
+            cell = []
+            for value in row:
+                index = ceil(value * resolution) - 1
+                cell.append(min(max(index, 0), resolution - 1))
+            cells.append(tuple(cell))
+        return cells
+
+    def antichain(self, cells) -> list[Cell]:
+        """Reduce integer cells to their dominance antichain (dedup'd).
+
+        Result is in sorted order — cell sets are order-insensitive (the
+        grid tree exposes them as a set), and sorting keeps the two
+        backends trivially comparable.
+        """
+        unique = sorted({tuple(int(v) for v in row) for row in _rows(cells)})
+        kept = []
+        for i, cell in enumerate(unique):
+            dominated = False
+            for j, other in enumerate(unique):
+                if i != j and _weak_dom(other, cell) and other != cell:
+                    dominated = True
+                    break
+            if not dominated:
+                kept.append(cell)
+        return kept
+
+    def grid_carve(
+        self, cells, point: Sequence[float], resolution: int
+    ) -> tuple[list[Cell], bool]:
+        """``aFR::UpdateGridCR`` for one observed vector.
+
+        Returns ``(new_cells, changed)``.  The observed vector is
+        up-quantized to integer grid coordinates ``m``; a marked cell is
+        unmarked iff its corner strictly dominates the quantized point
+        (``cell >= m`` componentwise), and its replacements are the
+        single-coordinate projections onto ``m - 1``.
+        """
+        m = tuple(
+            min(max(ceil(v * resolution), 0), resolution) for v in point
+        )
+        rows = [tuple(int(v) for v in row) for row in _rows(cells)]
+        dimension = len(m)
+        removed = [c for c in rows if _weak_dom(c, m)]
+        if not removed:
+            return rows, False
+        survivors = [c for c in rows if not _weak_dom(c, m)]
+        projected: set[Cell] = set()
+        for cell in removed:
+            for axis in range(dimension):
+                slid = list(cell)
+                slid[axis] = m[axis] - 1
+                if all(coord >= 0 for coord in slid):
+                    projected.add(tuple(slid))
+        fresh = self.antichain(sorted(projected))
+        fresh = [
+            c for c in fresh if not any(_weak_dom(s, c) for s in survivors)
+        ]
+        survivors = [
+            s for s in survivors if not any(_strict_dom(c, s) for c in fresh)
+        ]
+        return survivors + fresh, True

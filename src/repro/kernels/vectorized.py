@@ -1,0 +1,253 @@
+"""The numpy kernel backend: one broadcast per batch, no per-tuple loops.
+
+Bit-identical to :class:`repro.kernels.reference.ReferenceBackend` by
+construction:
+
+* dominance tests and grid arithmetic are exact comparisons/integers;
+* partial scores accumulate column-by-column (``out += arr[:, j]``),
+  which is the same left-to-right float addition order as the reference
+  loops — never a pairwise/blocked reduction that could round differently;
+* set-producing kernels (covers, antichains) emit the same point sets
+  (order may differ only where the consumer is order-insensitive, and the
+  deterministic paths sort exactly like the reference).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.kernels.pointset import PointSet
+
+NEG_INF = float("-inf")
+
+#: Below this many points the skyline uses one pairwise broadcast; above,
+#: an incremental scan keeps memory O(n·s) instead of O(n²).
+_PAIRWISE_LIMIT = 512
+
+
+def _arr(points) -> np.ndarray:
+    """Any supported operand as an ``(n, e)`` float64 array."""
+    if isinstance(points, PointSet):
+        return points.array
+    array = np.asarray(points, dtype=np.float64)
+    if array.ndim == 1:
+        array = array.reshape(0, 0) if array.size == 0 else array.reshape(1, -1)
+    return array
+
+
+def _cells_arr(cells) -> np.ndarray:
+    """Any supported cell operand as an ``(n, e)`` int64 array."""
+    array = np.asarray(cells, dtype=np.int64)
+    if array.ndim == 1:
+        array = array.reshape(0, 0) if array.size == 0 else array.reshape(1, -1)
+    return array
+
+
+def _column_sum(array: np.ndarray, weights: Sequence[float] | None) -> np.ndarray:
+    """Left-to-right per-row sum (optionally weighted), column at a time.
+
+    Matches the reference backend's ``s = 0.0; s += w*x`` accumulation
+    bit-for-bit for any row width.
+    """
+    n, e = array.shape
+    out = np.zeros(n, dtype=np.float64)
+    if weights is None:
+        for j in range(e):
+            out += array[:, j]
+    else:
+        for j in range(min(e, len(weights))):
+            out += float(weights[j]) * array[:, j]
+    return out
+
+
+class NumpyBackend:
+    """Vectorized kernels over contiguous float64 rows."""
+
+    name = "numpy"
+
+    # ------------------------------------------------------------------
+    # Dominance primitives
+    # ------------------------------------------------------------------
+    def dominates_any(self, points, q: Sequence[float]) -> bool:
+        array = _arr(points)
+        if not array.shape[0]:
+            return False
+        target = np.asarray(tuple(q), dtype=np.float64)
+        return bool((array >= target).all(axis=1).any())
+
+    def weak_dominance_mask(self, points, q: Sequence[float]) -> np.ndarray:
+        array = _arr(points)
+        if not array.shape[0]:
+            return np.zeros(0, dtype=bool)
+        target = np.asarray(tuple(q), dtype=np.float64)
+        return (array >= target).all(axis=1)
+
+    def strict_dominance_mask(self, points, q: Sequence[float]) -> np.ndarray:
+        array = _arr(points)
+        if not array.shape[0]:
+            return np.zeros(0, dtype=bool)
+        target = np.asarray(tuple(q), dtype=np.float64)
+        return (array <= target).all(axis=1) & (array != target).any(axis=1)
+
+    # ------------------------------------------------------------------
+    # Skylines
+    # ------------------------------------------------------------------
+    def skyline_filter(self, points) -> list[int]:
+        array = _arr(points)
+        n = array.shape[0]
+        if n <= 1:
+            return list(range(n))
+        if n <= _PAIRWISE_LIMIT:
+            # One broadcast: keep j iff nothing strictly dominates it and
+            # no earlier row equals it (first-occurrence dedup).
+            ge = (array[:, None, :] >= array[None, :, :]).all(axis=2)
+            eq = ge & ge.T
+            strict = ge & ~eq
+            dominated = strict.any(axis=0)
+            earlier_dup = np.triu(eq, 1).any(axis=0)
+            return np.flatnonzero(~(dominated | earlier_dup)).tolist()
+        # Incremental scan with a vectorized kept-set check per point.
+        kept_rows = np.empty_like(array)
+        kept_idx: list[int] = []
+        k = 0
+        for i in range(n):
+            p = array[i]
+            if k:
+                view = kept_rows[:k]
+                if (view >= p).all(axis=1).any():
+                    continue
+                strict = (view <= p).all(axis=1) & (view != p).any(axis=1)
+                if strict.any():
+                    keep = ~strict
+                    survivors = view[keep]
+                    m = survivors.shape[0]
+                    kept_rows[:m] = survivors
+                    kept_idx = [
+                        j for j, flag in zip(kept_idx, keep.tolist()) if flag
+                    ]
+                    k = m
+            kept_rows[k] = p
+            kept_idx.append(i)
+            k += 1
+        return kept_idx
+
+    # ------------------------------------------------------------------
+    # Partial scores
+    # ------------------------------------------------------------------
+    def cover_corner_scores(
+        self, points, weights: Sequence[float] | None = None
+    ) -> np.ndarray:
+        return _column_sum(_arr(points), weights)
+
+    def max_corner_score(
+        self, points, weights: Sequence[float] | None = None
+    ) -> float:
+        array = _arr(points)
+        if not array.shape[0]:
+            return NEG_INF
+        return float(_column_sum(array, weights).max())
+
+    def cross_product_max(self, left, right) -> float:
+        left_vals = np.asarray(left, dtype=np.float64)
+        right_vals = np.asarray(right, dtype=np.float64)
+        if not left_vals.size or not right_vals.size:
+            return NEG_INF
+        # Full cross product, one broadcast — the paper's combinatorial
+        # cover-bound cost with compiled constants.
+        return float((left_vals[:, None] + right_vals[None, :]).max())
+
+    # ------------------------------------------------------------------
+    # Cover maintenance (FR::UpdateCR / FR*::UpdateCR)
+    # ------------------------------------------------------------------
+    def cover_carve(
+        self, cover, observed, *, skyline_mode: bool = False
+    ) -> np.ndarray:
+        current = _arr(cover)
+        if current.shape[0]:
+            current = current.copy()
+        dimension = current.shape[1]
+        for raw in observed:
+            y = np.asarray(tuple(raw), dtype=np.float64)
+            if not current.shape[0]:
+                break
+            removed_mask = (current >= y).all(axis=1)
+            if not removed_mask.any():
+                continue
+            removed = current[removed_mask]
+            survivors = current[~removed_mask]
+            # Project each removed point one coordinate down onto y.
+            projected = np.repeat(removed, dimension, axis=0)
+            cols = np.tile(np.arange(dimension), removed.shape[0])
+            projected[np.arange(projected.shape[0]), cols] = y[cols]
+            projected = projected[(projected > 0.0).all(axis=1)]
+            projected = np.unique(projected, axis=0)
+            if skyline_mode and projected.shape[0]:
+                fresh = projected[self.skyline_filter(projected)]
+                if survivors.shape[0] and fresh.shape[0]:
+                    dominated_new = (
+                        (survivors[:, None, :] >= fresh[None, :, :])
+                        .all(axis=2)
+                        .any(axis=0)
+                    )
+                    fresh = fresh[~dominated_new]
+                if survivors.shape[0] and fresh.shape[0]:
+                    strictly = (
+                        (fresh[:, None, :] >= survivors[None, :, :]).all(axis=2)
+                        & (fresh[:, None, :] > survivors[None, :, :]).any(axis=2)
+                    ).any(axis=0)
+                    survivors = survivors[~strictly]
+                current = np.concatenate([survivors, fresh], axis=0)
+            else:
+                current = np.concatenate([survivors, projected], axis=0)
+        return current
+
+    # ------------------------------------------------------------------
+    # Grid kernels (aFR)
+    # ------------------------------------------------------------------
+    def grid_cell_assign(self, points, resolution: int) -> np.ndarray:
+        array = _arr(points)
+        if not array.shape[0]:
+            return np.zeros((0, array.shape[1]), dtype=np.int64)
+        cells = np.ceil(array * resolution).astype(np.int64) - 1
+        return np.clip(cells, 0, resolution - 1)
+
+    def antichain(self, cells) -> np.ndarray:
+        array = _cells_arr(cells)
+        if array.shape[0] <= 1:
+            return array
+        array = np.unique(array, axis=0)
+        ge = (array[:, None, :] >= array[None, :, :]).all(axis=2)
+        np.fill_diagonal(ge, False)
+        return array[~ge.any(axis=0)]
+
+    def grid_carve(
+        self, cells, point: Sequence[float], resolution: int
+    ) -> tuple[np.ndarray, bool]:
+        array = _cells_arr(cells)
+        m = np.ceil(np.asarray(tuple(point), dtype=np.float64) * resolution)
+        m = np.clip(m, 0, resolution).astype(np.int64)
+        removed_mask = (array >= m).all(axis=1) if array.shape[0] else None
+        if removed_mask is None or not removed_mask.any():
+            return array, False
+        dimension = array.shape[1]
+        removed = array[removed_mask]
+        survivors = array[~removed_mask]
+        projected = np.repeat(removed, dimension, axis=0)
+        cols = np.tile(np.arange(dimension), removed.shape[0])
+        projected[np.arange(projected.shape[0]), cols] = m[cols] - 1
+        projected = projected[(projected >= 0).all(axis=1)]
+        fresh = self.antichain(projected)
+        if survivors.shape[0] and fresh.shape[0]:
+            dominated_new = (
+                (survivors[:, None, :] >= fresh[None, :, :]).all(axis=2).any(axis=0)
+            )
+            fresh = fresh[~dominated_new]
+        if survivors.shape[0] and fresh.shape[0]:
+            strictly = (
+                (fresh[:, None, :] >= survivors[None, :, :]).all(axis=2)
+                & (fresh[:, None, :] > survivors[None, :, :]).any(axis=2)
+            ).any(axis=0)
+            survivors = survivors[~strictly]
+        return np.concatenate([survivors, fresh], axis=0), True

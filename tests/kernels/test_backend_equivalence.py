@@ -1,0 +1,211 @@
+"""Property tests: the numpy and python kernel backends are bit-identical.
+
+Every op is driven with the same hypothesis-generated inputs under both
+backends; dominance masks, skyline index lists, partial scores (exact
+float equality — both backends accumulate left-to-right), cover carves
+and grid ops must agree.  Dimensions e ∈ {2, 3, 4}, duplicate rows, and
+the 0/1 boundary coordinates are all drawn deliberately.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.kernels import PointSet, use_backend
+from repro.kernels.pointset import HAS_NUMPY
+
+pytestmark = pytest.mark.skipif(
+    not HAS_NUMPY, reason="equivalence needs both backends installed"
+)
+
+# Boundary values 0.0 and 1.0 are drawn often: they exercise the cover
+# carve's corner substitutions and the grid's edge cells.
+coord = st.one_of(
+    st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]),
+    st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False),
+)
+
+
+def point_sets(dims=(2, 3, 4), min_size=0, max_size=24):
+    """Lists of same-dimension unit vectors, duplicates allowed."""
+    return st.integers(0, len(dims) - 1).flatmap(
+        lambda i: st.lists(
+            st.tuples(*([coord] * dims[i])), min_size=min_size, max_size=max_size
+        ).flatmap(
+            lambda pts: st.one_of(
+                st.just(pts),
+                # Re-sample with replacement to force duplicate rows.
+                st.lists(st.sampled_from(pts), min_size=1, max_size=max_size)
+                if pts else st.just(pts),
+            )
+        )
+    )
+
+
+def _mask(m):
+    return [bool(v) for v in m]
+
+
+def _floats(values):
+    return [float(v) for v in values]
+
+
+def _cells(cells):
+    return sorted(tuple(int(c) for c in cell) for cell in cells)
+
+
+def _points(points):
+    return sorted(tuple(float(v) for v in p) for p in points)
+
+
+def both(fn, *args, **kwargs):
+    with use_backend("python"):
+        py = fn(*args, **kwargs)
+    with use_backend("numpy"):
+        np_ = fn(*args, **kwargs)
+    return py, np_
+
+
+class TestDominanceOps:
+    @given(point_sets(min_size=1), st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_dominance_masks_equal(self, points, data):
+        e = len(points[0])
+        q = data.draw(st.tuples(*([coord] * e)))
+        ps = PointSet(e, points)
+        py_w, np_w = both(kernels.weak_dominance_mask, ps, q)
+        assert _mask(py_w) == _mask(np_w)
+        py_s, np_s = both(kernels.strict_dominance_mask, ps, q)
+        assert _mask(py_s) == _mask(np_s)
+        py_d, np_d = both(kernels.dominates_any, ps, q)
+        assert py_d == np_d == any(_mask(py_w))
+
+    @given(point_sets())
+    @settings(max_examples=200, deadline=None)
+    def test_skyline_filter_identical_indices(self, points):
+        # Exact index equality — emission order downstream depends on it.
+        py, np_ = both(kernels.skyline_filter, points)
+        assert list(py) == list(np_)
+
+
+class TestScoreOps:
+    @given(point_sets())
+    @settings(max_examples=200, deadline=None)
+    def test_corner_scores_bitwise_equal(self, points):
+        e = len(points[0]) if points else 2
+        ps = PointSet(e, points)
+        py, np_ = both(kernels.cover_corner_scores, ps)
+        assert _floats(py) == _floats(np_)  # exact: same addition order
+        py_m, np_m = both(kernels.max_corner_score, ps)
+        assert py_m == np_m
+
+    @given(point_sets(min_size=1), st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_weighted_corner_scores_bitwise_equal(self, points, data):
+        e = len(points[0])
+        weights = data.draw(st.tuples(*([st.floats(0.0, 2.0)] * e)))
+        ps = PointSet(e, points)
+        py, np_ = both(kernels.cover_corner_scores, ps, weights)
+        assert _floats(py) == _floats(np_)
+        py_m, np_m = both(kernels.max_corner_score, ps, weights)
+        assert py_m == np_m
+
+    @given(
+        st.lists(st.floats(0.0, 2.0), max_size=12),
+        st.lists(st.floats(0.0, 2.0), max_size=12),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_cross_product_max_equal(self, left, right):
+        py, np_ = both(kernels.cross_product_max, left, right)
+        assert py == np_
+
+
+class TestCoverOps:
+    @given(point_sets(min_size=1, max_size=12), st.booleans())
+    @settings(max_examples=150, deadline=None)
+    def test_cover_carve_same_point_set(self, observed, skyline_mode):
+        e = len(observed[0])
+        start = [kernels.ones(e)]
+        py, np_ = both(
+            kernels.cover_carve, start, observed, skyline_mode=skyline_mode
+        )
+        assert _points(py) == _points(np_)
+
+    @given(point_sets(min_size=1, max_size=12), st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_carved_covers_agree_on_probes(self, observed, data):
+        e = len(observed[0])
+        probe = data.draw(st.tuples(*([coord] * e)))
+        py, np_ = both(kernels.cover_carve, [kernels.ones(e)], observed)
+        py_cov, np_cov = both(kernels.dominates_any, py, probe)
+        assert py_cov == np_cov
+
+
+class TestGridOps:
+    resolutions = st.sampled_from([1, 2, 4, 8, 64])
+
+    @given(point_sets(min_size=1, max_size=16), resolutions)
+    @settings(max_examples=150, deadline=None)
+    def test_grid_cell_assign_equal(self, points, resolution):
+        py, np_ = both(kernels.grid_cell_assign, points, resolution)
+        # Per-row assignment: order is meaningful, compare positionally.
+        assert [tuple(int(c) for c in cell) for cell in py] == [
+            tuple(int(c) for c in cell) for cell in np_
+        ]
+
+    @given(point_sets(min_size=1, max_size=16), resolutions)
+    @settings(max_examples=150, deadline=None)
+    def test_antichain_same_cell_set(self, points, resolution):
+        with use_backend("python"):
+            cells = kernels.grid_cell_assign(points, resolution)
+        py, np_ = both(kernels.antichain, cells)
+        assert _cells(py) == _cells(np_)
+
+    @given(point_sets(min_size=2, max_size=10), resolutions, st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_grid_carve_same_cells_and_flag(self, points, resolution, data):
+        e = len(points[0])
+        vector = data.draw(st.tuples(*([coord] * e)))
+        with use_backend("python"):
+            cells = kernels.antichain(
+                kernels.grid_cell_assign(points, resolution)
+            )
+        (py_cells, py_changed), (np_cells, np_changed) = both(
+            kernels.grid_carve, cells, vector, resolution
+        )
+        assert py_changed == np_changed
+        assert _cells(py_cells) == _cells(np_cells)
+
+
+class TestStructureUsesKernels:
+    """End-to-end geometry structures agree across backends."""
+
+    @given(point_sets(min_size=1, max_size=16))
+    @settings(max_examples=100, deadline=None)
+    def test_incremental_skyline_same_points(self, points):
+        from repro.geometry.skyline import IncrementalSkyline
+
+        results = {}
+        for name in ("python", "numpy"):
+            with use_backend(name):
+                sky = IncrementalSkyline()
+                for p in points:
+                    sky.add(p)
+                results[name] = sorted(sky.points)
+        assert results["python"] == results["numpy"]
+
+    @given(point_sets(min_size=1, max_size=12), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_cover_region_same_cover(self, observed, data):
+        from repro.geometry.cover import CoverRegion
+
+        e = len(observed[0])
+        probe = data.draw(st.tuples(*([coord] * e)))
+        results = {}
+        for name in ("python", "numpy"):
+            with use_backend(name):
+                region = CoverRegion(e, skyline_mode=True)
+                region.update(observed)
+                results[name] = (sorted(region.points), region.covers(probe))
+        assert results["python"] == results["numpy"]

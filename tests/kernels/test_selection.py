@@ -1,0 +1,153 @@
+"""Backend selection: precedence, fallback, env var, config, CLI, exec."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import kernels
+from repro.config import ReproConfig
+from repro.errors import InstanceError
+from repro.exec import ExecConfig
+from repro.kernels.pointset import HAS_NUMPY
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    """Every test leaves the process-wide selection as it found it."""
+    previous = kernels.kernel_name()
+    yield
+    kernels.set_backend(previous)
+
+
+class TestSetBackend:
+    def test_explicit_python(self):
+        assert kernels.set_backend("python") == "python"
+        assert kernels.kernel_name() == "python"
+        assert kernels.get_backend().name == "python"
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="requires numpy")
+    def test_explicit_numpy(self):
+        assert kernels.set_backend("numpy") == "numpy"
+
+    def test_auto_prefers_numpy_when_available(self):
+        resolved = kernels.set_backend("auto")
+        assert resolved == ("numpy" if HAS_NUMPY else "python")
+
+    def test_none_means_auto(self):
+        assert kernels.set_backend(None) == kernels.set_backend("auto")
+
+    def test_name_normalized(self):
+        assert kernels.set_backend("  PYTHON ") == "python"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.set_backend("fortran")
+
+    def test_available_backends(self):
+        names = kernels.available_backends()
+        assert "python" in names
+        assert ("numpy" in names) == HAS_NUMPY
+
+
+class TestUseBackend:
+    def test_context_restores_previous(self):
+        kernels.set_backend("python")
+        with kernels.use_backend("auto"):
+            pass
+        assert kernels.kernel_name() == "python"
+
+    def test_context_restores_on_error(self):
+        kernels.set_backend("python")
+        with pytest.raises(RuntimeError):
+            with kernels.use_backend("auto"):
+                raise RuntimeError("boom")
+        assert kernels.kernel_name() == "python"
+
+
+class TestEnvVar:
+    """REPRO_KERNEL is read at import time — test in a child interpreter."""
+
+    def _probe(self, env_value):
+        env = {"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"}
+        if env_value is not None:
+            env["REPRO_KERNEL"] = env_value
+        return subprocess.run(
+            [sys.executable, "-W", "always", "-c",
+             "from repro import kernels; print(kernels.kernel_name())"],
+            capture_output=True, text=True, env=env, check=True,
+        )
+
+    def test_env_selects_python(self):
+        assert self._probe("python").stdout.strip() == "python"
+
+    def test_invalid_env_warns_and_falls_back_to_auto(self):
+        proc = self._probe("no-such-backend")
+        expected = "numpy" if HAS_NUMPY else "python"
+        assert proc.stdout.strip() == expected
+        assert "REPRO_KERNEL" in proc.stderr  # RuntimeWarning mentions the var
+
+
+class TestReproConfig:
+    def test_apply_sets_backend(self):
+        assert ReproConfig(kernel="python").apply() == "python"
+        assert kernels.kernel_name() == "python"
+
+    def test_invalid_kernel_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            ReproConfig(kernel="fortran")
+
+    def test_from_env_invalid_is_auto(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "bogus")
+        assert ReproConfig.from_env().kernel == "auto"
+
+    def test_current_reflects_active(self):
+        kernels.set_backend("python")
+        assert ReproConfig.current().kernel == "python"
+
+
+class TestExecConfig:
+    def test_kernel_field_validated(self):
+        with pytest.raises(InstanceError, match="unknown kernel"):
+            ExecConfig(kernel="fortran")
+
+    def test_kernel_default_inherits(self):
+        assert ExecConfig().kernel is None
+
+    def test_engine_applies_kernel(self):
+        from repro.data.workload import random_instance
+        from repro.exec import ShardedRankJoin
+
+        instance = random_instance(
+            n_left=60, n_right=60, e_left=2, e_right=2,
+            num_keys=10, k=3, seed=7,
+        )
+        config = ExecConfig(shards=2, backend="serial", kernel="python")
+        with ShardedRankJoin(instance, "FRPA", config=config) as engine:
+            engine.top_k(3)
+            assert kernels.kernel_name() == "python"
+            assert engine.snapshot()["config"]["kernel"] == "python"
+
+
+class TestCli:
+    def test_kernel_flag_applies(self, capsys):
+        from repro.__main__ import main
+
+        assert main([
+            "run", "FRPA", "--kernel", "python",
+            "--k", "3", "--scale", "0.0002",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "kernel=python" in out
+        assert kernels.kernel_name() == "python"
+
+    def test_info_lists_backends(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "kernels" in out
+        assert "python" in out
