@@ -9,6 +9,8 @@ Commands
               span/metric/bound-evolution summary
 ``serve``     start the concurrent top-K query service (JSON-lines TCP
               protocol; see ``repro.service``)
+``chaos``     run the seed workloads under seeded fault schedules and
+              verify bit-identity with the fault-free run
 ``info``      print the library inventory (operators, figures, defaults)
 
 ``run`` and ``compare`` accept ``--workload params.json`` to load the
@@ -293,9 +295,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         "lineitem": tables["lineitem"].to_relation("orderkey"),
         "orders": tables["orders"].to_relation("orderkey"),
     }
+    chaos = None
+    if args.chaos_error_rate > 0 or args.chaos_delay_rate > 0:
+        from repro.resilience import RequestChaos
+
+        chaos = RequestChaos(
+            seed=args.chaos_seed,
+            error_rate=args.chaos_error_rate,
+            delay_rate=args.chaos_delay_rate,
+        )
     server = RankJoinServer(
         service, relations, host=args.host, port=args.port,
-        default_shards=args.shards,
+        default_shards=args.shards, chaos=chaos,
     )
     sizes = ", ".join(f"{name}={len(rel)}" for name, rel in relations.items())
     print(f"relations loaded: {sizes}", flush=True)
@@ -316,6 +327,35 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print("server stopped", flush=True)
     _finish_obs(obs if getattr(args, "obs_out", None) else None, args)
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the chaos suite: seeded faults, bit-identity verification."""
+    from repro.resilience import (
+        CHAOS_KINDS,
+        SEED_WORKLOADS,
+        render_report,
+        run_chaos_suite,
+    )
+
+    unknown = [w for w in args.workloads if w not in SEED_WORKLOADS]
+    if unknown:
+        print(f"unknown workloads {unknown}; choose from {sorted(SEED_WORKLOADS)}")
+        return 2
+    unknown = [k for k in args.kinds if k not in CHAOS_KINDS]
+    if unknown:
+        print(f"unknown fault kinds {unknown}; choose from {sorted(CHAOS_KINDS)}")
+        return 2
+    cases = run_chaos_suite(
+        seed=args.seed,
+        workloads=tuple(args.workloads),
+        shards=tuple(args.shards),
+        backends=tuple(args.backends),
+        kinds=tuple(args.kinds),
+        operator=args.operator,
+    )
+    print(render_report(cases))
+    return 0 if all(case.ok for case in cases) else 1
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -399,10 +439,39 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--shards", type=int, default=1,
                          help="sharded execution for every binary query "
                               "(1 = serial; requests may override)")
+    p_serve.add_argument("--chaos-seed", type=int, default=0,
+                         help="request-chaos RNG seed")
+    p_serve.add_argument("--chaos-error-rate", type=float, default=0.0,
+                         help="inject retryable errors on this fraction "
+                              "of submit/poll requests")
+    p_serve.add_argument("--chaos-delay-rate", type=float, default=0.0,
+                         help="delay this fraction of submit/poll requests")
     _add_workload_args(p_serve)
     _add_obs_args(p_serve)
     _add_kernel_arg(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run seed workloads under seeded faults; verify bit-identity",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="fault-schedule seed")
+    p_chaos.add_argument("--workloads", nargs="+",
+                         default=["tpch", "zipf", "uniform", "anticorrelated"],
+                         help="seed workloads to run")
+    p_chaos.add_argument("--shards", nargs="+", type=int, default=[2, 4],
+                         help="shard counts in the matrix")
+    p_chaos.add_argument("--backends", nargs="+",
+                         default=["thread", "process"],
+                         choices=["serial", "thread", "process"],
+                         help="execution backends to chaos-test")
+    p_chaos.add_argument("--kinds", nargs="+",
+                         default=["worker-kill", "pipe-drop", "transient"],
+                         help="fault kinds to schedule")
+    p_chaos.add_argument("--operator", default="FRPA",
+                         help="operator every shard runs")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_info = sub.add_parser("info", help="library inventory")
     p_info.set_defaults(func=cmd_info)

@@ -13,6 +13,7 @@ scores bit-for-bit, ties broken by the canonical result identity of
 """
 
 from repro.exec.backends import (
+    DEGRADE_ORDER,
     ExecBackend,
     ProcessBackend,
     SerialBackend,

@@ -94,7 +94,15 @@ class ShardedRankJoin:
             if len(shard.left) and len(shard.right)
         ]
         self._merger = GlobalTopKMerger([worker.shard for worker in workers])
-        self._backend = make_backend(self.config.backend)
+        backend = make_backend(self.config.backend)
+        if self.config.resilience is not None:
+            # Imported lazily: repro.resilience builds on this package.
+            from repro.resilience import ResilientBackend
+
+            backend = ResilientBackend(
+                backend, config=self.config.resilience, obs=self._obs
+            )
+        self._backend = backend
         self._backend.start(workers)
         self._closed = False
 
@@ -240,6 +248,11 @@ class ShardedRankJoin:
         """Advance rounds driven so far."""
         return self._rounds
 
+    @property
+    def degraded(self) -> bool:
+        """True once the resilient backend fell to a lower execution tier."""
+        return bool(getattr(self._backend, "degraded", False))
+
     def snapshot(self) -> dict:
         return {
             "operator": self.name,
@@ -254,6 +267,10 @@ class ShardedRankJoin:
             "rounds": self._rounds,
             "emitted": len(self._history),
             "imbalance": self._partition_stats.imbalance,
+            "degraded": self.degraded,
+            "backend_tier": getattr(
+                self._backend, "tier", getattr(self._backend, "name", "?")
+            ),
             "merge": self._merger.snapshot(),
         }
 

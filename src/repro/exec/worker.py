@@ -63,6 +63,13 @@ class ExecConfig:
         ``"numpy"`` / ``"python"``).  ``None`` (default) inherits the
         process-wide selection.  Applied by the engine before workers
         start; fork-based process children inherit the selection.
+    resilience:
+        Optional :class:`repro.resilience.ResilienceConfig`.  ``None``
+        (default) runs the raw backend with no recovery machinery; any
+        config wraps the backend in a
+        :class:`~repro.resilience.ResilientBackend` (retry with backoff,
+        worker respawn with state replay, graceful degradation), with
+        fault injection only when the config carries a non-empty plan.
     """
 
     shards: int = 1
@@ -71,6 +78,7 @@ class ExecConfig:
     partitioner: str = "hash"
     heavy_fraction: float | None = None
     kernel: str | None = None
+    resilience: object | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -126,12 +134,25 @@ class ShardWorker:
         self.shard = shard
         self.instance = instance
         self.operator_name = operator
+        self._operator_kwargs = dict(operator_kwargs)
         # ``track_time=False``: per-pull span timing on every shard is pure
         # overhead — the engine reports wall clock at the facade level.
         self._operator = make_operator(
             operator, instance, track_time=False, **operator_kwargs
         )
         self._exhausted = False
+
+    def clone_fresh(self) -> "ShardWorker":
+        """A pristine worker over the same partition, zero pulls performed.
+
+        The respawn recipe: the resilience layer rebuilds a lost worker
+        from this and fast-forwards it by replaying the shard's recorded
+        advance history (deterministic operators make the replayed state
+        bit-identical to the state that died).
+        """
+        return ShardWorker(
+            self.shard, self.instance, self.operator_name, **self._operator_kwargs
+        )
 
     @property
     def exhausted(self) -> bool:

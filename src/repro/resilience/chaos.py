@@ -1,0 +1,206 @@
+"""The chaos harness: seeded fault schedules, bit-identity verification.
+
+Runs the standard seed workloads through the sharded engine under a
+randomized-but-seeded fault schedule and checks the *resilience
+invariant*:
+
+    final top-K, emission order, and scores are bit-identical to the
+    fault-free run, and at least one injected fault actually fired.
+
+The fault-free reference is the serial-backend sharded run with the same
+shard count (shard count fixes the canonical emission order; backend and
+faults must not).  Exposed through ``python -m repro chaos`` and the
+pytest suite in ``tests/resilience/``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.data.workload import (
+    WorkloadParams,
+    anti_correlated_instance,
+    lineitem_orders_instance,
+    random_instance,
+)
+from repro.exec import ExecConfig, ShardedRankJoin, result_identity
+from repro.obs import Observability
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.supervisor import ResilienceConfig
+
+#: The four seed workloads every correctness invariant runs over (the
+#: same matrix as ``tests/exec/conftest.SEED_WORKLOADS``).
+WORKLOAD_BUILDERS = {
+    "tpch": lambda: lineitem_orders_instance(
+        WorkloadParams(e=2, c=0.5, z=0.5, k=10, scale=0.0005, seed=0)
+    ),
+    "zipf": lambda: lineitem_orders_instance(
+        WorkloadParams(e=2, c=0.5, z=0.5, k=10, scale=0.0005,
+                       join_skew=0.9, seed=1)
+    ),
+    "uniform": lambda: random_instance(
+        n_left=400, n_right=400, e_left=2, e_right=2,
+        num_keys=40, k=12, seed=3,
+    ),
+    "anticorrelated": lambda: anti_correlated_instance(
+        n_left=300, n_right=300, num_keys=30, k=10, seed=5,
+    ),
+}
+
+SEED_WORKLOADS = tuple(sorted(WORKLOAD_BUILDERS))
+
+#: Fault kinds the chaos suite schedules by default.  ``delay`` is
+#: excluded from the default matrix: it cannot affect results, only
+#: latency, and the suite optimizes for fault-path coverage per second.
+CHAOS_KINDS = ("worker-kill", "pipe-drop", "transient")
+
+#: Fast backoff for chaos runs — correctness is timing-independent.
+CHAOS_RETRY = RetryPolicy(max_attempts=6, base_delay=0.001, max_delay=0.01)
+
+
+@lru_cache(maxsize=None)
+def seed_instance(name: str):
+    """Build (and memoize) one of the named seed workload instances."""
+    try:
+        builder = WORKLOAD_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {SEED_WORKLOADS}"
+        ) from None
+    return builder()
+
+
+def chaos_plan(kind: str, shards: int, seed: int) -> FaultPlan:
+    """A seeded per-case schedule: one ``kind`` fault on every shard.
+
+    Shard 0 fires at pull depth 0 (guaranteed: every live shard advances
+    in round one), the rest at seeded shallow depths so most fire before
+    small top-K runs drain.
+    """
+    rng = random.Random((seed, kind, shards).__hash__())
+    specs = [FaultSpec(kind, 0, 0)]
+    for shard in range(1, shards):
+        specs.append(FaultSpec(kind, shard, rng.randrange(0, 48)))
+    return FaultPlan(tuple(specs))
+
+
+def reference_run(instance, shards: int, operator: str = "FRPA") -> list:
+    """The fault-free serial-backend sharded run (the bit-identity oracle)."""
+    config = ExecConfig(shards=shards, backend="serial")
+    with ShardedRankJoin(instance, operator, config=config) as engine:
+        return engine.top_k(instance.k)
+
+
+def emission_view(results) -> list[tuple]:
+    """Comparable projection preserving emission order: (score, identity)."""
+    return [(r.score, result_identity(r)) for r in results]
+
+
+@dataclass(frozen=True)
+class ChaosCase:
+    """Outcome of one chaos run: did faults fire, did results survive."""
+
+    workload: str
+    shards: int
+    backend: str
+    kind: str
+    matched: bool
+    fired: int
+    respawns: int
+    retries: int
+    degraded: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.matched and self.fired > 0
+
+
+def chaos_run(
+    workload: str,
+    shards: int,
+    backend: str,
+    kind: str,
+    *,
+    seed: int = 0,
+    operator: str = "FRPA",
+    plan: FaultPlan | None = None,
+) -> ChaosCase:
+    """Run one workload under faults and verify bit-identity.
+
+    ``plan`` overrides the default per-case seeded schedule.
+    """
+    instance = seed_instance(workload)
+    reference = emission_view(reference_run(instance, shards, operator))
+    plan = plan if plan is not None else chaos_plan(kind, shards, seed)
+    obs = Observability()
+    config = ExecConfig(
+        shards=shards,
+        backend=backend,
+        resilience=ResilienceConfig(plan=plan, retry=CHAOS_RETRY, seed=seed),
+    )
+    with ShardedRankJoin(instance, operator, config=config, obs=obs) as engine:
+        chaotic = emission_view(engine.top_k(instance.k))
+        degraded = engine.degraded
+    respawns = obs.metrics.value("worker_respawns_total") or 0
+    retries = sum(
+        obs.metrics.value("resilience_retries_total", kind=k) or 0
+        for k in ("transient", "worker-lost")
+    )
+    return ChaosCase(
+        workload=workload,
+        shards=shards,
+        backend=backend,
+        kind=kind,
+        matched=chaotic == reference,
+        fired=respawns + retries,
+        respawns=respawns,
+        retries=retries,
+        degraded=degraded,
+    )
+
+
+def run_chaos_suite(
+    *,
+    seed: int = 0,
+    workloads: tuple[str, ...] = SEED_WORKLOADS,
+    shards: tuple[int, ...] = (2, 4),
+    backends: tuple[str, ...] = ("thread", "process"),
+    kinds: tuple[str, ...] = CHAOS_KINDS,
+    operator: str = "FRPA",
+) -> list[ChaosCase]:
+    """The full chaos matrix: workload × shards × backend × fault kind."""
+    cases = []
+    for workload in workloads:
+        for n_shards in shards:
+            for backend in backends:
+                for kind in kinds:
+                    cases.append(
+                        chaos_run(
+                            workload, n_shards, backend, kind,
+                            seed=seed, operator=operator,
+                        )
+                    )
+    return cases
+
+
+def render_report(cases: list[ChaosCase]) -> str:
+    """A fixed-width table of the suite results."""
+    header = (
+        f"{'workload':<16}{'shards':>6}  {'backend':<8}{'fault':<12}"
+        f"{'match':<7}{'fired':>5}{'respawns':>9}{'retries':>8}  degraded"
+    )
+    lines = [header, "-" * len(header)]
+    for case in cases:
+        lines.append(
+            f"{case.workload:<16}{case.shards:>6}  {case.backend:<8}"
+            f"{case.kind:<12}{'yes' if case.matched else 'NO':<7}"
+            f"{case.fired:>5}{case.respawns:>9}{case.retries:>8}  "
+            f"{'yes' if case.degraded else 'no'}"
+        )
+    passed = sum(case.ok for case in cases)
+    lines.append("-" * len(header))
+    lines.append(f"{passed}/{len(cases)} cases bit-identical with faults fired")
+    return "\n".join(lines)

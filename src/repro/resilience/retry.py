@@ -1,0 +1,73 @@
+"""Retry with exponential backoff and seeded jitter.
+
+The delay schedule is fully deterministic given the policy and the RNG
+seed — chaos runs replay bit-identically.  Jitter decorrelates shard
+retries in real deployments (thundering-herd avoidance) while staying
+reproducible under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.errors import ShardError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff: ``base * multiplier**attempt``, capped, jittered.
+
+    ``jitter`` is a fraction: each delay is scaled by a factor drawn
+    uniformly from ``[1 - jitter, 1 + jitter]``.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.005
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("RetryPolicy.max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("RetryPolicy delays must be >= 0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("RetryPolicy.jitter must be in [0, 1)")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1),
+                  self.max_delay)
+        if self.jitter:
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return raw
+
+
+def call_with_retry(
+    fn,
+    *,
+    policy: RetryPolicy,
+    rng: random.Random,
+    retry_on: tuple[type[BaseException], ...] = (ShardError,),
+    on_retry=None,
+    sleep=time.sleep,
+):
+    """Call ``fn()`` retrying ``retry_on`` failures under ``policy``.
+
+    ``on_retry(attempt, exc)`` is invoked before each backoff sleep (for
+    counters/logging).  The final failure is re-raised unchanged.
+    """
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except retry_on as exc:
+            attempt += 1
+            if attempt >= policy.max_attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(policy.delay(attempt, rng))

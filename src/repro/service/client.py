@@ -18,7 +18,15 @@ import time
 
 
 class ServiceError(RuntimeError):
-    """The server answered ``ok: false``."""
+    """The server answered ``ok: false``.
+
+    ``retryable`` is True when the server marked the failure transient
+    (e.g. injected request chaos) — resending the same request is safe.
+    """
+
+    def __init__(self, message: str, *, retryable: bool = False) -> None:
+        super().__init__(message)
+        self.retryable = retryable
 
 
 class ServiceClient:
@@ -65,22 +73,30 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # Protocol
     # ------------------------------------------------------------------
-    def request(self, payload: dict) -> dict:
+    def request(self, payload: dict, *, max_retries: int = 2) -> dict:
         """Send one request object, return the decoded response.
 
-        Raises :class:`ServiceError` on an ``ok: false`` answer and
+        Server-marked *retryable* failures (injected chaos, transient
+        overload) are resent up to ``max_retries`` times.  Raises
+        :class:`ServiceError` on a final ``ok: false`` answer and
         ``ConnectionError`` if the server hung up mid-exchange.
         """
-        self.connect()
-        self._file.write((json.dumps(payload) + "\n").encode())
-        self._file.flush()
-        line = self._file.readline()
-        if not line:
-            raise ConnectionError("server closed the connection")
-        response = json.loads(line)
-        if not response.get("ok", False):
-            raise ServiceError(response.get("error", "unknown server error"))
-        return response
+        for attempt in range(max_retries + 1):
+            self.connect()
+            self._file.write((json.dumps(payload) + "\n").encode())
+            self._file.flush()
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            response = json.loads(line)
+            if response.get("ok", False):
+                return response
+            error = ServiceError(
+                response.get("error", "unknown server error"),
+                retryable=bool(response.get("retryable", False)),
+            )
+            if not error.retryable or attempt >= max_retries:
+                raise error
 
     # ------------------------------------------------------------------
     # Verbs
@@ -111,13 +127,20 @@ class ServiceClient:
         *,
         timeout: float = 30.0,
         interval: float = 0.01,
+        max_interval: float = 0.25,
+        backoff: float = 1.5,
+        sleep=time.sleep,
     ) -> dict:
         """Poll until the session reaches a terminal state.
 
         Returns the final snapshot; raises ``TimeoutError`` if the session
-        is still live after ``timeout`` seconds.
+        is still live after ``timeout`` seconds.  The poll interval backs
+        off geometrically from ``interval`` to ``max_interval``, so a slow
+        session costs O(log) requests early and a bounded steady rate
+        after — never a busy spin against the server.
         """
         deadline = time.monotonic() + timeout
+        delay = max(interval, 1e-4)
         while True:
             snapshot = self.poll(session_id)
             if snapshot["state"] in ("DONE", "CANCELLED", "FAILED"):
@@ -127,7 +150,8 @@ class ServiceClient:
                     f"session {session_id} still {snapshot['state']} "
                     f"after {timeout}s"
                 )
-            time.sleep(interval)
+            sleep(delay)
+            delay = min(delay * backoff, max_interval)
 
     def run(self, *, timeout: float = 30.0, **query) -> dict:
         """Submit, wait, and return the final snapshot in one call."""

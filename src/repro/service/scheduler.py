@@ -168,6 +168,9 @@ class Scheduler:
             state: metrics.counter("service_sessions_total", state=state.value)
             for state in (SessionState.DONE, SessionState.CANCELLED, SessionState.FAILED)
         }
+        self._m_deadline_expired = metrics.counter(
+            "service_deadline_expirations_total"
+        )
 
     # ------------------------------------------------------------------
     # Admission
@@ -210,6 +213,9 @@ class Scheduler:
     # ------------------------------------------------------------------
     def tick(self) -> bool:
         """Advance one session by one quantum; False when fully idle."""
+        if not self._live and not self._queue:
+            return False
+        self._sweep_deadlines()
         if not self._live and not self._queue:
             return False
         if not self._live:
@@ -275,6 +281,19 @@ class Scheduler:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _sweep_deadlines(self) -> None:
+        """Expire live and queued sessions whose deadline has passed."""
+        for session in list(self._live):
+            if session.check_deadline():
+                self._m_deadline_expired.inc()
+                self._reap(session)
+        for session in list(self._queue):
+            if session.check_deadline():
+                self._m_deadline_expired.inc()
+                self._queue.remove(session)
+                self._retire(session)
+        self._export_gauges()
+
     def _admit(self) -> None:
         while self._queue and len(self._live) < self.max_live:
             self._live.append(self._queue.popleft())

@@ -65,12 +65,16 @@ class RankJoinServer:
         host: str = "127.0.0.1",
         port: int = 0,
         default_shards: int = 1,
+        chaos=None,
     ) -> None:
         self.service = service
         self.relations = dict(relations)
         self.host = host
         self.port = port  # 0 → ephemeral; updated once bound
         self.default_shards = default_shards
+        #: Optional :class:`repro.resilience.RequestChaos` — intercepts
+        #: requests before dispatch to inject retryable failures/delays.
+        self.chaos = chaos
         self.ready = threading.Event()  # set once the socket is listening
         self.draining = False
         self._shutdown: asyncio.Event | None = None
@@ -198,6 +202,10 @@ class RankJoinServer:
             return {"ok": False, "error": f"invalid JSON: {exc}"}
         if not isinstance(request, dict):
             return {"ok": False, "error": "request must be a JSON object"}
+        if self.chaos is not None:
+            injected = self.chaos.intercept(request)
+            if injected is not None:
+                return injected
         verb = request.get("verb")
         handler = {
             "submit": self._verb_submit,

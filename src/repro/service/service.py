@@ -176,16 +176,37 @@ class QueryService:
     # Internals
     # ------------------------------------------------------------------
     def _store_in_cache(self, session: QuerySession) -> None:
-        """Feed a finished session's prefix (and continuation) back."""
-        if self.cache is None or session.cache_key is None:
-            return
-        if session.from_cache or session.state is SessionState.FAILED:
-            return
-        if session.state is SessionState.CANCELLED and not session.results:
-            return
-        self.cache.store(
-            session.cache_key,
-            session.results,
-            exhausted=session.exhausted,
-            operator=session.operator,
+        """Feed a finished session's prefix (and continuation) back.
+
+        Only ``DONE`` sessions write: a FAILED session may hold a prefix
+        computed by an operator that died mid-advance, and a CANCELLED
+        one was abandoned before its prefix was proven useful — caching
+        either could poison later queries with a partial entry.
+        """
+        storable = (
+            self.cache is not None
+            and session.cache_key is not None
+            and not session.from_cache
+            and session.state is SessionState.DONE
         )
+        if storable:
+            self.cache.store(
+                session.cache_key,
+                session.results,
+                exhausted=session.exhausted,
+                operator=session.operator,
+            )
+        elif not session.from_cache:
+            self._release_operator(session)
+
+    @staticmethod
+    def _release_operator(session: QuerySession) -> None:
+        """Close an operator that will not be checked into the cache.
+
+        Sharded operators own backend resources (threads, child
+        processes); dropping a FAILED/CANCELLED session without closing
+        them would orphan children mid-respawn.
+        """
+        close = getattr(session.operator, "close", None)
+        if callable(close):
+            close()

@@ -103,6 +103,7 @@ class QuerySession:
         self.state = SessionState.PENDING
         self.error: str | None = None
         self.budget_exhausted = False
+        self.deadline_exceeded = False
         self.exhausted = False  # operator output fully enumerated
         self.from_cache = False  # answered without touching the operator
         self._clock = clock
@@ -225,6 +226,22 @@ class QuerySession:
         self._finish(SessionState.CANCELLED)
         return True
 
+    def check_deadline(self) -> bool:
+        """Expire the session if its deadline has passed; True if it did.
+
+        ``deadline`` is relative seconds from submission.  An expired
+        session ends gracefully in ``DONE`` with whatever prefix it has —
+        a deadline asks for the best answer available *by* a time, which
+        is exactly what the resumable prefix is.
+        """
+        if self.done or self.deadline is None:
+            return False
+        if self._clock() - self.submitted_at < self.deadline:
+            return False
+        self.deadline_exceeded = True
+        self._finish(SessionState.DONE)
+        return True
+
     def _finish(self, state: SessionState) -> None:
         self.state = state
         self.finished_at = self._clock()
@@ -267,6 +284,8 @@ class QuerySession:
             "steps": self.steps,
             "complete": len(self.results) >= self.k or self.exhausted,
             "budget_exhausted": self.budget_exhausted,
+            "deadline_exceeded": self.deadline_exceeded,
+            "degraded": bool(getattr(self.operator, "degraded", False)),
             "from_cache": self.from_cache,
             "error": self.error,
             "latency": self.latency,

@@ -1,0 +1,109 @@
+"""Cancellation racing recovery: no orphaned children, clean CANCELLED state."""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.data.workload import random_instance
+from repro.exec import ExecConfig, ShardedRankJoin
+from repro.obs import Observability
+from repro.resilience import FaultPlan, FaultSpec, ResilienceConfig, RetryPolicy
+from repro.service import QueryService
+from repro.service.session import QuerySession, SessionState
+
+FAST_RETRY = RetryPolicy(max_attempts=6, base_delay=0.0005, max_delay=0.005)
+
+
+def make_instance():
+    return random_instance(
+        n_left=300, n_right=300, e_left=2, e_right=2,
+        num_keys=30, k=10, seed=17,
+    )
+
+
+def wait_for_no_children(timeout: float = 10.0) -> list:
+    """Poll ``multiprocessing.active_children`` until empty (it also joins
+    finished children), returning whatever is still alive at the deadline."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        children = multiprocessing.active_children()
+        if not children:
+            return []
+        time.sleep(0.02)
+    return multiprocessing.active_children()
+
+
+@pytest.mark.chaos
+def test_cancel_mid_respawn_leaves_no_orphans():
+    """Cancel a session between respawns of its process workers.
+
+    The fault plan schedules kills beyond the cancellation point, so at
+    cancel time the engine holds live children *and* an unfinished
+    recovery schedule.  Cancellation must land the session in CANCELLED,
+    and retiring it must terminate every child process.
+    """
+    instance = make_instance()
+    # Kill early and often: the first advance already costs a respawn,
+    # and more kills remain scheduled whenever the cancel lands.
+    plan = FaultPlan(tuple(
+        FaultSpec("worker-kill", shard, depth)
+        for shard in (0, 1)
+        for depth in (0, 5, 40, 80, 160)
+    ))
+    obs = Observability()
+    config = ExecConfig(
+        shards=2, backend="process",
+        resilience=ResilienceConfig(plan=plan, retry=FAST_RETRY,
+                                    max_respawns=50, degrade=False),
+    )
+    engine = ShardedRankJoin(instance, "FRPA", config=config, obs=obs)
+    service = QueryService(cache_capacity=0)
+    session = QuerySession("c1", engine, instance.k, quantum=8)
+    service.scheduler.submit(session)
+
+    # Step until at least one respawn happened (recovery is in flight).
+    for _ in range(200):
+        if obs.metrics.value("worker_respawns_total"):
+            break
+        if not service.tick():
+            break
+    assert obs.metrics.value("worker_respawns_total"), (
+        "fault plan never triggered a respawn; the race is not exercised"
+    )
+    assert session.live, "session drained before cancellation could race it"
+
+    assert service.cancel("c1")
+    assert session.state is SessionState.CANCELLED
+    # Retiring a CANCELLED session must have closed the engine (the
+    # service releases operators it does not check into the cache).
+    assert engine._closed
+
+    leftovers = wait_for_no_children()
+    assert not leftovers, f"orphaned child processes: {leftovers}"
+
+
+@pytest.mark.chaos
+def test_cancelled_session_with_results_is_not_cached():
+    """A cancelled faulted run leaves nothing behind — no cache, no children."""
+    instance = make_instance()
+    plan = FaultPlan((FaultSpec("worker-kill", 0, 0),))
+    config = ExecConfig(
+        shards=2, backend="process",
+        resilience=ResilienceConfig(plan=plan, retry=FAST_RETRY),
+    )
+    engine = ShardedRankJoin(instance, "FRPA", config=config)
+    service = QueryService(cache_capacity=8)
+    session = QuerySession(
+        "c2", engine, instance.k, quantum=4, cache_key="faulted-query",
+    )
+    service.scheduler.submit(session)
+    while session.live and not session.results:
+        service.tick()
+    service.cancel("c2")
+    assert session.state is SessionState.CANCELLED
+    assert len(service.cache) == 0
+    assert engine._closed
+    assert not wait_for_no_children()

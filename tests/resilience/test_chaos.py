@@ -1,0 +1,49 @@
+"""The chaos acceptance matrix (quarantinable via ``-m chaos``).
+
+Every seed workload × shard counts {2, 4} × both parallel backends ×
+every result-affecting fault kind: the faulted run must be bit-identical
+to the fault-free run with at least one fault actually fired.  These
+tests spawn process children and respawn them on purpose, so they carry
+the ``chaos`` marker — CI runs them in a dedicated step and a flaky
+environment can quarantine them with ``-m "not chaos"`` without touching
+the deterministic suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.resilience.harness import (
+    CHAOS_BACKENDS,
+    CHAOS_KINDS,
+    CHAOS_SHARDS,
+    CHAOS_WORKLOADS,
+    assert_chaos_case,
+    chaos_run,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.mark.parametrize("kind", CHAOS_KINDS)
+@pytest.mark.parametrize("backend", CHAOS_BACKENDS)
+@pytest.mark.parametrize("shards", CHAOS_SHARDS)
+@pytest.mark.parametrize("workload", CHAOS_WORKLOADS)
+def test_chaos_matrix(workload, shards, backend, kind):
+    assert_chaos_case(workload, shards, backend, kind)
+
+
+def test_chaos_runs_are_seed_reproducible():
+    a = chaos_run("uniform", 2, "thread", "worker-kill", seed=9)
+    b = chaos_run("uniform", 2, "thread", "worker-kill", seed=9)
+    assert (a.respawns, a.retries, a.matched) == (b.respawns, b.retries, b.matched)
+
+
+def test_chaos_suite_entrypoint_smoke():
+    from repro.resilience import run_chaos_suite
+
+    cases = run_chaos_suite(
+        workloads=("uniform",), shards=(2,), backends=("thread",),
+        kinds=("transient",),
+    )
+    assert len(cases) == 1 and cases[0].ok

@@ -1,0 +1,155 @@
+"""Client-side resilience: backed-off waiting and retryable request chaos."""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import types
+
+import pytest
+
+from repro.service import (
+    QueryService,
+    RankJoinServer,
+    ServiceClient,
+    ServiceError,
+)
+from repro.resilience import RequestChaos
+from tests.service.conftest import make_instance
+
+INSTANCE = make_instance(seed=3, n=200, num_keys=20, k=10)
+RELATIONS = {"lineitem": INSTANCE.left, "orders": INSTANCE.right}
+
+
+class FakeClock:
+    """Virtual time: sleeps advance the clock instead of burning CPU."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps: list[float] = []
+
+    def monotonic(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class ScriptedClient(ServiceClient):
+    """A client whose ``poll`` is served from a script, not a socket."""
+
+    def __init__(self, clock: FakeClock, done_at: float) -> None:
+        super().__init__("nowhere", 0)
+        self._clock = clock
+        self._done_at = done_at
+        self.polls = 0
+
+    def poll(self, session_id: str) -> dict:
+        self.polls += 1
+        state = "DONE" if self._clock.now >= self._done_at else "RUNNING"
+        return {"session": session_id, "state": state}
+
+
+@pytest.fixture
+def virtual_time(monkeypatch):
+    clock = FakeClock()
+    monkeypatch.setattr(
+        "repro.service.client.time",
+        types.SimpleNamespace(monotonic=clock.monotonic, sleep=clock.sleep),
+    )
+    return clock
+
+
+class TestWaitBackoff:
+    def test_slow_session_costs_logarithmic_then_bounded_polls(self, virtual_time):
+        """A 10-virtual-second session must not be busy-polled.
+
+        With the pre-backoff fixed 10ms interval this session would cost
+        ~1000 poll round-trips; geometric backoff to a 250ms ceiling
+        bounds it to a few dozen.
+        """
+        client = ScriptedClient(virtual_time, done_at=10.0)
+        snapshot = client.wait(
+            "s1", timeout=60.0, interval=0.01, sleep=virtual_time.sleep
+        )
+        assert snapshot["state"] == "DONE"
+        assert client.polls < 80, f"{client.polls} polls — still busy-polling"
+        assert client.polls > 5
+        # Never spins: every sleep is at least the base interval, the
+        # delays ramp monotonically, and the ceiling is respected.
+        assert min(virtual_time.sleeps) >= 0.01
+        assert max(virtual_time.sleeps) <= 0.25
+        assert virtual_time.sleeps == sorted(virtual_time.sleeps)
+
+    def test_fast_session_returns_without_sleeping(self, virtual_time):
+        client = ScriptedClient(virtual_time, done_at=0.0)
+        snapshot = client.wait("s1", timeout=5.0, sleep=virtual_time.sleep)
+        assert snapshot["state"] == "DONE"
+        assert client.polls == 1
+        assert virtual_time.sleeps == []
+
+    def test_timeout_still_raises(self, virtual_time):
+        client = ScriptedClient(virtual_time, done_at=1e9)
+        with pytest.raises(TimeoutError):
+            client.wait("s1", timeout=2.0, sleep=virtual_time.sleep)
+
+
+@contextlib.contextmanager
+def running_server(chaos=None):
+    service = QueryService(quantum=16)
+    server = RankJoinServer(service, RELATIONS, port=0, chaos=chaos)
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    assert server.ready.wait(timeout=10.0), "server never became ready"
+    try:
+        yield server
+    finally:
+        if thread.is_alive():
+            with contextlib.suppress(OSError, ConnectionError, ServiceError):
+                with ServiceClient(server.host, server.port) as client:
+                    client.shutdown()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive(), "server thread failed to shut down"
+
+
+class PatientClient(ServiceClient):
+    """Raises the per-request retry budget to outlast dense chaos."""
+
+    def request(self, payload: dict, *, max_retries: int = 10) -> dict:
+        return super().request(payload, max_retries=max_retries)
+
+
+class TestRequestChaosEndToEnd:
+    def test_client_rides_through_injected_request_faults(self):
+        """Seeded request chaos: every verb still completes via retries.
+
+        With seed 4 the first several RNG draws sit below the 0.4 error
+        rate, so the very first submit is answered with injected faults
+        repeatedly — the retry loop must absorb a burst, not just a
+        single blip.
+        """
+        chaos = RequestChaos(seed=4, error_rate=0.4, sleep=lambda _: None)
+        with running_server(chaos=chaos) as server:
+            with PatientClient(server.host, server.port) as client:
+                final = client.run(
+                    left="lineitem", right="orders", k=5, timeout=30.0,
+                )
+        assert final["state"] == "DONE"
+        assert len(final["scores"]) == 5
+        assert chaos.injected_errors > 0, "chaos never fired — vacuous test"
+
+    def test_injected_fault_is_marked_retryable(self):
+        chaos = RequestChaos(seed=0, error_rate=1.0, verbs=("poll",))
+        with running_server(chaos=chaos) as server:
+            with ServiceClient(server.host, server.port) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.poll("s1")
+        assert excinfo.value.retryable
+
+    def test_real_errors_are_not_retried(self):
+        with running_server() as server:
+            with ServiceClient(server.host, server.port) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.poll("no-such-session")
+        assert not excinfo.value.retryable
