@@ -1,0 +1,211 @@
+"""Instrumentation overhead gate for the observability plane.
+
+Runs the seed workloads (the same matrix as the chaos suite) through
+serial operators twice — once bare (``obs=None``, ``track_time=False``)
+and once under a fully *enabled* :class:`~repro.obs.Observability`
+pipeline (metric registry + tracers + kernel counters) — and fails if
+the instrumented hot path is more than ``MAX_OVERHEAD`` slower overall.
+
+The two variants are interleaved (bare, instrumented, bare, ...) and
+each is summarised by the mean of its three fastest runs, so thermal
+drift and scheduler noise hit both sides equally.  A failing reading is
+retried once before the gate reports a regression.  Writes
+``benchmarks/results/BENCH_obs_overhead.json``.
+
+Run directly: ``python benchmarks/bench_obs_overhead.py [--quick]`` — or
+via pytest, where ``REPRO_BENCH_OBS_QUICK=1`` selects the quick shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import kernels  # noqa: E402
+from repro.core.operators import make_operator  # noqa: E402
+from repro.obs import Observability  # noqa: E402
+from repro.resilience.chaos import SEED_WORKLOADS, seed_instance  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The acceptance gate: instrumentation may cost at most 5% end to end.
+MAX_OVERHEAD = 0.05
+
+OPERATORS = ("HRJN", "FRPA")
+
+#: Repeats are high because the estimator is min-of-N on a possibly
+#: contended host: the minimum only converges to uncontended wall-clock
+#: once both variants have sampled a quiet window, and load bursts can
+#: span several consecutive runs.
+FULL_REPEATS = 25
+QUICK_REPEATS = 9
+
+
+def _run_case(operator: str, workload: str, *, instrumented: bool) -> float:
+    """One full top-K evaluation; returns wall-clock seconds."""
+    instance = seed_instance(workload)
+    kwargs = {"track_time": False}
+    obs = None
+    if instrumented:
+        obs = Observability(enabled=True)
+        kwargs["obs"] = obs
+    op = make_operator(operator, instance, **kwargs)
+    # Collector pauses are the dominant noise source at these run sizes;
+    # hold collection during the timed region so neither variant eats a
+    # randomly-placed GC cycle.
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        op.top_k(instance.k)
+        elapsed = time.perf_counter() - started
+    finally:
+        gc.enable()
+        if instrumented:
+            # The kernel counter sink is process-global; detach it so the
+            # next bare run does not keep feeding a dead registry.
+            kernels.unobserve()
+    return elapsed
+
+
+def _trimmed_best(samples: list[float]) -> float:
+    """Mean of the three smallest samples.
+
+    A compromise estimator for a contended host: the raw minimum is the
+    best proxy for uncontended wall-clock but is an extreme statistic
+    (high variance when quiet windows are scarce); averaging the three
+    smallest trades a little common-mode bias — which cancels in the
+    bare/instrumented ratio — for a steadier per-case number.
+    """
+    lowest = sorted(samples)[:3]
+    return sum(lowest) / len(lowest)
+
+
+def bench_case(operator: str, workload: str, repeats: int) -> dict:
+    """Interleaved timing of the bare and instrumented variants.
+
+    The order alternates each repeat (bare-first, then instrumented-
+    first) so slow drift — thermal, cache, frequency scaling — cancels
+    instead of biasing one side.
+    """
+    bare: list[float] = []
+    instrumented: list[float] = []
+    for repeat in range(repeats):
+        order = (False, True) if repeat % 2 == 0 else (True, False)
+        for with_obs in order:
+            elapsed = _run_case(operator, workload, instrumented=with_obs)
+            (instrumented if with_obs else bare).append(elapsed)
+    bare_best = _trimmed_best(bare)
+    instrumented_best = _trimmed_best(instrumented)
+    return {
+        "bare": bare_best,
+        "instrumented": instrumented_best,
+        "overhead": (
+            instrumented_best / bare_best - 1.0 if bare_best else 0.0
+        ),
+    }
+
+
+def run_bench(quick: bool) -> dict:
+    repeats = QUICK_REPEATS if quick else FULL_REPEATS
+    cases = {}
+    total_bare = 0.0
+    total_instrumented = 0.0
+    for workload in SEED_WORKLOADS:
+        for operator in OPERATORS:
+            row = bench_case(operator, workload, repeats)
+            cases[f"{workload}/{operator}"] = row
+            total_bare += row["bare"]
+            total_instrumented += row["instrumented"]
+    overall = total_instrumented / total_bare - 1.0 if total_bare else 0.0
+    return {
+        "mode": "quick" if quick else "full",
+        "repeats": repeats,
+        "max_overhead": MAX_OVERHEAD,
+        "cases": cases,
+        "total_bare": total_bare,
+        "total_instrumented": total_instrumented,
+        "overhead": overall,
+    }
+
+
+def check(record: dict) -> list[str]:
+    errors = []
+    if record["overhead"] > MAX_OVERHEAD:
+        errors.append(
+            f"instrumentation overhead {record['overhead'] * 100:.1f}% "
+            f"exceeds the {MAX_OVERHEAD * 100:.0f}% gate "
+            f"(bare={record['total_bare']:.4f}s "
+            f"instrumented={record['total_instrumented']:.4f}s)"
+        )
+    return errors
+
+
+def report(record: dict) -> None:
+    print()
+    print(f"observability overhead ({record['mode']}, "
+          f"best of {record['repeats']})")
+    for name, row in record["cases"].items():
+        print(
+            f"  {name:24s}: bare={row['bare'] * 1e3:8.3f}ms "
+            f"instrumented={row['instrumented'] * 1e3:8.3f}ms "
+            f"({row['overhead'] * 100:+.1f}%)"
+        )
+    print(
+        f"  overall overhead: {record['overhead'] * 100:+.2f}% "
+        f"(gate: {record['max_overhead'] * 100:.0f}%)"
+    )
+
+
+def write_record(record: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_obs_overhead.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+
+
+def run_gated(quick: bool) -> tuple[dict, list[str]]:
+    """Run the bench; on a gate failure, retry once before giving up.
+
+    A single failing reading on a shared box is usually a contended
+    window, not a regression — one fresh measurement arbitrates.  The
+    retry is recorded in the result so a pass-on-retry is visible.
+    """
+    record = run_bench(quick)
+    report(record)
+    errors = check(record)
+    if errors:
+        print("  gate failed; retrying once to rule out host contention")
+        record = run_bench(quick)
+        record["retried"] = True
+        report(record)
+        errors = check(record)
+    write_record(record)
+    return record, errors
+
+
+def test_obs_overhead():
+    quick = bool(os.environ.get("REPRO_BENCH_OBS_QUICK"))
+    _, errors = run_gated(quick)
+    assert not errors, errors
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats for CI freshness runs")
+    args = parser.parse_args()
+    _, failures = run_gated(args.quick)
+    if failures:
+        print("BENCH FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        sys.exit(1)
+    print("BENCH OK")

@@ -9,6 +9,10 @@ Commands
               span/metric/bound-evolution summary
 ``serve``     start the concurrent top-K query service (JSON-lines TCP
               protocol; see ``repro.service``)
+``metrics``   scrape a running server's metric registry and print it in
+              Prometheus text exposition format
+``top``       live terminal dashboard over a running server (SLO
+              percentiles, shard pull rates, in-flight sessions)
 ``chaos``     run the seed workloads under seeded fault schedules and
               verify bit-identity with the fault-free run
 ``info``      print the library inventory (operators, figures, defaults)
@@ -329,6 +333,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Scrape a running server's metrics endpoint (Prometheus text)."""
+    from repro.service import ServiceClient
+
+    try:
+        with ServiceClient(args.host, args.port, timeout=5.0) as client:
+            text = client.metrics()
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard over a running server's stats endpoint."""
+    from repro.service import run_top
+
+    return run_top(
+        args.host, args.port,
+        interval=args.interval,
+        iterations=args.iterations,
+        clear=not args.no_clear,
+    )
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Run the chaos suite: seeded faults, bit-identity verification."""
     from repro.resilience import (
@@ -450,6 +481,28 @@ def main(argv: list[str] | None = None) -> int:
     _add_obs_args(p_serve)
     _add_kernel_arg(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="scrape a running server's Prometheus-format metrics"
+    )
+    p_metrics.add_argument("--host", default="127.0.0.1")
+    p_metrics.add_argument("--port", type=int, required=True,
+                           help="port of the running repro serve instance")
+    p_metrics.set_defaults(func=cmd_metrics)
+
+    p_top = sub.add_parser(
+        "top", help="live terminal dashboard over a running server"
+    )
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int, required=True,
+                       help="port of the running repro serve instance")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="seconds between polls")
+    p_top.add_argument("--iterations", type=int, default=None,
+                       help="stop after N redraws (default: run until ^C)")
+    p_top.add_argument("--no-clear", action="store_true",
+                       help="append screens instead of clearing (logs, CI)")
+    p_top.set_defaults(func=cmd_top)
 
     p_chaos = sub.add_parser(
         "chaos",

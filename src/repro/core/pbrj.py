@@ -41,6 +41,14 @@ from repro.stats.trace import BoundTrace
 #: floats, so genuine differences are far larger than accumulated error.
 SCORE_EPS = 1e-9
 
+#: Per-pull span timing: the first ``_TIMING_WARMUP`` pulls are timed
+#: exactly (small runs stay exact), after which one pull in
+#: ``_TIMING_STRIDE`` is timed and scaled — holding instrumentation
+#: overhead on the serial hot path inside the observability plane's 5%
+#: budget while keeping span seconds an unbiased estimate.
+_TIMING_WARMUP = 32
+_TIMING_STRIDE = 32
+
 
 class PBRJ:
     """The Pull-Bound Rank Join operator template.
@@ -140,6 +148,29 @@ class PBRJ:
         )
         self._m_emitted = metrics.counter("results_emitted_total", op=name)
         self._m_heap_peak = metrics.gauge("output_heap_peak", op=name)
+        self._heap_peak_shipped = -1
+        # Pulls tally into plain ints on the hot path and flush into the
+        # counters when get_next returns — the registry is exact at every
+        # external observation point (quantum boundaries, snapshots).
+        self._pull_tally = [0, 0]
+        # Pre-resolved span accumulators for the per-pull hot loop: a
+        # perf_counter pair + add() per region instead of the full span
+        # context-manager protocol.  Paths match what nested spans would
+        # produce, so trace output is identical either way.  The first
+        # _TIMING_WARMUP pulls are timed exactly; after that only every
+        # _TIMING_STRIDE-th pull is, scaled so seconds/count stay
+        # unbiased estimates — pull/result *counters* are exact always.
+        # ``_timer_countdown`` schedules the next timed pull (1 = now);
+        # ``_timer_scale`` is the weight the next sample stands in for.
+        self._timed = self._tracer.enabled
+        self._timer_tick = 0
+        self._timer_countdown = 1
+        self._timer_scale = 1
+        if self._timed:
+            self._s_pull = self._tracer.handle(("get_next", "pull"))
+            self._s_join = self._tracer.handle(("get_next", "join"))
+            self._s_bound = self._tracer.handle(("get_next", "bound"))
+            self._s_emit = self._tracer.handle(("get_next", "emit"))
 
     # ------------------------------------------------------------------
     # OperatorView protocol (consumed by pulling strategies)
@@ -175,6 +206,24 @@ class PBRJ:
             return self._get_next_inner(max_pulls)
 
     def _get_next_inner(self, pull_quantum: int | None):
+        try:
+            return self._advance(pull_quantum)
+        finally:
+            self._flush_counters()
+
+    def _flush_counters(self) -> None:
+        """Ship hot-loop tallies into the metric registry."""
+        tally = self._pull_tally
+        for side in (LEFT, RIGHT):
+            if tally[side]:
+                self._m_pulls[side].inc(tally[side])
+                tally[side] = 0
+        if self._max_output > self._heap_peak_shipped:
+            self._heap_peak_shipped = self._max_output
+            self._m_heap_peak.set(self._max_output)
+        self._strategy.flush_choices()
+
+    def _advance(self, pull_quantum: int | None):
         if self._started_at is None:
             self._started_at = time.perf_counter()
         pulled_here = 0
@@ -191,31 +240,53 @@ class PBRJ:
                 if elapsed > self._max_seconds:
                     raise TimeBudgetExceeded(elapsed, self._max_seconds)
             side = self._strategy.choose(self)
-            with self._tracer.span("pull"):
-                rho = self._sources[side].next()
+            timed = self._timed
+            if timed:
+                remaining = self._timer_countdown - 1
+                if remaining:  # untimed pull; counters stay exact
+                    self._timer_countdown = remaining
+                    timed = False
+                else:
+                    scale = self._timer_scale
+                    tick = self._timer_tick = self._timer_tick + 1
+                    if tick >= _TIMING_WARMUP:
+                        self._timer_scale = _TIMING_STRIDE
+                    self._timer_countdown = self._timer_scale
+            if timed:
+                started = time.perf_counter()
+            rho = self._sources[side].next()
+            if timed:
+                now = time.perf_counter()
+                self._s_pull.add_scaled(now - started, scale)
             if rho is None:  # concurrent exhaustion guard
                 continue
             self._pulls += 1
             pulled_here += 1
-            self._m_pulls[side].inc()
+            self._pull_tally[side] += 1
             if self._max_pulls is not None and self._pulls > self._max_pulls:
                 raise PullBudgetExceeded(self._pulls, self._max_pulls)
-            with self._tracer.span("join"):
-                self._join_and_buffer(side, rho)
+            self._join_and_buffer(side, rho)
+            if timed:
+                started = time.perf_counter()
+                self._s_join.add_scaled(started - now, scale)
             self._columns[side].append(rho.scores)
-            with self._tracer.span("bound"):
-                self._t = self._bound.update(side, rho)
+            self._t = self._bound.update(side, rho)
+            if timed:
+                self._s_bound.add_scaled(time.perf_counter() - started, scale)
             if self._trace is not None:
                 self._trace.record(
                     self._pulls, side, self._t, len(self._output), self._emitted
                 )
         if self._output:
-            with self._tracer.span("emit"):
-                self._emitted += 1
-                self._m_emitted.inc()
-                result = heapq.heappop(self._output)[2]
-                self._history.append(result)
-                return result
+            if self._timed:
+                started = time.perf_counter()
+            self._emitted += 1
+            self._m_emitted.inc()
+            result = heapq.heappop(self._output)[2]
+            self._history.append(result)
+            if self._timed:
+                self._s_emit.add(time.perf_counter() - started)
+            return result
         return None
 
     def __iter__(self) -> Iterator[JoinResult]:
@@ -268,8 +339,9 @@ class PBRJ:
             self._sequence += 1
         self._buffers[side].setdefault(rho.key, []).append(rho)
         if len(self._output) > self._max_output:
+            # The gauge itself ships lazily in _flush_counters — a new
+            # peak per heap push is too frequent for a registry write.
             self._max_output = len(self._output)
-            self._m_heap_peak.set(self._max_output)
 
     # ------------------------------------------------------------------
     # Reporting

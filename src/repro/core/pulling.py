@@ -41,7 +41,8 @@ class PullingStrategy(ABC):
     #: Metric handles, installed by :meth:`observe`; None when unobserved.
     _choice_metrics: "MetricRegistry | None" = None
     _choice_op = ""
-    _choice_counters: dict | None = None
+    _choice_counters: "tuple[dict, dict] | None" = None
+    _choice_tallies: "tuple[dict, dict] | None" = None
 
     @abstractmethod
     def choose(self, view: OperatorView) -> int:
@@ -56,23 +57,44 @@ class PullingStrategy(ABC):
         """
         self._choice_metrics = metrics
         self._choice_op = op
-        self._choice_counters = {}
+        # Per-side dicts keyed by the (interned literal) reason string.
+        # Choices tally into plain ints on the hot path; the operator
+        # flushes them into real counters at get_next boundaries via
+        # :meth:`flush_choices`, so per-pull cost is one dict update.
+        self._choice_counters = ({}, {})
+        self._choice_tallies = ({}, {})
 
     def _count_choice(self, side: int, reason: str) -> None:
         if self._choice_metrics is None:
             return
-        counter = self._choice_counters.get((side, reason))
-        if counter is None:
-            counter = self._choice_counters[(side, reason)] = (
-                self._choice_metrics.counter(
-                    "pull_choice_total",
-                    op=self._choice_op,
-                    strategy=self.name,
-                    side=SIDE_LABELS[side],
-                    reason=reason,
-                )
-            )
-        counter.inc()
+        tally = self._choice_tallies[side]
+        tally[reason] = tally.get(reason, 0) + 1
+
+    def flush_choices(self) -> None:
+        """Drain tallied choices into ``pull_choice_total`` counters.
+
+        Called by the operator when a ``get_next``/``try_next`` call
+        returns, so the registry is exact at every external observation
+        point (quantum boundaries, snapshots, final reads).
+        """
+        if self._choice_metrics is None:
+            return
+        for side, tally in enumerate(self._choice_tallies):
+            if not tally:
+                continue
+            by_reason = self._choice_counters[side]
+            for reason, count in tally.items():
+                counter = by_reason.get(reason)
+                if counter is None:
+                    counter = by_reason[reason] = self._choice_metrics.counter(
+                        "pull_choice_total",
+                        op=self._choice_op,
+                        strategy=self.name,
+                        side=SIDE_LABELS[side],
+                        reason=reason,
+                    )
+                counter.inc(count)
+            tally.clear()
 
     @staticmethod
     def _available(view: OperatorView) -> list[int]:
@@ -98,7 +120,9 @@ class RoundRobin(PullingStrategy):
         else:
             side, reason = available[0], "only-available"
         self._last = side
-        self._count_choice(side, reason)
+        if self._choice_metrics is not None:  # inlined _count_choice
+            tally = self._choice_tallies[side]
+            tally[reason] = tally.get(reason, 0) + 1
         return side
 
 
@@ -125,7 +149,8 @@ class PotentialAdaptive(PullingStrategy):
                 reason = "potential"
             else:
                 reason = "tie-break"
-            self._count_choice(side, reason)
+            tally = self._choice_tallies[side]  # inlined _count_choice
+            tally[reason] = tally.get(reason, 0) + 1
         return side
 
 

@@ -32,6 +32,7 @@ from repro.exec.partition import (
     skew_aware_plan,
     stable_key_hash,
 )
+from repro.exec.telemetry import CapsuleSink, TelemetryCapsule, WorkerTelemetry
 from repro.exec.worker import (
     BACKENDS,
     DEFAULT_QUANTUM,
@@ -44,6 +45,7 @@ from repro.exec.worker import (
 __all__ = [
     "AdvanceOutcome",
     "BACKENDS",
+    "CapsuleSink",
     "DEFAULT_QUANTUM",
     "ExecBackend",
     "ExecConfig",
@@ -56,7 +58,9 @@ __all__ = [
     "ShardWorker",
     "ShardedRankJoin",
     "SkewAwarePlan",
+    "TelemetryCapsule",
     "ThreadBackend",
+    "WorkerTelemetry",
     "make_backend",
     "make_plan",
     "partition_instance",

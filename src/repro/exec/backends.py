@@ -22,6 +22,13 @@ implementations:
 All backends preserve the per-shard sequential contract: a shard's
 advances never overlap, so worker state needs no locking.
 
+Telemetry rides the same channel: a worker armed with
+:class:`~repro.exec.telemetry.WorkerTelemetry` attaches its delta
+capsule to each outcome (:attr:`~repro.exec.worker.AdvanceOutcome.
+telemetry`), so child-process metrics, span aggregates, and trace
+records cross the pipe inside the reply that was being sent anyway —
+the relay adds zero round-trips and no backend-specific code.
+
 Fault semantics (consumed by :mod:`repro.resilience`):
 
 * ``collect`` raises :class:`~repro.errors.WorkerLost` when a shard's

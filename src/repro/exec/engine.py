@@ -29,8 +29,9 @@ from repro.core.tuples import JoinResult
 from repro.exec.backends import make_backend
 from repro.exec.merge import GlobalTopKMerger
 from repro.exec.partition import PartitionStats, make_plan, partition_instance
+from repro.exec.telemetry import CapsuleSink, WorkerTelemetry
 from repro.exec.worker import AdvanceOutcome, ExecConfig, ShardWorker
-from repro.obs import NULL_OBS, Observability
+from repro.obs import NULL_OBS, Observability, TraceContext, span_record
 from repro.relation.relation import RankJoinInstance
 from repro.stats.metrics import DepthReport
 
@@ -51,8 +52,17 @@ class ShardedRankJoin:
     obs:
         Optional :class:`~repro.obs.Observability`.  Records per-shard
         pull counters (``exec_shard_pulls_total``), a merge-wait round
-        histogram (``exec_merge_wait_rounds``), and the partition
-        imbalance gauge (``exec_shard_imbalance``).
+        histogram (``exec_merge_wait_rounds``), the partition imbalance
+        gauge (``exec_shard_imbalance``) — and, with an enabled
+        pipeline, arms every worker with its own
+        :class:`~repro.exec.telemetry.WorkerTelemetry` whose relayed
+        capsules (``worker_*`` metrics, quantum trace records) merge
+        back here.
+    trace:
+        Optional :class:`~repro.obs.TraceContext` this execution hangs
+        under (the session span, for service-submitted queries).  With
+        an enabled ``obs`` and no ``trace``, the engine roots a fresh
+        trace so standalone runs still produce a connected tree.
     operator_kwargs:
         Forwarded to the operator factory (e.g. ``max_cr_size`` for
         ``a-FRPA``).
@@ -65,6 +75,7 @@ class ShardedRankJoin:
         *,
         config: ExecConfig | None = None,
         obs: Observability | None = None,
+        trace: TraceContext | None = None,
         **operator_kwargs,
     ) -> None:
         self.config = config or ExecConfig()
@@ -85,14 +96,38 @@ class ShardedRankJoin:
             heavy_fraction=self.config.heavy_fraction,
         )
         shard_instances, self._partition_stats = partition_instance(instance, plan)
+        # One trace context per execution: a child of the caller's span
+        # (service session) or a fresh root for standalone runs.  Each
+        # worker gets a child context + its own telemetry pipeline, so
+        # quanta recorded inside forked children still parent correctly.
+        if self._obs.enabled:
+            self.trace = trace.child() if trace is not None else TraceContext.root()
+            self._obs.trace(span_record(
+                self.trace, "exec", op=self.name,
+                shards=self.config.shards, backend=self.config.backend,
+            ))
+        else:
+            self.trace = None
+        self._sink = CapsuleSink(self._obs, self.name)
         # Shards with an empty side can never produce a join result; they
         # are excluded entirely (an empty relation also has no score
         # dimension, which the bound plumbing could not digest).
-        workers = [
-            ShardWorker(index, shard, operator, **operator_kwargs)
-            for index, shard in enumerate(shard_instances)
-            if len(shard.left) and len(shard.right)
-        ]
+        workers = []
+        for index, shard in enumerate(shard_instances):
+            if not (len(shard.left) and len(shard.right)):
+                continue
+            telemetry = None
+            if self.trace is not None:
+                shard_ctx = self.trace.child()
+                self._obs.trace(span_record(
+                    shard_ctx, "shard", op=self.name, shard=index,
+                    left=len(shard.left), right=len(shard.right),
+                ))
+                telemetry = WorkerTelemetry(index, shard_ctx)
+            workers.append(
+                ShardWorker(index, shard, operator, telemetry=telemetry,
+                            **operator_kwargs)
+            )
         self._merger = GlobalTopKMerger([worker.shard for worker in workers])
         backend = make_backend(self.config.backend)
         if self.config.resilience is not None:
@@ -211,6 +246,7 @@ class ShardedRankJoin:
         self._pulls += outcome.pulls
         self._depths[outcome.shard] = (outcome.depth_left, outcome.depth_right)
         self._m_shard_pulls[outcome.shard].inc(outcome.pulls)
+        self._sink.absorb(outcome.telemetry)
 
     # ------------------------------------------------------------------
     # Reporting (PBRJ-compatible where QuerySession needs it)

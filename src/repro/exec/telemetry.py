@@ -1,0 +1,243 @@
+"""Worker-side telemetry and the piggyback relay to the supervisor.
+
+Process-backend shard workers used to be a telemetry blind spot: a child
+process only shipped :class:`~repro.exec.worker.AdvanceOutcome` values
+over its pipe, never metric state.  This module closes the gap with zero
+extra IPC round-trips:
+
+* :class:`WorkerTelemetry` lives *inside* the worker (and therefore
+  inside the forked child for the process backend).  It runs a real
+  :class:`~repro.obs.MetricRegistry` and :class:`~repro.obs.Tracer`,
+  carries the shard's :class:`~repro.obs.TraceContext`, and records one
+  timed quantum span per advance.
+* :meth:`WorkerTelemetry.drain` computes a **delta** against what was
+  last shipped and freezes it into a picklable
+  :class:`TelemetryCapsule`, which rides home on the outcome itself
+  (``AdvanceOutcome.telemetry``) — the pipe carries it for free.
+* :class:`CapsuleSink` is the supervisor-side receiver: it merges metric
+  deltas into the shared registry under ``shard=`` labels, folds span
+  deltas into per-shard tracers, and re-exports the worker's trace
+  records (flagging replayed quanta with ``replay: true`` so recovery
+  work is distinguishable from first-run work in the trace tree).
+
+Deltas are diffed, not reset: resetting the child registry would orphan
+its cached metric handles, and shipping cumulative state would double
+count on merge.  Counters/histograms accumulate exactly once this way
+even though the child keeps its running totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs import MetricRegistry, Observability, Tracer, span_record
+from repro.obs.trace import TraceContext
+
+#: Buckets for per-advance wall clock (seconds): quanta are sub-second.
+ADVANCE_SECONDS_BUCKETS = (
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 1.0,
+)
+
+#: Buckets for pulls actually spent inside one advance quantum.
+QUANTUM_PULLS_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+@dataclass(frozen=True)
+class TelemetryCapsule:
+    """One shard's telemetry delta, frozen for the trip over the pipe.
+
+    ``metrics`` are :meth:`MetricRegistry.snapshot`-shaped delta records,
+    ``spans`` are ``{"path", "count", "seconds"}`` deltas, ``traces`` are
+    ready-to-export trace records.  Everything is plain data: the pickle
+    cost is a few hundred bytes per quantum.
+    """
+
+    shard: int
+    metrics: tuple[dict, ...]
+    spans: tuple[dict, ...]
+    traces: tuple[dict, ...]
+
+    @property
+    def empty(self) -> bool:
+        return not (self.metrics or self.spans or self.traces)
+
+
+class WorkerTelemetry:
+    """A shard worker's own observability pipeline (child-process safe).
+
+    Owns real (enabled) metric and span primitives so the worker records
+    exactly like any other instrumented component; the difference is the
+    export path — :meth:`drain` snapshots deltas for the relay instead
+    of writing to exporters (a forked child has no useful exporter).
+    """
+
+    def __init__(self, shard: int, ctx: TraceContext) -> None:
+        self.shard = shard
+        self.ctx = ctx
+        self.metrics = MetricRegistry(enabled=True)
+        self.tracer = Tracer(enabled=True)
+        self._trace_buffer: list[dict] = []
+        self._shipped_metrics: dict[tuple, dict] = {}
+        self._shipped_spans: dict[str, tuple[int, float]] = {}
+        label = str(shard)
+        self._m_pulls = self.metrics.counter("worker_pulls_total", shard=label)
+        self._m_results = self.metrics.counter("worker_results_total", shard=label)
+        self._m_quanta = self.metrics.counter("worker_quanta_total", shard=label)
+        self._m_quantum_pulls = self.metrics.histogram(
+            "worker_quantum_pulls", buckets=QUANTUM_PULLS_BUCKETS, shard=label
+        )
+        self._m_advance_seconds = self.metrics.histogram(
+            "worker_advance_seconds", buckets=ADVANCE_SECONDS_BUCKETS, shard=label
+        )
+
+    def clone(self) -> "WorkerTelemetry":
+        """Fresh counters under the same shard span (the respawn recipe).
+
+        A respawned worker re-earns its numbers by replaying; keeping
+        the original trace context means its replayed quanta still land
+        under the same shard span in the tree.
+        """
+        return WorkerTelemetry(self.shard, self.ctx)
+
+    # ------------------------------------------------------------------
+    # Recording (called from inside the worker's advance)
+    # ------------------------------------------------------------------
+    def record_quantum(
+        self, quantum: int, pulls: int, results: int, seconds: float
+    ) -> None:
+        self._m_pulls.inc(pulls)
+        self._m_results.inc(results)
+        self._m_quanta.inc()
+        self._m_quantum_pulls.observe(pulls)
+        self._m_advance_seconds.observe(seconds)
+        self.tracer.record(("advance",), seconds)
+        self._trace_buffer.append(
+            span_record(
+                self.ctx.child(),
+                "quantum",
+                seconds=seconds,
+                shard=self.shard,
+                quantum=quantum,
+                pulls=pulls,
+                results=results,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Relay
+    # ------------------------------------------------------------------
+    def drain(self) -> TelemetryCapsule | None:
+        """The delta since the last drain, or ``None`` when empty."""
+        metric_deltas = self._metric_deltas()
+        span_deltas = self._span_deltas()
+        traces = tuple(self._trace_buffer)
+        self._trace_buffer.clear()
+        if not (metric_deltas or span_deltas or traces):
+            return None
+        return TelemetryCapsule(
+            shard=self.shard,
+            metrics=tuple(metric_deltas),
+            spans=tuple(span_deltas),
+            traces=traces,
+        )
+
+    def _metric_deltas(self) -> list[dict]:
+        deltas: list[dict] = []
+        for record in self.metrics.snapshot():
+            key = (
+                record["kind"],
+                record["name"],
+                tuple(sorted(record["labels"].items())),
+            )
+            previous = self._shipped_metrics.get(key)
+            delta = _delta_record(record, previous)
+            if delta is not None:
+                deltas.append(delta)
+            self._shipped_metrics[key] = record
+        return deltas
+
+    def _span_deltas(self) -> list[dict]:
+        deltas: list[dict] = []
+        for path, stats in self.tracer.spans().items():
+            prev_count, prev_seconds = self._shipped_spans.get(path, (0, 0.0))
+            if stats.count == prev_count:
+                continue
+            deltas.append({
+                "path": path,
+                "count": stats.count - prev_count,
+                "seconds": stats.seconds - prev_seconds,
+            })
+            self._shipped_spans[path] = (stats.count, stats.seconds)
+        return deltas
+
+
+def _delta_record(record: dict, previous: dict | None) -> dict | None:
+    """``record - previous`` in snapshot-record shape; None when no change."""
+    kind = record["kind"]
+    if kind == "counter":
+        prev_value = previous["value"] if previous else 0
+        if record["value"] == prev_value:
+            return None
+        return {**record, "value": record["value"] - prev_value}
+    if kind == "gauge":
+        if previous is not None and record["value"] == previous["value"]:
+            return None
+        return dict(record)
+    # histogram
+    prev_count = previous["count"] if previous else 0
+    if record["count"] == prev_count:
+        return None
+    prev_buckets = (
+        previous["buckets"]
+        if previous
+        else [{"le": b["le"], "count": 0} for b in record["buckets"]]
+    )
+    return {
+        **record,
+        "sum": record["sum"] - (previous["sum"] if previous else 0.0),
+        "count": record["count"] - prev_count,
+        "buckets": [
+            {"le": bucket["le"], "count": bucket["count"] - prev["count"]}
+            for bucket, prev in zip(record["buckets"], prev_buckets)
+        ],
+    }
+
+
+class CapsuleSink:
+    """Supervisor-side receiver merging capsules into the shared pipeline.
+
+    One sink per receiver (the engine absorbs live outcomes; the
+    resilience supervisor absorbs replayed ones).  Replayed capsules get
+    a ``replay="1"`` metric label and ``replay: true`` trace flag so
+    primary series stay exact while recovery cost stays visible.
+    """
+
+    def __init__(self, obs: Observability, op_name: str = "worker") -> None:
+        self._obs = obs
+        self._op_name = op_name
+        self._tracers: dict[tuple[int, bool], Tracer] = {}
+
+    def absorb(self, capsule: TelemetryCapsule | None, *, replayed: bool = False):
+        if capsule is None or not self._obs.enabled:
+            return
+        extra = {"replay": "1"} if replayed else {}
+        self._obs.metrics.merge_snapshot(capsule.metrics, **extra)
+        if capsule.spans:
+            tracer = self._tracer_for(capsule.shard, replayed)
+            for span in capsule.spans:
+                tracer.record(span["path"], span["seconds"], span["count"])
+        for record in capsule.traces:
+            if replayed:
+                record = {**record, "replay": True}
+            self._obs.trace(record)
+
+    def _tracer_for(self, shard: int, replayed: bool) -> Tracer:
+        key = (shard, replayed)
+        tracer = self._tracers.get(key)
+        if tracer is None:
+            name = f"{self._op_name}.shard{shard}"
+            if replayed:
+                name += ".replay"
+            tracer = self._tracers[key] = self._obs.tracer(name)
+        return tracer

@@ -10,14 +10,18 @@ Workers never talk to each other; all coordination happens through the
 outcomes (the global threshold is ``max`` over shard frontiers, computed
 by :class:`repro.exec.merge.GlobalTopKMerger`).
 
-Workers deliberately run without an observability pipeline of their own:
-outcomes carry the pull/depth deltas, and the engine accounts them into
-shared metrics.  This keeps the process backend simple — a child process
-only ships outcomes over a pipe, never metric state.
+Workers optionally carry their own telemetry pipeline
+(:class:`~repro.exec.telemetry.WorkerTelemetry`): a real metric registry
+and tracer running *inside* the worker — and therefore inside the forked
+child on the process backend — whose delta snapshots ride home
+piggybacked on the outcome (:attr:`AdvanceOutcome.telemetry`).  The pipe
+still only ever carries outcomes; telemetry costs zero extra round
+trips, and workers without telemetry behave exactly as before.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.core.operators import make_operator
@@ -110,6 +114,13 @@ class AdvanceOutcome:
     returned ``None``: the shard is complete and will never be advanced
     again.  The dataclass is pickle-friendly so the process backend can
     ship it over a pipe unchanged.
+
+    ``telemetry`` is an optional :class:`~repro.exec.telemetry.
+    TelemetryCapsule` — the worker's metric/span/trace delta since its
+    previous outcome, piggybacked here so the process backend relays
+    child-side telemetry with no extra IPC.  Excluded from equality:
+    two outcomes that advance the merge identically *are* equal, with
+    or without the telemetry payload.
     """
 
     shard: int
@@ -119,6 +130,7 @@ class AdvanceOutcome:
     depth_right: int
     frontier: float
     exhausted: bool = field(default=False)
+    telemetry: object | None = field(default=None, compare=False)
 
 
 class ShardWorker:
@@ -129,6 +141,8 @@ class ShardWorker:
         shard: int,
         instance: RankJoinInstance,
         operator: str = "FRPA",
+        *,
+        telemetry=None,
         **operator_kwargs,
     ) -> None:
         self.shard = shard
@@ -136,11 +150,16 @@ class ShardWorker:
         self.operator_name = operator
         self._operator_kwargs = dict(operator_kwargs)
         # ``track_time=False``: per-pull span timing on every shard is pure
-        # overhead — the engine reports wall clock at the facade level.
+        # overhead — the worker times whole quanta instead (one clock pair
+        # per advance), and the engine reports facade-level wall clock.
         self._operator = make_operator(
             operator, instance, track_time=False, **operator_kwargs
         )
         self._exhausted = False
+        #: Optional :class:`~repro.exec.telemetry.WorkerTelemetry`; when
+        #: set, every advance records a timed quantum and the outcome
+        #: carries the drained delta capsule.
+        self._telemetry = telemetry
 
     def clone_fresh(self) -> "ShardWorker":
         """A pristine worker over the same partition, zero pulls performed.
@@ -148,10 +167,16 @@ class ShardWorker:
         The respawn recipe: the resilience layer rebuilds a lost worker
         from this and fast-forwards it by replaying the shard's recorded
         advance history (deterministic operators make the replayed state
-        bit-identical to the state that died).
+        bit-identical to the state that died).  The clone keeps the
+        shard's trace context (fresh counters, same span in the tree).
         """
+        telemetry = self._telemetry.clone() if self._telemetry is not None else None
         return ShardWorker(
-            self.shard, self.instance, self.operator_name, **self._operator_kwargs
+            self.shard,
+            self.instance,
+            self.operator_name,
+            telemetry=telemetry,
+            **self._operator_kwargs,
         )
 
     @property
@@ -161,6 +186,11 @@ class ShardWorker:
     @property
     def pulls(self) -> int:
         return self._operator.pulls
+
+    @property
+    def trace_ctx(self):
+        """The shard's trace context, or None for untraced workers."""
+        return self._telemetry.ctx if self._telemetry is not None else None
 
     def advance(self, quantum: int) -> AdvanceOutcome:
         """Spend at most ``quantum`` pulls; return everything emitted.
@@ -172,6 +202,8 @@ class ShardWorker:
         returning an empty outcome.
         """
         operator = self._operator
+        telemetry = self._telemetry
+        started = time.perf_counter() if telemetry is not None else 0.0
         start_pulls = operator.pulls
         results: list[JoinResult] = []
         while not self._exhausted:
@@ -183,12 +215,20 @@ class ShardWorker:
                 self._exhausted = True
                 break
             results.append(step)
+        pulls = operator.pulls - start_pulls
+        capsule = None
+        if telemetry is not None:
+            telemetry.record_quantum(
+                quantum, pulls, len(results), time.perf_counter() - started
+            )
+            capsule = telemetry.drain()
         return AdvanceOutcome(
             shard=self.shard,
             results=tuple(results),
-            pulls=operator.pulls - start_pulls,
+            pulls=pulls,
             depth_left=operator.depth(0),
             depth_right=operator.depth(1),
             frontier=operator.frontier(),
             exhausted=self._exhausted,
+            telemetry=capsule,
         )

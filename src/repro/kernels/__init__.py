@@ -29,9 +29,11 @@ Observability
 -------------
 :func:`observe` attaches a :class:`~repro.obs.metrics.MetricRegistry`;
 afterwards every kernel call increments
-``kernel_calls_total{kernel=…, fn=…}`` and records its wall-clock in the
+``kernel_calls_total{kernel=…, fn=…}`` and a deterministic 1-in-16
+sample of calls records wall-clock in the
 ``bound_kernel_seconds{kernel=…}`` histogram — the per-backend
-Figure 2(b) breakdown shown by ``python -m repro trace``.
+Figure 2(b) breakdown shown by ``python -m repro trace``.  Call counts
+are exact; only the latency histogram is sampled.
 """
 
 from __future__ import annotations
@@ -165,32 +167,60 @@ def use_backend(name: str):
 # ----------------------------------------------------------------------
 # Instrumentation
 # ----------------------------------------------------------------------
-class _InstrumentationSink:
-    """Resolves and caches metric handles for kernel-call accounting."""
+#: Latency sampling period: every call is *counted*, but only one call
+#: in ``_SAMPLE`` pays the ``perf_counter`` pair feeding the
+#: ``bound_kernel_seconds`` histogram.  Kernel calls are by far the most
+#: frequent instrumented operation on the serial hot path; deterministic
+#: sampling (first call of each series always sampled) keeps the
+#: histogram representative while holding total overhead inside the
+#: observability plane's 5% budget.
+_SAMPLE = 16
 
-    __slots__ = ("_metrics", "_counters", "_hists")
+
+class _KernelHandle:
+    """Pre-resolved metric handles for one (backend, fn) series."""
+
+    __slots__ = ("counter", "hist", "tick")
+
+    def __init__(self, counter, hist) -> None:
+        self.counter = counter
+        self.hist = hist
+        self.tick = _SAMPLE - 1  # first call is sampled
+
+    def should_sample(self) -> bool:
+        self.tick += 1
+        if self.tick < _SAMPLE:
+            return False
+        self.tick = 0
+        return True
+
+
+class _InstrumentationSink:
+    """Resolves and caches metric handles for kernel-call accounting.
+
+    ``handles`` is keyed ``(backend_name, fn)`` and read directly by
+    :func:`_call` — the steady-state cost of an instrumented kernel call
+    is one dict lookup plus a counter increment.
+    """
+
+    __slots__ = ("_metrics", "handles")
 
     def __init__(self, metrics) -> None:
         self._metrics = metrics
-        self._counters: dict[tuple[str, str], object] = {}
-        self._hists: dict[str, object] = {}
+        self.handles: dict[tuple[str, str], _KernelHandle] = {}
 
-    def record(self, fn: str, backend: str, seconds: float) -> None:
-        key = (fn, backend)
-        counter = self._counters.get(key)
-        if counter is None:
-            counter = self._counters[key] = self._metrics.counter(
-                "kernel_calls_total", kernel=backend, fn=fn
+    def handle(self, backend: str, fn: str) -> _KernelHandle:
+        key = (backend, fn)
+        handle = self.handles.get(key)
+        if handle is None:
+            handle = self.handles[key] = _KernelHandle(
+                self._metrics.counter("kernel_calls_total",
+                                      kernel=backend, fn=fn),
+                self._metrics.histogram("bound_kernel_seconds",
+                                        buckets=KERNEL_SECONDS_BUCKETS,
+                                        kernel=backend),
             )
-        counter.inc()
-        hist = self._hists.get(backend)
-        if hist is None:
-            hist = self._hists[backend] = self._metrics.histogram(
-                "bound_kernel_seconds",
-                buckets=KERNEL_SECONDS_BUCKETS,
-                kernel=backend,
-            )
-        hist.observe(seconds)
+        return handle
 
 
 _sink: _InstrumentationSink | None = None
@@ -219,11 +249,17 @@ def _call(fn: str, *args, **kwargs):
     sink = _sink
     if sink is None:
         return getattr(backend, fn)(*args, **kwargs)
+    handle = sink.handles.get((backend.name, fn))
+    if handle is None:
+        handle = sink.handle(backend.name, fn)
+    handle.counter.inc()
+    if not handle.should_sample():
+        return getattr(backend, fn)(*args, **kwargs)
     start = perf_counter()
     try:
         return getattr(backend, fn)(*args, **kwargs)
     finally:
-        sink.record(fn, backend.name, perf_counter() - start)
+        handle.hist.observe(perf_counter() - start)
 
 
 # ----------------------------------------------------------------------

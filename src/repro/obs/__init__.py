@@ -33,6 +33,12 @@ from repro.obs.export import (
     read_events,
     reconstruct_timing,
 )
+from repro.obs.expose import (
+    compute_slos,
+    render_prometheus,
+    set_slo_gauges,
+    shard_pull_counts,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -42,6 +48,7 @@ from repro.obs.metrics import (
     NULL_METRIC,
 )
 from repro.obs.span import SpanStats, Tracer
+from repro.obs.trace import TraceContext, TraceTree, span_record
 
 __all__ = [
     "ConsoleExporter",
@@ -55,9 +62,16 @@ __all__ = [
     "NULL_OBS",
     "Observability",
     "SpanStats",
+    "TraceContext",
+    "TraceTree",
     "Tracer",
+    "compute_slos",
     "read_events",
     "reconstruct_timing",
+    "render_prometheus",
+    "set_slo_gauges",
+    "shard_pull_counts",
+    "span_record",
 ]
 
 
@@ -99,6 +113,20 @@ class Observability:
         if not self.enabled:
             return
         record = {"type": "meta", **fields}
+        for exporter in self.exporters:
+            exporter.export(record)
+
+    def trace(self, record: dict) -> None:
+        """Export one trace record (see :func:`repro.obs.trace.span_record`).
+
+        Trace records are discrete occurrences like events — they go to
+        every exporter immediately, so a JSONL stream interleaves spans
+        from the service, the engine, and relayed worker quanta in
+        arrival order; :class:`~repro.obs.trace.TraceTree` reassembles
+        them by ids, not position.
+        """
+        if not self.enabled:
+            return
         for exporter in self.exporters:
             exporter.export(record)
 

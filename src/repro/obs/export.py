@@ -43,12 +43,21 @@ class JsonlExporter:
 
 
 def _jsonable(value):
-    """Fallback serializer: tuples of dataclasses, numpy scalars, etc."""
+    """Fallback serializer: tuples of dataclasses, numpy scalars, etc.
+
+    ``vars`` only works on objects that actually carry a ``__dict__``;
+    ``__slots__``-only instances (and classes, whose mappingproxy is not
+    JSON-serializable) raise ``TypeError`` from ``json`` downstream, so
+    both fall back to ``repr`` — lossy but never a crashed export.
+    """
     if hasattr(value, "item"):  # numpy scalar
         return value.item()
-    if hasattr(value, "__dict__"):
-        return vars(value)
-    return str(value)
+    if not isinstance(value, type):
+        try:
+            return vars(value)
+        except TypeError:  # __slots__-only object
+            pass
+    return repr(value)
 
 
 class ConsoleExporter:

@@ -81,6 +81,31 @@ class Histogram:
         bounds.append(None)
         return list(zip(bounds, self.counts))
 
+    def percentile(self, q: float) -> float | None:
+        """The ``q``-quantile estimated by linear interpolation in-bucket.
+
+        Prometheus ``histogram_quantile`` semantics: observations are
+        assumed uniform within their bucket, the first bucket
+        interpolates from 0, and any quantile landing in the overflow
+        bucket clamps to the largest finite boundary (the estimate
+        cannot exceed what the buckets resolve).  Returns ``None`` on an
+        empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for bound, bucket_count in zip(self.boundaries, self.counts):
+            if bucket_count and cumulative + bucket_count >= rank:
+                fraction = (rank - cumulative) / bucket_count
+                return lower + (bound - lower) * fraction
+            cumulative += bucket_count
+            lower = bound
+        return float(self.boundaries[-1])
+
 
 class _NullMetric:
     """Accepts every update and records nothing (disabled registry)."""
@@ -169,6 +194,56 @@ class MetricRegistry:
                 ]
             records.append(record)
         return records
+
+    def metrics_named(self, name: str, kind: str | None = None):
+        """``(kind, labels, metric)`` triples for one metric name."""
+        out = []
+        for (metric_kind, metric_name, label_key), metric in sorted(
+            self._metrics.items()
+        ):
+            if metric_name != name:
+                continue
+            if kind is not None and metric_kind != kind:
+                continue
+            out.append((metric_kind, dict(label_key), metric))
+        return out
+
+    def merge_snapshot(self, records, **extra_labels: str) -> None:
+        """Fold snapshot records from another registry into this one.
+
+        The worker-telemetry relay path: child processes ship *delta*
+        snapshots (see :class:`repro.exec.telemetry.WorkerTelemetry`)
+        and the supervisor merges them here, adding ``extra_labels``
+        (typically ``shard=`` and ``replay=``) to every series.
+        Counters and histograms accumulate; gauges take the incoming
+        value (last write wins, matching gauge semantics).
+        """
+        if not self.enabled:
+            return
+        for record in records:
+            if record.get("type") != "metric":
+                continue
+            labels = {**record.get("labels", {}), **extra_labels}
+            kind = record["kind"]
+            name = record["name"]
+            if kind == "counter":
+                self.counter(name, **labels).inc(record["value"])
+            elif kind == "gauge":
+                if record.get("value") is not None:
+                    self.gauge(name, **labels).set(record["value"])
+            elif kind == "histogram":
+                boundaries = tuple(
+                    bucket["le"]
+                    for bucket in record["buckets"]
+                    if bucket["le"] is not None
+                )
+                histogram = self.histogram(name, buckets=boundaries, **labels)
+                if histogram.boundaries != boundaries:  # pragma: no cover
+                    continue  # defensively skip incompatible layouts
+                for index, bucket in enumerate(record["buckets"]):
+                    histogram.counts[index] += bucket["count"]
+                histogram.sum += record["sum"]
+                histogram.count += record["count"]
 
     def reset(self) -> None:
         self._metrics.clear()

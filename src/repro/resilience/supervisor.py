@@ -37,7 +37,11 @@ deterministic round/request order, which the supervisor preserves.
 Observability: ``resilience_retries_total{kind}``,
 ``worker_respawns_total``, ``resilience_degrades_total`` counters, plus
 the :attr:`ResilientBackend.degraded` flag surfaced through engine
-snapshots and serve responses.
+snapshots and serve responses.  With tracing armed (workers carrying a
+:class:`~repro.exec.telemetry.WorkerTelemetry`), every retry and respawn
+also emits a ``retry``/``respawn`` span under the shard's trace context,
+and telemetry from replayed quanta merges in under a ``replay="1"``
+label — the whole recovery story is reconstructable per request.
 """
 
 from __future__ import annotations
@@ -48,8 +52,9 @@ from dataclasses import dataclass, field
 
 from repro.errors import ShardError, WorkerLost
 from repro.exec.backends import DEGRADE_ORDER, ExecBackend, make_backend
+from repro.exec.telemetry import CapsuleSink
 from repro.exec.worker import AdvanceOutcome, ShardWorker
-from repro.obs import NULL_OBS, Observability
+from repro.obs import NULL_OBS, Observability, span_record
 from repro.resilience.faults import (
     LOST_KINDS,
     NO_FAULTS,
@@ -111,7 +116,12 @@ class ResilientBackend(ExecBackend):
         #: Requests begun but not yet collected in the current round.
         self._round: dict[int, int] = {}
 
-        metrics = (obs if obs is not None else NULL_OBS).metrics
+        self._obs = obs if obs is not None else NULL_OBS
+        #: Receiver for telemetry capsules produced by *replayed* quanta —
+        #: the engine never sees those outcomes, so the supervisor merges
+        #: them itself, labelled ``replay="1"``.
+        self._sink = CapsuleSink(self._obs, "resilient")
+        metrics = self._obs.metrics
         self._m_retries = {
             "transient": metrics.counter("resilience_retries_total", kind="transient"),
             "worker-lost": metrics.counter(
@@ -177,6 +187,7 @@ class ResilientBackend(ExecBackend):
                     raise
                 self._m_retries["worker-lost"].inc()
                 self._m_respawns.inc()
+                self._trace_recovery(shard, "respawn", quantum=quantum)
                 if self._inner.ships_faults:
                     self._consume_observed(shard, LOST_KINDS)
                 self._respawn_count[shard] += 1
@@ -194,6 +205,9 @@ class ResilientBackend(ExecBackend):
                 if transient_attempts >= self._cfg.retry.max_attempts:
                     raise
                 self._m_retries["transient"].inc()
+                self._trace_recovery(
+                    shard, "retry", quantum=quantum, attempt=transient_attempts
+                )
                 if self._inner.ships_faults:
                     self._consume_observed(shard, TRANSIENT_KINDS)
                 self._sleep(self._cfg.retry.delay(transient_attempts, self._rng))
@@ -212,7 +226,12 @@ class ResilientBackend(ExecBackend):
         """
         worker = self._recipes[shard].clone_fresh()
         for quantum in self._log[shard]:
-            worker.advance(quantum)
+            outcome = worker.advance(quantum)
+            # Replayed quanta still produce telemetry (the fresh worker
+            # re-earns its counters); the engine never sees these
+            # outcomes, so absorb them here under a ``replay`` label —
+            # primary series stay exact, recovery cost stays visible.
+            self._sink.absorb(outcome.telemetry, replayed=True)
         return worker
 
     def _respawn_shard(self, shard: int) -> None:
@@ -245,6 +264,9 @@ class ResilientBackend(ExecBackend):
         old.close()
         self.degraded = True
         self._m_degrades.inc()
+        self._obs.event(
+            "resilience_degrade", from_tier=old.name, to_tier=next_tier
+        )
         # Resume the in-flight round on the new tier: every uncollected
         # request (including the one that triggered degradation) is
         # re-begun here, so the collect loop just retries.
@@ -273,6 +295,24 @@ class ResilientBackend(ExecBackend):
                 )
                 for worker in workers
             ])
+
+    def _trace_recovery(self, shard: int, name: str, **fields) -> None:
+        """Emit a recovery span under the shard's trace context.
+
+        Recipes keep each shard's :class:`~repro.obs.TraceContext`
+        through ``clone_fresh``, so retries and respawns land in the
+        same trace tree as the quanta they recover — the acceptance
+        criterion that recovery actions are attributable per request.
+        """
+        if not self._obs.enabled:
+            return
+        recipe = self._recipes.get(shard)
+        ctx = getattr(recipe, "trace_ctx", None)
+        if ctx is None:
+            return
+        self._obs.trace(
+            span_record(ctx.child(), name, shard=shard, tier=self._tier, **fields)
+        )
 
     def _consume_observed(self, shard: int, kinds: frozenset[str]) -> None:
         """Mirror a child-side fault pop in the supervisor's schedule.

@@ -50,6 +50,7 @@ from repro.service.session import (
     QuerySession,
     SessionState,
 )
+from repro.service.top import render_dashboard, run_top
 
 __all__ = [
     "BoundGapPolicy",
@@ -69,5 +70,7 @@ __all__ = [
     "ServiceError",
     "SessionState",
     "make_policy",
+    "render_dashboard",
+    "run_top",
     "scoring_fingerprint",
 ]

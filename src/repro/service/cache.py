@@ -132,22 +132,41 @@ class ResultCache:
         if len(results) > len(entry.results) or exhausted:
             entry.results = list(results)
             entry.exhausted = entry.exhausted or exhausted
-            entry.operator = None if exhausted else operator
+            replacement = None if exhausted else operator
+            if entry.operator is not None and entry.operator is not replacement:
+                _dispose_operator(entry.operator)
+            entry.operator = replacement
         elif entry.operator is None and operator is not None \
                 and len(results) == len(entry.results) and not entry.exhausted:
             entry.operator = operator
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            _, evicted = self._entries.popitem(last=False)
+            _dispose_operator(evicted.operator)
             self._m_evictions.inc()
         self._m_size.set(len(self._entries))
 
     def invalidate(self, key: str) -> bool:
-        return self._entries.pop(key, None) is not None
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        _dispose_operator(entry.operator)
+        return True
 
     def clear(self) -> None:
+        for entry in self._entries.values():
+            _dispose_operator(entry.operator)
         self._entries.clear()
         self._m_size.set(0)
+
+    def close(self) -> None:
+        """Dispose every retained continuation and empty the cache.
+
+        Suspended sharded operators own backend resources (threads,
+        child processes); a server shutting down must close them or the
+        children outlive the service.
+        """
+        self.clear()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -178,7 +197,23 @@ class ResultCache:
             return None
         if self.ttl is not None and self._clock() - entry.created_at > self.ttl:
             del self._entries[key]
+            _dispose_operator(entry.operator)
             self._m_expirations.inc()
             self._m_size.set(len(self._entries))
             return None
         return entry
+
+
+def _dispose_operator(operator: Any) -> None:
+    """Close a continuation operator falling out of the cache.
+
+    Every path that drops an operator reference (eviction, TTL expiry,
+    invalidation, overwrite, shutdown) funnels through here — suspended
+    sharded operators hold threads or child processes that would
+    otherwise leak.
+    """
+    if operator is None:
+        return
+    close = getattr(operator, "close", None)
+    if callable(close):
+        close()

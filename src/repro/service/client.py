@@ -16,6 +16,8 @@ import json
 import socket
 import time
 
+from repro.obs import TraceContext
+
 
 class ServiceError(RuntimeError):
     """The server answered ``ok: false``.
@@ -38,6 +40,8 @@ class ServiceClient:
         self.timeout = timeout
         self._sock: socket.socket | None = None
         self._file = None
+        #: Trace id of the most recent submit (for log correlation).
+        self.last_trace: str | None = None
 
     # ------------------------------------------------------------------
     # Connection management
@@ -102,8 +106,18 @@ class ServiceClient:
     # Verbs
     # ------------------------------------------------------------------
     def submit(self, **query) -> str:
-        """Submit a query (see the server protocol); returns the session id."""
-        return self.request({"verb": "submit", **query})["session"]
+        """Submit a query (see the server protocol); returns the session id.
+
+        The client mints the request's :class:`~repro.obs.TraceContext`
+        root here — the distributed trace starts at the caller, so every
+        span the server-side execution produces (session, exec, shards,
+        worker quanta) parents back to this submission.  The trace id is
+        kept on :attr:`last_trace` for correlation.
+        """
+        ctx = TraceContext.root()
+        response = self.request({"verb": "submit", "trace": ctx.to_wire(), **query})
+        self.last_trace = response.get("trace", ctx.trace_id)
+        return response["session"]
 
     def poll(self, session_id: str) -> dict:
         return self.request({"verb": "poll", "session": session_id})
@@ -113,6 +127,10 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self.request({"verb": "stats"})
+
+    def metrics(self) -> str:
+        """The server's metric registry in Prometheus text format."""
+        return self.request({"verb": "metrics"})["text"]
 
     def shutdown(self) -> None:
         """Ask the server to stop serving (acknowledged before it stops)."""

@@ -84,6 +84,11 @@ class QuerySpec:
     exec_backend:
         Backend for sharded execution (``"thread"`` / ``"process"`` /
         ``"serial"``).  Ignored when ``shards == 1``.
+    resilience:
+        Optional :class:`repro.resilience.ResilienceConfig` wrapping the
+        sharded backend in retry/respawn/degrade machinery (sharded
+        queries only).  Excluded from the fingerprint: recovery never
+        changes the answer (chaos-suite-enforced).
     """
 
     relations: tuple[Relation, ...]
@@ -93,6 +98,7 @@ class QuerySpec:
     join_attrs: tuple[str, ...] = ()
     shards: int = 1
     exec_backend: str = "thread"
+    resilience: object | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "relations", tuple(self.relations))
@@ -121,6 +127,11 @@ class QuerySpec:
             raise InstanceError(
                 "sharded execution supports binary joins only; "
                 "multiway queries must use shards=1"
+            )
+        if self.resilience is not None and self.shards == 1:
+            raise InstanceError(
+                "resilience config applies to sharded execution only; "
+                "set shards > 1"
             )
 
     @property
@@ -152,8 +163,14 @@ class QuerySpec:
             digest.update(f";shards={self.shards}".encode())
         return digest.hexdigest()
 
-    def build_operator(self, *, obs=None):
-        """A fresh resumable operator evaluating this query from scratch."""
+    def build_operator(self, *, obs=None, trace=None):
+        """A fresh resumable operator evaluating this query from scratch.
+
+        ``trace`` is an optional :class:`~repro.obs.TraceContext` the
+        execution should hang under (the session span).  Only the
+        sharded engine consumes it today — serial operators are timed
+        by their session span directly.
+        """
         if self.is_multiway:
             return multiway_rank_join(
                 list(self.relations),
@@ -170,8 +187,13 @@ class QuerySpec:
             return ShardedRankJoin(
                 instance,
                 self.operator,
-                config=ExecConfig(shards=self.shards, backend=self.exec_backend),
+                config=ExecConfig(
+                    shards=self.shards,
+                    backend=self.exec_backend,
+                    resilience=self.resilience,
+                ),
                 obs=obs,
+                trace=trace,
             )
         return make_operator(self.operator, instance, obs=obs)
 

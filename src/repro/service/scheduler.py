@@ -32,7 +32,7 @@ from abc import ABC, abstractmethod
 from collections import deque
 from collections.abc import Sequence
 
-from repro.obs import Observability
+from repro.obs import Observability, span_record
 from repro.service.session import QuerySession, SessionState
 
 #: Histogram boundaries for session latency in seconds.
@@ -309,6 +309,19 @@ class Scheduler:
         self._m_finished.get(session.state, self._m_finished[SessionState.DONE]).inc()
         if session.latency is not None:
             self._m_latency.observe(session.latency)
+        if session.trace is not None:
+            # The session span closes here: one timed record tying the
+            # whole execution subtree (exec/shards/quanta) back to the
+            # request root.
+            self._obs.trace(span_record(
+                session.trace, "session",
+                seconds=session.latency,
+                session=session.session_id,
+                state=session.state.value,
+                pulls=session.pulls,
+                results=len(session.results),
+                from_cache=session.from_cache,
+            ))
         for callback in self._on_finish:
             callback(session)
         self._export_gauges()

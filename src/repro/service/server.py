@@ -10,7 +10,9 @@ Verbs (the ``verb`` field selects one):
     ``{"ok": true, "session": "s7", "state": "PENDING"}``.
     ``left``/``right`` name relations registered with the server; an
     optional per-side ``weights`` list selects a weighted-sum scoring
-    function instead of the plain sum.
+    function instead of the plain sum.  ``shards`` (default: the
+    server's ``default_shards``) selects sharded execution and
+    ``backend`` its execution tier (``thread``/``process``/``serial``).
 ``poll``
     ``{"verb": "poll", "session": "s7"}`` → the session snapshot (state,
     scores so far, pulls, depths, cache provenance).
@@ -18,10 +20,27 @@ Verbs (the ``verb`` field selects one):
     ``{"verb": "cancel", "session": "s7"}`` → ``{"ok": true, "cancelled":
     true}``.
 ``stats``
-    scheduler + cache + relation inventory.
+    scheduler + cache + relation inventory, plus the live telemetry
+    block: computed SLOs (``slo`` — p50/p95/p99 session latency, queue
+    depth, cache hit ratio, shard imbalance), per-shard cumulative pull
+    counters (``shards``), and one brief line per in-flight session
+    (``sessions``).  This is the payload ``python -m repro top`` polls.
+``metrics``
+    ``{"verb": "metrics"}`` → ``{"ok": true, "text": "..."}`` where
+    ``text`` is the full metric registry in Prometheus text exposition
+    format (``# TYPE`` headers, cumulative ``_bucket{le=...}`` series,
+    ``_sum``/``_count``); also served by ``python -m repro metrics``.
 ``shutdown``
     acknowledges, then stops the server loop (used for clean shutdown in
     tests and the CI smoke job).
+
+Distributed tracing: a ``submit`` request may carry a ``trace`` field
+(the wire form of :class:`~repro.obs.TraceContext`, minted by
+:class:`~repro.service.client.ServiceClient`); the server threads it
+through the service so every span of the query's execution — session,
+exec, shards, worker quanta, retries, respawns — parents back to that
+client request.  Requests without one get a server-minted root.  The
+submit response echoes the trace id.
 
 The server drives the scheduler from a single background task — one pull
 quantum per loop iteration, yielding to the event loop between quanta — so
@@ -39,6 +58,7 @@ import threading
 
 from repro.core.scoring import SumScore, WeightedSum
 from repro.errors import ReproError
+from repro.obs import TraceContext
 from repro.relation.relation import Relation
 from repro.service.query import QuerySpec
 from repro.service.service import QueryService
@@ -66,12 +86,17 @@ class RankJoinServer:
         port: int = 0,
         default_shards: int = 1,
         chaos=None,
+        resilience=None,
     ) -> None:
         self.service = service
         self.relations = dict(relations)
         self.host = host
         self.port = port  # 0 → ephemeral; updated once bound
         self.default_shards = default_shards
+        #: Optional :class:`repro.resilience.ResilienceConfig` applied to
+        #: every sharded query this server builds (retry/respawn/degrade,
+        #: plus fault injection when the config carries a plan).
+        self.resilience = resilience
         #: Optional :class:`repro.resilience.RequestChaos` — intercepts
         #: requests before dispatch to inject retryable failures/delays.
         self.chaos = chaos
@@ -106,6 +131,9 @@ class RankJoinServer:
             await self._server.wait_closed()
             self._remove_signal_handlers()
             self._loop = None
+            # Dispose retained operators (cached continuations, undrained
+            # sessions) so shard workers never outlive the server.
+            self.service.close()
             # Flush (don't close) the obs pipeline so spans/metrics
             # buffered during the run reach their exporters even when the
             # process exits right after ``run()`` returns.
@@ -212,6 +240,7 @@ class RankJoinServer:
             "poll": self._verb_poll,
             "cancel": self._verb_cancel,
             "stats": self._verb_stats,
+            "metrics": self._verb_metrics,
             "shutdown": self._verb_shutdown,
         }.get(verb)
         if handler is None:
@@ -235,19 +264,30 @@ class RankJoinServer:
                 "draining": True,
             }
         spec = self._parse_spec(request)
+        wire = request.get("trace")
+        if wire is not None:
+            ctx = TraceContext.from_wire(wire)
+        elif self.service.obs.enabled:
+            ctx = TraceContext.root()
+        else:
+            ctx = None
         session_id = self.service.submit(
             spec,
             priority=int(request.get("priority", 0)),
             deadline=request.get("deadline"),
             max_pulls=request.get("max_pulls"),
+            trace=ctx,
         )
         session = self.service.session(session_id)
-        return {
+        response = {
             "ok": True,
             "session": session_id,
             "state": session.state.value,
             "from_cache": session.from_cache,
         }
+        if ctx is not None:
+            response["trace"] = ctx.trace_id
+        return response
 
     def _verb_poll(self, request: dict) -> dict:
         snapshot = self.service.poll(str(request["session"]))
@@ -267,6 +307,9 @@ class RankJoinServer:
         payload["draining"] = self.draining
         payload["default_shards"] = self.default_shards
         return {"ok": True, **payload}
+
+    def _verb_metrics(self, request: dict) -> dict:
+        return {"ok": True, "text": self.service.metrics_text()}
 
     def _verb_shutdown(self, request: dict) -> dict:
         return {"ok": True, "shutting_down": True}
@@ -294,6 +337,11 @@ class RankJoinServer:
         kwargs = {}
         if shards > 1 and len(relations) == 2:
             kwargs["shards"] = shards
+            backend = request.get("backend")
+            if backend is not None:
+                kwargs["exec_backend"] = str(backend)
+            if self.resilience is not None:
+                kwargs["resilience"] = self.resilience
         return QuerySpec(
             relations=relations,
             k=int(request["k"]),

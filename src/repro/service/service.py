@@ -18,7 +18,14 @@ from __future__ import annotations
 
 import itertools
 
-from repro.obs import Observability
+from repro.obs import (
+    Observability,
+    TraceContext,
+    render_prometheus,
+    set_slo_gauges,
+    shard_pull_counts,
+    span_record,
+)
 from repro.service.cache import ResultCache
 from repro.service.query import QuerySpec
 from repro.service.scheduler import Scheduler, SchedulingPolicy
@@ -87,12 +94,27 @@ class QueryService:
         deadline: float | None = None,
         max_pulls: int | None = None,
         quantum: int | None = None,
+        trace: TraceContext | None = None,
     ) -> str:
         """Admit a query; returns the session id immediately.
 
         The session may already be ``DONE`` on return (cache hit).
+
+        ``trace`` is the request's root span context (minted by the
+        server/client, or here for in-process callers with an enabled
+        pipeline); the whole execution — session, exec, shards, worker
+        quanta, retries — parents back to it.
         """
         session_id = f"s{next(self._ids)}"
+        ctx = trace
+        if ctx is None and self.obs.enabled:
+            ctx = TraceContext.root()
+        session_ctx = None
+        if ctx is not None:
+            self.obs.trace(span_record(
+                ctx, "request", session=session_id, query=spec.describe()
+            ))
+            session_ctx = ctx.child()
         if max_pulls is None:
             max_pulls = self.default_max_pulls
         key = spec.fingerprint() if self.cache is not None else None
@@ -110,7 +132,7 @@ class QueryService:
                 # Distinguish a truly-complete short answer from a prefix.
                 entry_exhausted = len(cached_answer) < spec.k
         if operator is None and cached_answer is None:
-            operator = spec.build_operator(obs=self.obs)
+            operator = spec.build_operator(obs=self.obs, trace=session_ctx)
         session = QuerySession(
             session_id,
             operator,
@@ -122,6 +144,7 @@ class QueryService:
             preloaded=cached_answer if cached_answer is not None else preloaded,
             cache_key=key,
             label=spec.describe(),
+            trace=session_ctx,
         )
         self._specs[session_id] = spec
         if cached_answer is not None:
@@ -170,7 +193,39 @@ class QueryService:
     def stats(self) -> dict:
         payload = {"scheduler": self.scheduler.stats()}
         payload["cache"] = self.cache.stats() if self.cache is not None else None
+        # The live-telemetry block: computed SLOs (freshly published as
+        # slo_* gauges), per-shard pull counters, and a brief line per
+        # in-flight session — everything ``repro top`` renders.
+        payload["slo"] = set_slo_gauges(self.obs.metrics)
+        payload["shards"] = shard_pull_counts(self.obs.metrics)
+        payload["sessions"] = [
+            self._brief(session)
+            for session in (
+                self.scheduler.live_sessions + self.scheduler.queued_sessions
+            )
+        ]
         return payload
+
+    def metrics_text(self) -> str:
+        """The whole registry in Prometheus text exposition format.
+
+        SLO gauges are recomputed first, so a scrape always carries
+        current percentiles alongside the raw counters/histograms.
+        """
+        set_slo_gauges(self.obs.metrics)
+        return render_prometheus(self.obs.metrics)
+
+    @staticmethod
+    def _brief(session: QuerySession) -> dict:
+        return {
+            "session": session.session_id,
+            "state": session.state.value,
+            "label": session.label,
+            "results": len(session.results),
+            "k": session.k,
+            "pulls": session.pulls,
+            "degraded": bool(getattr(session.operator, "degraded", False)),
+        }
 
     # ------------------------------------------------------------------
     # Internals
@@ -210,3 +265,21 @@ class QueryService:
         close = getattr(session.operator, "close", None)
         if callable(close):
             close()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release every operator the service still holds.
+
+        Closes cached continuations and the operators of any session not
+        yet retired (queued or mid-flight at shutdown).  A server tears
+        the service down through here so suspended sharded operators —
+        which own threads or child processes — cannot outlive it.
+        """
+        if self.cache is not None:
+            self.cache.close()
+        for session in (*self.scheduler.live_sessions,
+                        *self.scheduler.queued_sessions):
+            if not session.from_cache:
+                self._release_operator(session)

@@ -86,11 +86,16 @@ class QuerySession:
         preloaded: list | None = None,
         cache_key: str | None = None,
         label: str = "",
+        trace=None,
         clock=time.perf_counter,
     ) -> None:
         if quantum < 1:
             raise ValueError("quantum must be at least 1 pull")
         self.session_id = session_id
+        #: Optional :class:`~repro.obs.TraceContext` — the session span
+        #: of this query's trace tree; the scheduler emits the timed
+        #: span record when the session retires.
+        self.trace = trace
         self.operator = operator
         self.k = k
         self.quantum = quantum
@@ -289,6 +294,7 @@ class QuerySession:
             "from_cache": self.from_cache,
             "error": self.error,
             "latency": self.latency,
+            "trace": self.trace.trace_id if self.trace is not None else None,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

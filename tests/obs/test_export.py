@@ -101,3 +101,47 @@ class TestConsoleExporter:
 
     def test_render_empty(self):
         assert "no observability data" in ConsoleExporter().render()
+
+
+class _Slotted:
+    """A payload type with ``__slots__`` — ``vars()`` raises TypeError."""
+
+    __slots__ = ("x",)
+
+    def __init__(self) -> None:
+        self.x = 41
+
+
+class TestJsonableFallbacks:
+    def test_slots_object_falls_back_to_repr(self, tmp_path):
+        # Regression: vars() on a __slots__ instance raises TypeError,
+        # which used to crash the exporter mid-flush.
+        path = tmp_path / "events.jsonl"
+        exporter = JsonlExporter(path)
+        exporter.export({"type": "event", "name": "run", "payload": _Slotted()})
+        exporter.close()
+        (event,) = read_events(path)
+        assert isinstance(event["payload"], str)
+        assert "_Slotted" in event["payload"]
+
+    def test_plain_object_still_uses_vars(self, tmp_path):
+        class Plain:
+            def __init__(self) -> None:
+                self.a = 1
+
+        path = tmp_path / "events.jsonl"
+        exporter = JsonlExporter(path)
+        exporter.export({"type": "event", "name": "run", "payload": Plain()})
+        exporter.close()
+        (event,) = read_events(path)
+        assert event["payload"] == {"a": 1}
+
+    def test_class_object_falls_back_to_repr(self, tmp_path):
+        # vars(type) returns a mappingproxy full of unserialisable slots;
+        # classes should degrade to their repr instead.
+        path = tmp_path / "events.jsonl"
+        exporter = JsonlExporter(path)
+        exporter.export({"type": "event", "name": "run", "payload": _Slotted})
+        exporter.close()
+        (event,) = read_events(path)
+        assert event["payload"] == repr(_Slotted)

@@ -106,3 +106,95 @@ class TestSnapshot:
         assert records["heap"]["value"] == 7
         assert records["sizes"]["count"] == 1
         assert records["sizes"]["buckets"][1] == {"le": 2, "count": 1}
+
+
+class TestHistogramPercentile:
+    def _histogram(self) -> Histogram:
+        registry = MetricRegistry()
+        return registry.histogram("latency", buckets=(0.1, 1.0, 10.0))
+
+    def test_empty_returns_none(self):
+        assert self._histogram().percentile(0.5) is None
+
+    def test_out_of_range_raises(self):
+        histogram = self._histogram()
+        with pytest.raises(ValueError):
+            histogram.percentile(-0.1)
+        with pytest.raises(ValueError):
+            histogram.percentile(1.1)
+
+    def test_single_observation_interpolates_within_bucket(self):
+        histogram = self._histogram()
+        histogram.observe(0.5)
+        # One observation in (0.1, 1.0]; p50 lands halfway through it.
+        value = histogram.percentile(0.5)
+        assert 0.1 < value <= 1.0
+
+    def test_q1_is_bucket_upper_bound(self):
+        histogram = self._histogram()
+        histogram.observe(0.05)
+        histogram.observe(0.05)
+        assert histogram.percentile(1.0) == pytest.approx(0.1)
+
+    def test_uniform_fill_linear(self):
+        histogram = self._histogram()
+        for _ in range(10):
+            histogram.observe(0.05)
+        # All mass in [0, 0.1]; linear interpolation: p50 = 0.05.
+        assert histogram.percentile(0.5) == pytest.approx(0.05)
+        assert histogram.percentile(0.1) == pytest.approx(0.01)
+
+    def test_boundary_between_buckets(self):
+        histogram = self._histogram()
+        histogram.observe(0.05)  # bucket (0, 0.1]
+        histogram.observe(5.0)   # bucket (1.0, 10.0]
+        # p50 exactly exhausts the first bucket.
+        assert histogram.percentile(0.5) == pytest.approx(0.1)
+
+    def test_overflow_clamps_to_last_boundary(self):
+        histogram = self._histogram()
+        histogram.observe(100.0)
+        assert histogram.percentile(0.99) == pytest.approx(10.0)
+
+
+class TestMergeSnapshot:
+    def test_counter_delta_added(self):
+        source = MetricRegistry()
+        source.counter("pulls_total", shard="0").inc(5)
+        target = MetricRegistry()
+        target.counter("pulls_total", shard="0").inc(2)
+        target.merge_snapshot(source.snapshot())
+        assert target.counter("pulls_total", shard="0").value == 7
+
+    def test_extra_labels_applied(self):
+        source = MetricRegistry()
+        source.counter("pulls_total").inc(3)
+        target = MetricRegistry()
+        target.merge_snapshot(source.snapshot(), shard="2")
+        assert target.counter("pulls_total", shard="2").value == 3
+        assert target.counter("pulls_total").value == 0
+
+    def test_gauge_last_write_wins(self):
+        source = MetricRegistry()
+        source.gauge("depth").set(9)
+        target = MetricRegistry()
+        target.gauge("depth").set(1)
+        target.merge_snapshot(source.snapshot())
+        assert target.gauge("depth").value == 9
+
+    def test_histogram_buckets_added(self):
+        source = MetricRegistry()
+        source.histogram("sizes", buckets=(1, 2)).observe(2)
+        target = MetricRegistry()
+        target.histogram("sizes", buckets=(1, 2)).observe(1)
+        target.merge_snapshot(source.snapshot())
+        merged = target.histogram("sizes", buckets=(1, 2))
+        assert merged.count == 2
+        assert merged.sum == 3
+
+    def test_merge_into_empty_registry_creates_series(self):
+        source = MetricRegistry()
+        source.histogram("sizes", buckets=(1, 2)).observe(2)
+        target = MetricRegistry()
+        target.merge_snapshot(source.snapshot())
+        assert target.histogram("sizes", buckets=(1, 2)).count == 1

@@ -1,0 +1,111 @@
+"""Tests for trace contexts, span records, and tree reconstruction."""
+
+from repro.obs import TraceContext, TraceTree, span_record
+
+
+class TestTraceContext:
+    def test_root_mints_fresh_ids(self):
+        a = TraceContext.root()
+        b = TraceContext.root()
+        assert a.trace_id != b.trace_id
+        assert a.parent_id is None
+
+    def test_child_shares_trace_and_parents_under_span(self):
+        root = TraceContext.root()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+
+    def test_grandchild_chains(self):
+        root = TraceContext.root()
+        grandchild = root.child().child()
+        assert grandchild.trace_id == root.trace_id
+        assert grandchild.parent_id != root.span_id
+
+    def test_wire_round_trip(self):
+        ctx = TraceContext.root().child()
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+
+    def test_wire_round_trip_root(self):
+        ctx = TraceContext.root()
+        wire = ctx.to_wire()
+        assert "parent" not in wire
+        assert TraceContext.from_wire(wire) == ctx
+
+    def test_wire_survives_json(self):
+        import json
+
+        ctx = TraceContext.root().child()
+        assert TraceContext.from_wire(json.loads(json.dumps(ctx.to_wire()))) == ctx
+
+
+class TestSpanRecord:
+    def test_basic_shape(self):
+        ctx = TraceContext.root()
+        record = span_record(ctx, "request", session="s1")
+        assert record["type"] == "trace"
+        assert record["name"] == "request"
+        assert record["trace"] == ctx.trace_id
+        assert record["span"] == ctx.span_id
+        assert record["parent"] is None
+        assert record["session"] == "s1"
+        assert "seconds" not in record
+
+    def test_seconds_included_when_given(self):
+        ctx = TraceContext.root()
+        assert span_record(ctx, "session", seconds=0.5)["seconds"] == 0.5
+
+
+def _tree():
+    root = TraceContext.root()
+    session = root.child()
+    shard = session.child()
+    records = [
+        span_record(root, "request"),
+        span_record(session, "session", seconds=1.0),
+        span_record(shard, "shard", shard=0),
+        span_record(shard.child(), "quantum", seconds=0.1, pulls=32),
+    ]
+    return root, TraceTree.from_events(records)
+
+
+class TestTraceTree:
+    def test_connected(self):
+        root, tree = _tree()
+        assert tree.trace_ids() == [root.trace_id]
+        assert tree.connected(root.trace_id)
+        assert tree.orphans(root.trace_id) == []
+
+    def test_roots_and_children(self):
+        root, tree = _tree()
+        (request,) = tree.roots(root.trace_id)
+        assert request["name"] == "request"
+        (session,) = tree.children(request["span"])
+        assert session["name"] == "session"
+
+    def test_named(self):
+        root, tree = _tree()
+        assert [r["pulls"] for r in tree.named("quantum")] == [32]
+
+    def test_orphan_detected(self):
+        root = TraceContext.root()
+        stray = TraceContext(trace_id=root.trace_id, span_id="feed",
+                             parent_id="dead")
+        tree = TraceTree.from_events(
+            [span_record(root, "request"), span_record(stray, "quantum")]
+        )
+        assert not tree.connected(root.trace_id)
+        assert [r["span"] for r in tree.orphans(root.trace_id)] == ["feed"]
+
+    def test_missing_trace_not_connected(self):
+        _, tree = _tree()
+        assert not tree.connected("nope")
+
+    def test_non_trace_events_ignored(self):
+        root = TraceContext.root()
+        tree = TraceTree.from_events([
+            {"type": "metric", "name": "x"},
+            span_record(root, "request"),
+        ])
+        assert len(tree.records) == 1

@@ -100,6 +100,90 @@ class TestCacheMechanics:
             ResultCache(capacity=0)
 
 
+class _ClosableOperator:
+    """Stand-in for a suspended sharded engine owning backend resources."""
+
+    def __init__(self):
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+class TestContinuationDisposal:
+    """Every path dropping a continuation must close its operator.
+
+    Suspended sharded operators own threads or child processes; a cache
+    that silently forgets one orphans those workers (observed as leaked
+    ``repro-shard-*`` children outliving a shut-down server).
+    """
+
+    def test_lru_eviction_closes_operator(self):
+        cache = ResultCache(capacity=1)
+        operator = _ClosableOperator()
+        cache.store("q1", ["a"], operator=operator)
+        cache.store("q2", ["b"])
+        assert operator.closed
+
+    def test_ttl_expiry_closes_operator(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=4, ttl=10.0, clock=clock)
+        operator = _ClosableOperator()
+        cache.store("q1", ["a"], operator=operator)
+        clock.now = 11.0
+        assert cache.lookup("q1", 1) is None
+        assert operator.closed
+
+    def test_overwrite_closes_replaced_operator(self):
+        cache = ResultCache(capacity=4)
+        old = _ClosableOperator()
+        cache.store("q1", ["a"], operator=old)
+        new = _ClosableOperator()
+        cache.store("q1", ["a", "b"], operator=new)
+        assert old.closed and not new.closed
+
+    def test_exhausted_overwrite_closes_operator(self):
+        cache = ResultCache(capacity=4)
+        operator = _ClosableOperator()
+        cache.store("q1", ["a"], operator=operator)
+        cache.store("q1", ["a", "b"], exhausted=True)
+        assert operator.closed
+
+    def test_invalidate_and_clear_and_close_dispose(self):
+        cache = ResultCache(capacity=4)
+        first, second, third = (_ClosableOperator() for _ in range(3))
+        cache.store("q1", ["a"], operator=first)
+        cache.invalidate("q1")
+        assert first.closed
+        cache.store("q2", ["b"], operator=second)
+        cache.clear()
+        assert second.closed
+        cache.store("q3", ["c"], operator=third)
+        cache.close()
+        assert third.closed and len(cache) == 0
+
+    def test_checked_out_continuation_is_not_double_closed(self):
+        cache = ResultCache(capacity=4)
+        operator = _ClosableOperator()
+        cache.store("q1", ["a"], operator=operator)
+        _, checked_out = cache.take_continuation("q1")
+        cache.close()
+        assert checked_out is operator and not operator.closed
+
+    def test_service_close_disposes_cached_continuation(self):
+        service = QueryService(quantum=64)
+        spec = make_spec(k=4)
+        service.run_query(spec)
+        key = spec.fingerprint()
+        peeked = service.cache.take_continuation(key)
+        assert peeked is not None, "run left no continuation to protect"
+        # Park it back, then close the service: the continuation must be
+        # disposed (closed if it exposes close()) and the cache emptied.
+        service.cache.store(key, peeked[0], operator=peeked[1])
+        service.close()
+        assert len(service.cache) == 0
+
+
 class TestServiceCaching:
     def test_repeat_query_served_with_zero_pulls(self):
         spec = make_spec()

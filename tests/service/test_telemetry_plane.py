@@ -1,0 +1,81 @@
+"""Wire-level tests for the live telemetry plane: metrics verb, SLO stats."""
+
+from tests.service.test_server import running_server
+
+from repro.service import ServiceClient
+
+REQUIRED_FAMILIES = (
+    "service_sessions_total",
+    "service_session_seconds",
+    "service_pulls_total",
+    "service_queue_depth",
+    "slo_session_seconds",
+)
+
+
+class TestMetricsVerb:
+    def test_exposition_contains_required_families(self):
+        with running_server() as server:
+            with ServiceClient(server.host, server.port) as client:
+                client.run(left="lineitem", right="orders", k=5)
+                text = client.metrics()
+        for family in REQUIRED_FAMILIES:
+            assert family in text, f"missing metric family {family}"
+        assert "# TYPE service_session_seconds histogram" in text
+        assert 'slo_session_seconds{quantile="0.95"}' in text
+
+    def test_sharded_query_exposes_worker_counters(self):
+        with running_server() as server:
+            with ServiceClient(server.host, server.port) as client:
+                client.run(
+                    left="lineitem", right="orders", k=5,
+                    shards=2, backend="thread",
+                )
+                text = client.metrics()
+        assert "exec_shard_pulls_total" in text
+        assert 'worker_pulls_total{shard="0"}' in text
+        assert 'worker_pulls_total{shard="1"}' in text
+
+
+class TestStatsTelemetry:
+    def test_stats_carry_slo_shards_and_sessions(self):
+        with running_server() as server:
+            with ServiceClient(server.host, server.port) as client:
+                client.run(
+                    left="lineitem", right="orders", k=5,
+                    shards=2, backend="thread",
+                )
+                stats = client.stats()
+        slo = stats["slo"]
+        percentiles = slo["session_seconds"]
+        assert set(percentiles) == {"p50", "p95", "p99"}
+        assert all(p is not None and p > 0 for p in percentiles.values())
+        assert percentiles["p50"] <= percentiles["p95"] <= percentiles["p99"]
+        assert slo["sessions_finished"] >= 1
+        # Per-shard cumulative pull counters, keyed by shard label.
+        assert set(stats["shards"]) == {"0", "1"}
+        assert all(pulls > 0 for pulls in stats["shards"].values())
+        assert stats["sessions"] == []  # nothing in flight after run()
+
+    def test_live_sessions_listed(self):
+        with running_server() as server:
+            with ServiceClient(server.host, server.port) as client:
+                session_id = client.submit(
+                    left="lineitem", right="orders", k=5, max_pulls=1,
+                )
+                stats = client.stats()
+                client.cancel(session_id)
+        listed = {s["session"] for s in stats["sessions"]}
+        assert session_id in listed
+        (brief,) = [s for s in stats["sessions"] if s["session"] == session_id]
+        assert set(brief) >= {"session", "state", "label", "results", "k",
+                              "pulls", "degraded"}
+
+
+class TestSubmitTrace:
+    def test_submit_response_echoes_trace_id(self):
+        with running_server() as server:
+            with ServiceClient(server.host, server.port) as client:
+                client.submit(left="lineitem", right="orders", k=5)
+                assert client.last_trace
+                assert len(client.last_trace) == 16  # 8 bytes hex
