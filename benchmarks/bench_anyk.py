@@ -1,0 +1,298 @@
+"""Any-k vs PBRJ head-to-head: time-to-first, time-to-K, sumDepths.
+
+Three workload families, written to ``benchmarks/results/BENCH_anyk.json``:
+
+* **2-way** seed workloads (the chaos suite's instances): any-k against
+  the binary FRPA operator.  Both cores answer bit-identically; the
+  acceptance bar is near-parity — any-k's up-front DP must not cost more
+  than 10% over FRPA's time-to-K on at least one seed workload, because
+  a second core that taxes the paper's own regime would never be worth
+  switching on.
+* **path-3 / path-4** chain queries: any-k against the multiway
+  HRJN*-style operator.  Chains are where ranked enumeration earns its
+  keep — the multiway operator's pull depths blow up combinatorially
+  with path length while the DP stays linear in the input — so the bar
+  here is a strict win on time-to-K for at least one path workload.
+* **star-3**: the multiway operator only evaluates chains, so the
+  baseline is the conventional approach (materialize the full join,
+  sort, take K) — the same oracle the correctness suite uses.
+
+Run directly: ``python benchmarks/bench_anyk.py [--quick]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.anyk import AnyKQuery, AnyKRankJoin, anyk_from_chain  # noqa: E402
+from repro.core.multiway import multiway_rank_join  # noqa: E402
+from repro.core.operators import make_operator  # noqa: E402
+from repro.core.scoring import SumScore  # noqa: E402
+from repro.core.tuples import RankTuple  # noqa: E402
+from repro.relation.relation import Relation  # noqa: E402
+from repro.resilience import SEED_WORKLOADS, seed_instance  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Chains are deliberately *sparse* (num_keys ~ 0.75n, so ~1.3 partners
+#: per key): high-scoring tuples rarely join, which is exactly the regime
+#: where the multiway operator's threshold forces deep pulls while the
+#: any-k DP stays linear in the input.
+FULL = {"k": 10, "chain_n": 400, "chain_keys": 300, "star_n": 220, "star_keys": 22}
+QUICK = {"k": 6, "chain_n": 160, "chain_keys": 120, "star_n": 100, "star_keys": 10}
+
+#: Acceptance thresholds (see module docstring).
+MAX_2WAY_RATIO = 1.10     # any-k time-to-K <= 1.1x FRPA on >= 1 seed workload
+PATH_MUST_WIN = ("path-3", "path-4")  # any-k strictly faster on >= 1 of these
+
+
+def timed_top_k(operator, k: int) -> dict:
+    """Drive one operator; returns time-to-first / time-to-K / sumDepths."""
+    started = time.perf_counter()
+    first = operator.get_next()
+    time_to_first = time.perf_counter() - started
+    count = 1 if first is not None else 0
+    while count < k:
+        if operator.get_next() is None:
+            break
+        count += 1
+    time_to_k = time.perf_counter() - started
+    depths = operator.depths()
+    sum_depths = (
+        depths.sum_depths if hasattr(depths, "sum_depths") else sum(depths)
+    )
+    return {
+        "time_to_first": time_to_first,
+        "time_to_k": time_to_k,
+        "results": count,
+        "sum_depths": sum_depths,
+        "top_scores": [round(r.score, 6) for r in operator.emitted_results[:3]],
+    }
+
+
+def chain_relations(n: int, num_keys: int, length: int, seed: int):
+    """A length-``length`` path query over payload attributes a0..a{L-2}."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    relations = []
+    for index in range(length):
+        payload_attrs = []
+        if index > 0:
+            payload_attrs.append(f"a{index - 1}")
+        if index < length - 1:
+            payload_attrs.append(f"a{index}")
+        tuples = []
+        for row in range(n):
+            payload = {
+                attr: int(rng.integers(0, num_keys)) for attr in payload_attrs
+            }
+            tuples.append(
+                RankTuple(key=row, scores=(float(rng.random()),), payload=payload)
+            )
+        relations.append(Relation(f"R{index}", tuples))
+    attrs = [f"a{i}" for i in range(length - 1)]
+    return relations, attrs
+
+
+def star_query(n: int, num_keys: int, seed: int) -> AnyKQuery:
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    attrs = ["x", "y", "z"]
+    center = Relation(
+        "hub",
+        [
+            RankTuple(
+                key=row,
+                scores=(float(rng.random()),),
+                payload={a: int(rng.integers(0, num_keys)) for a in attrs},
+            )
+            for row in range(n)
+        ],
+    )
+    satellites = [
+        Relation(
+            f"S_{attr}",
+            [
+                RankTuple(
+                    key=row,
+                    scores=(float(rng.random()),),
+                    payload={attr: int(rng.integers(0, num_keys))},
+                )
+                for row in range(n)
+            ],
+        )
+        for attr in attrs
+    ]
+    return AnyKQuery.star(center, satellites, attrs)
+
+
+def star_baseline(query: AnyKQuery, k: int) -> dict:
+    """Conventional evaluation: materialize the star join fully, sort."""
+    started = time.perf_counter()
+    center, s_x, s_y, s_z = query.relations
+    by_attr = []
+    for attr, satellite in zip(("x", "y", "z"), (s_x, s_y, s_z)):
+        table: dict = {}
+        for tup in satellite.tuples:
+            table.setdefault(tup.payload[attr], []).append(tup)
+        by_attr.append((attr, table))
+    scores = []
+    for hub in center.tuples:
+        partial = [hub.scores[0]]
+        groups = []
+        ok = True
+        for attr, table in by_attr:
+            matches = table.get(hub.payload[attr])
+            if not matches:
+                ok = False
+                break
+            groups.append(matches)
+        if not ok:
+            continue
+        base = partial[0]
+        for a in groups[0]:
+            for b in groups[1]:
+                for c in groups[2]:
+                    scores.append(base + a.scores[0] + b.scores[0] + c.scores[0])
+    scores.sort(reverse=True)
+    seconds = time.perf_counter() - started
+    return {
+        "time_to_first": seconds,
+        "time_to_k": seconds,
+        "results": min(k, len(scores)),
+        "sum_depths": sum(len(r.tuples) for r in query.relations),
+        "top_scores": [round(s, 6) for s in scores[:3]],
+    }
+
+
+def run_bench(quick: bool) -> dict:
+    params = QUICK if quick else FULL
+    k = params["k"]
+    record: dict = {"mode": "quick" if quick else "full", "k": k, "workloads": []}
+
+    # --- 2-way seed workloads: any-k vs binary FRPA -------------------
+    for name in SEED_WORKLOADS:
+        instance = seed_instance(name)
+        frpa = timed_top_k(make_operator("FRPA", instance), instance.k)
+        anyk = timed_top_k(
+            AnyKRankJoin(
+                AnyKQuery.binary(instance.left, instance.right),
+                instance.scoring,
+            ),
+            instance.k,
+        )
+        assert anyk["top_scores"] == frpa["top_scores"], (
+            f"2-way {name}: any-k diverged from FRPA"
+        )
+        record["workloads"].append({
+            "name": f"2way-{name}", "family": "2way", "k": instance.k,
+            "anyk": anyk, "baseline": frpa, "baseline_operator": "FRPA",
+            "ratio_time_to_k": anyk["time_to_k"] / max(frpa["time_to_k"], 1e-9),
+        })
+
+    # --- path chains: any-k vs the multiway operator ------------------
+    for length in (3, 4):
+        relations, attrs = chain_relations(
+            params["chain_n"], params["chain_keys"], length, seed=11 + length
+        )
+        multiway = timed_top_k(
+            multiway_rank_join(relations, attrs, SumScore()), k
+        )
+        anyk = timed_top_k(anyk_from_chain(relations, attrs, SumScore()), k)
+        assert anyk["top_scores"] == multiway["top_scores"], (
+            f"path-{length}: any-k diverged from multiway"
+        )
+        record["workloads"].append({
+            "name": f"path-{length}", "family": "path", "k": k,
+            "anyk": anyk, "baseline": multiway,
+            "baseline_operator": "MultiwayRankJoin",
+            "ratio_time_to_k": (
+                anyk["time_to_k"] / max(multiway["time_to_k"], 1e-9)
+            ),
+        })
+
+    # --- star-3: any-k vs full materialization ------------------------
+    query = star_query(params["star_n"], params["star_keys"], seed=23)
+    baseline = star_baseline(query, k)
+    anyk = timed_top_k(AnyKRankJoin(query, SumScore()), k)
+    assert anyk["top_scores"] == baseline["top_scores"], (
+        "star-3: any-k diverged from the materialized join"
+    )
+    record["workloads"].append({
+        "name": "star-3", "family": "star", "k": k,
+        "anyk": anyk, "baseline": baseline,
+        "baseline_operator": "materialize+sort",
+        "ratio_time_to_k": anyk["time_to_k"] / max(baseline["time_to_k"], 1e-9),
+    })
+    return record
+
+
+def check(record: dict) -> list[str]:
+    """The acceptance bars from the module docstring."""
+    errors = []
+    rows = {row["name"]: row for row in record["workloads"]}
+
+    two_way = [r for r in record["workloads"] if r["family"] == "2way"]
+    if not any(r["ratio_time_to_k"] <= MAX_2WAY_RATIO for r in two_way):
+        ratios = {r["name"]: round(r["ratio_time_to_k"], 2) for r in two_way}
+        errors.append(
+            f"no 2-way workload within {MAX_2WAY_RATIO}x of FRPA: {ratios}"
+        )
+
+    if not any(rows[name]["ratio_time_to_k"] < 1.0 for name in PATH_MUST_WIN):
+        ratios = {n: round(rows[n]["ratio_time_to_k"], 2) for n in PATH_MUST_WIN}
+        errors.append(f"any-k beat the multiway operator on no path: {ratios}")
+
+    for row in record["workloads"]:
+        if row["anyk"]["time_to_first"] <= 0:
+            errors.append(f"{row['name']}: non-positive time-to-first")
+    return errors
+
+
+def report(record: dict) -> None:
+    print()
+    print(f"any-k head-to-head ({record['mode']}):")
+    for row in record["workloads"]:
+        anyk, base = row["anyk"], row["baseline"]
+        print(
+            f"  {row['name']:<20} vs {row['baseline_operator']:<17} "
+            f"ttf {anyk['time_to_first'] * 1e3:7.1f}ms/"
+            f"{base['time_to_first'] * 1e3:7.1f}ms  "
+            f"ttk {anyk['time_to_k'] * 1e3:7.1f}ms/"
+            f"{base['time_to_k'] * 1e3:7.1f}ms "
+            f"({row['ratio_time_to_k']:.2f}x)  "
+            f"sumDepths {anyk['sum_depths']}/{base['sum_depths']}"
+        )
+
+
+def write_record(record: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_anyk.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads for CI freshness runs")
+    args = parser.parse_args()
+    bench_record = run_bench(args.quick)
+    report(bench_record)
+    write_record(bench_record)
+    failures = check(bench_record)
+    if failures:
+        print("BENCH FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        sys.exit(1)
+    print("BENCH OK")

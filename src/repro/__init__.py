@@ -26,6 +26,7 @@ Quickstart::
     print(operator.depths())
 """
 
+from repro.anyk import AnyKQuery, AnyKRankJoin
 from repro.config import ReproConfig
 from repro.core import (
     AFRBound,
@@ -101,6 +102,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AFRBound",
+    "AnyKQuery",
+    "AnyKRankJoin",
     "BudgetExhausted",
     "CornerBound",
     "CostModel",

@@ -31,7 +31,7 @@ import sys
 from pathlib import Path
 
 from repro import kernels
-from repro.core.operators import OPERATORS
+from repro.core.operators import ALGORITHMS, ANYK_OPERATOR, OPERATORS
 from repro.data.workload import WorkloadParams, lineitem_orders_instance, load_workload
 from repro.errors import ReproError
 from repro.experiments import figures as figure_module
@@ -92,6 +92,23 @@ def _fail(exc: ReproError) -> int:
     """Print a one-line error to stderr (no traceback) and exit nonzero."""
     print(f"error: {exc}", file=sys.stderr)
     return 2
+
+
+def _algorithm(args: argparse.Namespace) -> str | None:
+    """The validated ``--algorithm`` value, or None (error printed).
+
+    Same contract as :class:`~repro.errors.WorkloadError` handling: one
+    line on stderr, exit code 2 at the caller.
+    """
+    algorithm = getattr(args, "algorithm", "pbrj")
+    if algorithm not in ALGORITHMS:
+        print(
+            f"error: unknown algorithm {algorithm!r}; "
+            f"choose from {list(ALGORITHMS)}",
+            file=sys.stderr,
+        )
+        return None
+    return algorithm
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -155,22 +172,23 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_sharded(args: argparse.Namespace, instance, obs) -> int:
+def _run_sharded(args: argparse.Namespace, instance, obs, operator=None) -> int:
     """``run --shards N``: drive the sharded engine and report."""
     import time
 
     from repro.exec import ExecConfig, ShardedRankJoin
 
+    operator = operator if operator is not None else args.operator
     config = ExecConfig(
         shards=args.shards, backend=args.exec_backend,
         kernel=getattr(args, "kernel", None),
     )
     started = time.perf_counter()
-    with ShardedRankJoin(instance, args.operator, config=config, obs=obs) as engine:
+    with ShardedRankJoin(instance, operator, config=config, obs=obs) as engine:
         results = engine.top_k(instance.k)
         elapsed = time.perf_counter() - started
         depths = engine.depths()
-        print(f"operator     : {args.operator} "
+        print(f"operator     : {operator} "
               f"(sharded x{config.shards}, backend={config.backend}, "
               f"kernel={kernels.kernel_name()})")
         print(f"instance     : L={len(instance.left)} O={len(instance.right)} "
@@ -186,20 +204,26 @@ def _run_sharded(args: argparse.Namespace, instance, obs) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    if args.operator not in OPERATORS:
-        print(f"unknown operator {args.operator!r}; choose from {sorted(OPERATORS)}")
+    algorithm = _algorithm(args)
+    if algorithm is None:
         return 2
     try:
         params = _workload(args)
     except ReproError as exc:
         return _fail(exc)
+    if getattr(args, "workload", None):
+        algorithm = params.algorithm
+    operator = ANYK_OPERATOR if algorithm == "anyk" else args.operator
+    if algorithm == "pbrj" and args.operator not in OPERATORS:
+        print(f"unknown operator {args.operator!r}; choose from {sorted(OPERATORS)}")
+        return 2
     instance = lineitem_orders_instance(params)
     obs = _build_obs(args, "run")
     if args.shards > 1:
-        return _run_sharded(args, instance, obs)
-    result = run_operator(args.operator, instance, obs=obs)
+        return _run_sharded(args, instance, obs, operator)
+    result = run_operator(operator, instance, obs=obs)
     stats = result.stats
-    print(f"operator     : {args.operator} (kernel={kernels.kernel_name()})")
+    print(f"operator     : {operator} (kernel={kernels.kernel_name()})")
     print(f"instance     : L={len(instance.left)} O={len(instance.right)} K={instance.k}")
     print(f"top scores   : {[round(s, 4) for s in result.scores]}")
     print(f"depths       : left={stats.depths.left} right={stats.depths.right} "
@@ -276,10 +300,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.data.tpch import generate_tpch
     from repro.service import QueryService, RankJoinServer
 
+    algorithm = _algorithm(args)
+    if algorithm is None:
+        return 2
     try:
         params = _workload(args)
     except ReproError as exc:
         return _fail(exc)
+    if getattr(args, "workload", None):
+        algorithm = params.algorithm
     obs = _build_obs(args, "serve") or Observability()
     try:
         service = QueryService(
@@ -310,7 +339,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
     server = RankJoinServer(
         service, relations, host=args.host, port=args.port,
-        default_shards=args.shards, chaos=chaos,
+        default_shards=args.shards, default_algorithm=algorithm, chaos=chaos,
     )
     sizes = ", ".join(f"{name}={len(rel)}" for name, rel in relations.items())
     print(f"relations loaded: {sizes}", flush=True)
@@ -418,7 +447,10 @@ def main(argv: list[str] | None = None) -> int:
     p_fig.set_defaults(func=cmd_figures)
 
     p_run = sub.add_parser("run", help="run one operator on a workload")
-    p_run.add_argument("operator")
+    p_run.add_argument("operator", nargs="?", default="FRPA",
+                       help="PBRJ operator name (ignored with --algorithm anyk)")
+    p_run.add_argument("--algorithm", default="pbrj",
+                       help="evaluation core: pbrj (default) or anyk")
     _add_workload_args(p_run)
     _add_obs_args(p_run)
     _add_kernel_arg(p_run)
@@ -467,6 +499,9 @@ def main(argv: list[str] | None = None) -> int:
                          help="result cache entries (0 disables caching)")
     p_serve.add_argument("--cache-ttl", type=float, default=None,
                          help="result cache TTL in seconds")
+    p_serve.add_argument("--algorithm", default="pbrj",
+                         help="default evaluation core for submitted "
+                              "queries: pbrj (default) or anyk")
     p_serve.add_argument("--shards", type=int, default=1,
                          help="sharded execution for every binary query "
                               "(1 = serial; requests may override)")

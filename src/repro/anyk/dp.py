@@ -1,0 +1,142 @@
+"""Bottom-up dynamic program over the join tree.
+
+For every node (children before parents), each bag tuple ``t`` is scored
+with its *suffix-optimal* weight::
+
+    best(t) = weight(t) + Σ_child  max { best(t') : t' joins t }
+
+i.e. the best completion of ``t`` over the whole subtree rooted at its
+node.  Tuples that find no join partner in some child are pruned — the
+full-reducer semijoin falls out of the DP for free, so enumeration never
+touches a tuple that cannot appear in a result.
+
+Tuples are grouped by their *connection value* (the shared-attribute
+values toward the parent) and every group is sorted by
+``(-best, identity)``; the sorted group is exactly the "sorted list of
+suffix solutions" the Lawler/REA successor generation in
+:mod:`repro.anyk.enumerate` walks lazily.
+
+The pass is *budgeted*: :meth:`DPState.run` processes at most ``budget``
+tuples and returns how many it consumed, leaving an explicit cursor
+behind — this is what lets :class:`~repro.anyk.engine.AnyKRankJoin`
+honor ``try_next(max_pulls)`` quanta while the DP is still building, so
+sessions, shard workers and the scheduler can interleave an any-k build
+exactly like PBRJ pulls.
+"""
+
+from __future__ import annotations
+
+from repro.anyk.jointree import JoinTree, JoinTreeNode, NodeTuple
+
+
+class Group:
+    """One connection-value group: suffix solutions sorted best-first."""
+
+    __slots__ = ("node", "entries")
+
+    def __init__(self, node: JoinTreeNode) -> None:
+        self.node = node
+        self.entries: list[DPEntry] = []
+
+    @property
+    def best(self) -> float:
+        return self.entries[0].best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Group(node={self.node.members}, entries={len(self.entries)})"
+
+
+class DPEntry:
+    """One surviving bag tuple with its suffix-optimal weight."""
+
+    __slots__ = ("best", "node_tuple", "child_groups")
+
+    def __init__(
+        self,
+        best: float,
+        node_tuple: NodeTuple,
+        child_groups: tuple[Group, ...],
+    ) -> None:
+        self.best = best
+        self.node_tuple = node_tuple
+        #: The matching group in every child (resolved once, here).
+        self.child_groups = child_groups
+
+
+class DPState:
+    """Cursor-steppable bottom-up DP over a join tree."""
+
+    def __init__(self, tree: JoinTree) -> None:
+        self.tree = tree
+        self.done = False
+        #: Tuples ingested per relation index (the any-k depth metric).
+        self.ingested: dict[int, int] = {
+            index: 0 for index in range(len(tree.relations))
+        }
+        #: node -> (connection value -> Group); filled as nodes complete.
+        self.groups: dict[int, dict[tuple, Group]] = {
+            id(node): {} for node in tree.postorder
+        }
+        self._node_index = 0
+        self._tuple_index = 0
+        self.tuples_processed = 0
+        self.pruned = 0
+
+    @property
+    def root_group(self) -> Group | None:
+        """The root's single (empty-connection) group; None when empty."""
+        return self.groups[id(self.tree.root)].get(())
+
+    def run(self, budget: int | None = None) -> int:
+        """Process up to ``budget`` bag tuples; return the number consumed.
+
+        Sets :attr:`done` once every node is grouped and sorted.  A
+        ``None`` budget runs to completion.
+        """
+        spent = 0
+        order = self.tree.postorder
+        while self._node_index < len(order):
+            node = order[self._node_index]
+            tuples = node.tuples
+            groups = self.groups[id(node)]
+            child_group_maps = [self.groups[id(child)] for child in node.children]
+            group_key_attrs = (
+                node.parent_attrs if node.parent_attrs is not None else ()
+            )
+            while self._tuple_index < len(tuples):
+                if budget is not None and spent >= budget:
+                    return spent
+                node_tuple = tuples[self._tuple_index]
+                self._tuple_index += 1
+                spent += 1
+                self.tuples_processed += 1
+                for rel_index in node.members:
+                    self.ingested[rel_index] += 1
+                best = node_tuple.weight
+                child_groups: list[Group] = []
+                alive = True
+                for child_map, attrs in zip(child_group_maps, node.child_attrs):
+                    group = child_map.get(node.connection(node_tuple, attrs))
+                    if group is None:
+                        alive = False
+                        break
+                    best += group.best
+                    child_groups.append(group)
+                if not alive:
+                    self.pruned += 1
+                    continue
+                key = node.connection(node_tuple, group_key_attrs)
+                group = groups.get(key)
+                if group is None:
+                    group = groups[key] = Group(node)
+                group.entries.append(
+                    DPEntry(best, node_tuple, tuple(child_groups))
+                )
+            for group in groups.values():
+                group.entries.sort(
+                    key=lambda entry: (-entry.best, entry.node_tuple.identity)
+                )
+            self._node_index += 1
+            self._tuple_index = 0
+        self.done = True
+        return spent

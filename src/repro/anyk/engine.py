@@ -1,0 +1,368 @@
+"""`AnyKRankJoin` — the any-k core behind the PBRJ operator contract.
+
+The facade glues decomposition (:mod:`repro.anyk.decompose`), the
+budgeted DP pass (:mod:`repro.anyk.dp`) and ranked enumeration
+(:mod:`repro.anyk.enumerate`) into a :class:`~repro.core.stepping.
+ResumableOperator`: ``try_next(max_pulls)`` / ``get_next`` /
+history-retaining ``top_k`` / ``frontier()`` / ``clone_fresh()`` — the
+exact surface :class:`~repro.service.session.QuerySession`,
+:class:`~repro.exec.worker.ShardWorker`, the resilient backend and the
+chaos harness already drive, so the whole service/exec/resilience stack
+runs any-k with zero changes.
+
+Cost accounting: a *pull* is one unit of work — one bag tuple processed
+by the DP or one candidate heap pop during enumeration.  ``try_next``
+returns :data:`~repro.core.stepping.PENDING` once its quantum is spent
+mid-build, exactly like a PBRJ pull quantum; emission may overshoot a
+quantum by at most one tie batch (documented, bounded by the largest
+exact-score tie group).
+
+``frontier()`` is *exact* once the DP is complete: the engine holds the
+next tie batch buffered, so the bound equals the next emission's score
+(PBRJ's frontier is only an upper bound).  During the build it is
+``+inf`` — nothing is provable yet — which keeps the sharded merge gate
+conservative and correct.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+
+from repro.anyk.decompose import AnyKQuery, decompose
+from repro.anyk.dp import DPState
+from repro.anyk.enumerate import Enumerator
+from repro.core.scoring import ScoringFunction, SumScore
+from repro.core.stepping import PENDING
+from repro.core.tuples import JoinResult, RankTuple
+from repro.errors import PullBudgetExceeded, TimeBudgetExceeded
+from repro.obs import NULL_OBS, TraceContext, span_record
+from repro.relation.relation import RankJoinInstance, _canonical_payload
+from repro.stats.metrics import (
+    DepthReport,
+    MemoryHighWater,
+    OperatorStats,
+    TimingBreakdown,
+)
+
+#: Registry name of the any-k core (resolved by
+#: :func:`repro.core.operators.make_operator` alongside the PBRJ family).
+ANYK_OPERATOR = "AnyK"
+
+
+def _identity(tuples: tuple[RankTuple, ...]) -> tuple:
+    """Canonical content identity of a result's relation-ordered tuples.
+
+    For binary results this flattens to exactly the fields (and order)
+    of :func:`repro.exec.merge.result_identity`, so serial any-k ties
+    sort the way the sharded merge sorts them.
+    """
+    return tuple(
+        part
+        for tup in tuples
+        for part in (repr(tup.key), tuple(tup.scores), _canonical_payload(tup.payload))
+    )
+
+
+class AnyKRankJoin:
+    """Ranked enumeration (any-k) as a resumable rank join operator.
+
+    Parameters
+    ----------
+    query:
+        The :class:`~repro.anyk.decompose.AnyKQuery` to enumerate.
+    scoring:
+        Additive scoring function (``SumScore``/``WeightedSum``/
+        ``AverageScore``); anything else raises at construction.
+    name:
+        Operator display name (metric/span label).
+    track_time:
+        Record wall-clock timing (disabled on shard workers, which time
+        whole quanta instead).
+    max_pulls / max_seconds:
+        Operator-level run budgets, raising
+        :class:`~repro.errors.PullBudgetExceeded` /
+        :class:`~repro.errors.TimeBudgetExceeded` like PBRJ's.
+    obs / trace:
+        Optional observability pipeline and parent trace context.
+    """
+
+    def __init__(
+        self,
+        query: AnyKQuery,
+        scoring: ScoringFunction | None = None,
+        *,
+        name: str = ANYK_OPERATOR,
+        track_time: bool = True,
+        max_pulls: int | None = None,
+        max_seconds: float | None = None,
+        obs=None,
+        trace=None,
+    ) -> None:
+        self.name = name
+        self.query = query
+        self.scoring = scoring if scoring is not None else SumScore()
+        self._obs = obs if obs is not None else NULL_OBS
+        self._track_time = track_time
+        self._max_pulls = max_pulls
+        self._max_seconds = max_seconds
+        self._ctor_kwargs = dict(
+            name=name, track_time=track_time, max_pulls=max_pulls,
+            max_seconds=max_seconds, obs=obs, trace=trace,
+        )
+        self.tree = decompose(query, self.scoring)
+        self._dp = DPState(self.tree)
+        self._enum: Enumerator | None = None
+        self._batch: list = []  # buffered (exact score, tuples) pairs
+        self._history: list = []
+        self._exhausted = False
+        self._pulls = 0
+        self._binary = len(query.relations) == 2
+        self._started_at: float | None = None
+        self._dp_seconds = 0.0
+        self._total_seconds = 0.0
+        self._buffer_peak = 0
+
+        if self._obs.enabled:
+            self.trace = trace.child() if trace is not None else TraceContext.root()
+            self._obs.trace(span_record(
+                self.trace, "anyk", op=name,
+                relations=len(query.relations), width=self.tree.width,
+            ))
+        else:
+            self.trace = None
+        metrics = self._obs.metrics
+        self._m_dp_tuples = metrics.counter("anyk_dp_tuples_total", op=name)
+        self._m_pops = metrics.counter("anyk_successor_pops_total", op=name)
+        self._m_emitted = metrics.counter("results_emitted_total", op=name)
+
+    # ------------------------------------------------------------------
+    # ResumableOperator interface
+    # ------------------------------------------------------------------
+    def get_next(self):
+        """The next result in rank order, or ``None`` when enumerated."""
+        result = self.try_next(max_pulls=None)
+        assert result is not PENDING
+        return result
+
+    def try_next(self, max_pulls: int | None = None):
+        """Bounded step: a result, ``None`` (exhausted), or ``PENDING``.
+
+        ``max_pulls`` caps the work units (DP tuples + heap pops) spent
+        in this call; ``try_next(max_pulls=0)`` drains the buffered tie
+        batch without doing any work, mirroring the PBRJ zero-pull
+        contract.
+        """
+        started = time.perf_counter() if self._track_time else 0.0
+        try:
+            return self._step(max_pulls)
+        finally:
+            if self._track_time:
+                self._total_seconds += time.perf_counter() - started
+
+    def _step(self, max_pulls: int | None):
+        if self._batch:
+            return self._emit(self._batch.pop(0))
+        if self._exhausted:
+            return None
+        spent = 0
+        if not self._dp.done:
+            budget = None if max_pulls is None else max_pulls - spent
+            if budget is not None and budget <= 0:
+                return PENDING
+            dp_started = time.perf_counter() if self._track_time else 0.0
+            consumed = self._dp.run(budget)
+            if self._track_time:
+                self._dp_seconds += time.perf_counter() - dp_started
+            spent += consumed
+            self._charge(consumed, self._m_dp_tuples)
+            if not self._dp.done:
+                return PENDING
+            if self.trace is not None:
+                self._obs.trace(span_record(
+                    self.trace.child(), "anyk_dp", op=self.name,
+                    seconds=self._dp_seconds if self._track_time else None,
+                    tuples=self._dp.tuples_processed, pruned=self._dp.pruned,
+                ))
+        if self._enum is None:
+            self._enum = Enumerator(self._dp)
+        if max_pulls is not None and spent >= max_pulls:
+            return PENDING
+        before = self._enum.pops
+        batch = self._enum.next_batch()
+        self._charge(self._enum.pops - before, self._m_pops)
+        if not batch:
+            self._exhausted = True
+            return None
+        # Exact re-scoring + canonical sort: DP scores order the batches,
+        # the scoring function (same call as PBRJ/multiway) scores the
+        # emitted results bit-identically across cores.
+        scored = [
+            (self.scoring(tuple(s for t in tuples for s in t.scores)), tuples)
+            for _, tuples in batch
+        ]
+        scored.sort(key=lambda pair: (-pair[0], _identity(pair[1])))
+        self._batch = scored
+        self._buffer_peak = max(self._buffer_peak, len(scored))
+        return self._emit(self._batch.pop(0))
+
+    def top_k(self, k: int) -> list:
+        """First ``k`` results; resumable and history-retaining."""
+        while len(self._history) < k:
+            if self.get_next() is None:
+                break
+        return self._history[:k]
+
+    def __iter__(self) -> Iterator:
+        while True:
+            result = self.get_next()
+            if result is None:
+                return
+            yield result
+
+    @property
+    def pulls(self) -> int:
+        """Work units spent: DP tuples processed + successor heap pops."""
+        return self._pulls
+
+    # ------------------------------------------------------------------
+    # Emission and accounting
+    # ------------------------------------------------------------------
+    def _emit(self, pair):
+        score, tuples = pair
+        if self._binary:
+            result = JoinResult.combine(tuples[0], tuples[1], score)
+        else:
+            from repro.core.multiway import MultiwayResult
+
+            result = MultiwayResult(tuples, score)
+        self._history.append(result)
+        self._m_emitted.inc()
+        return result
+
+    def _charge(self, units: int, metric) -> None:
+        if not units:
+            return
+        self._pulls += units
+        metric.inc(units)
+        if self._max_pulls is not None and self._pulls > self._max_pulls:
+            raise PullBudgetExceeded(self._pulls, self._max_pulls)
+        if self._max_seconds is not None:
+            if self._started_at is None:
+                self._started_at = time.perf_counter()
+            elapsed = time.perf_counter() - self._started_at
+            if elapsed > self._max_seconds:
+                raise TimeBudgetExceeded(elapsed, self._max_seconds)
+
+    # ------------------------------------------------------------------
+    # Reporting (the PBRJ-compatible surface)
+    # ------------------------------------------------------------------
+    @property
+    def emitted_results(self) -> list:
+        """All results emitted so far (the retained resumable prefix)."""
+        return self._history
+
+    @property
+    def bound_value(self) -> float:
+        """Upper bound on any still-unemitted result (exact post-DP)."""
+        return self.frontier()
+
+    def frontier(self) -> float:
+        """Best score this operator can still emit.
+
+        ``+inf`` while the DP is building (nothing provable yet, the
+        conservative bound), the buffered batch head once enumeration is
+        live (exact), ``-inf`` when drained.
+        """
+        if self._batch:
+            return self._batch[0][0]
+        if self._exhausted:
+            return float("-inf")
+        if not self._dp.done or self._enum is None:
+            return float("inf")
+        return self._enum.peek()
+
+    def depth(self, side: int) -> int:
+        """Tuples of relation ``side`` ingested by the DP so far."""
+        return self._dp.ingested[side]
+
+    def depths(self):
+        """Per-input depths: a DepthReport (binary) or list (n-ary)."""
+        if self._binary:
+            return DepthReport(self.depth(0), self.depth(1))
+        return [self.depth(i) for i in range(len(self.query.relations))]
+
+    def stats(self) -> OperatorStats:
+        """Measurement snapshot in the harness's PBRJ vocabulary.
+
+        ``sumDepths`` counts DP-ingested input tuples; ``bound`` time is
+        the DP build (the analogue of bound maintenance); ``io_cost`` is
+        the ingested-tuple count (unit cost per tuple read).
+        """
+        if self._binary:
+            depths = DepthReport(self.depth(0), self.depth(1))
+        else:
+            counts = [self.depth(i) for i in range(len(self.query.relations))]
+            depths = DepthReport(counts[0], sum(counts[1:]))
+        return OperatorStats(
+            operator=self.name,
+            depths=depths,
+            timing=TimingBreakdown(
+                io=0.0, bound=self._dp_seconds, total=self._total_seconds
+            ),
+            io_cost=float(sum(self._dp.ingested.values())),
+            bound_recomputations=0,
+            results=len(self._history),
+            memory=MemoryHighWater(
+                hash_left=self._dp.tuples_processed,
+                hash_right=0,
+                output=self._buffer_peak,
+            ),
+        )
+
+    def timing(self) -> TimingBreakdown:
+        return TimingBreakdown(
+            io=0.0, bound=self._dp_seconds, total=self._total_seconds
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def clone_fresh(self) -> "AnyKRankJoin":
+        """A pristine operator over the same query (the respawn recipe)."""
+        return AnyKRankJoin(self.query, self.scoring, **self._ctor_kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AnyKRankJoin({self.name!r}, relations={len(self.query.relations)}, "
+            f"pulls={self._pulls}, emitted={len(self._history)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Factories
+# ----------------------------------------------------------------------
+def anyk_operator(instance: RankJoinInstance, **kwargs) -> AnyKRankJoin:
+    """The binary any-k operator over a :class:`RankJoinInstance`.
+
+    Signature-compatible with the PBRJ factories in
+    :data:`repro.core.operators.OPERATORS`, so shard workers, the chaos
+    harness and ``make_operator`` callers build it the same way.
+    """
+    return AnyKRankJoin(
+        AnyKQuery.binary(instance.left, instance.right),
+        instance.scoring,
+        **kwargs,
+    )
+
+
+def anyk_from_chain(
+    relations,
+    join_attrs,
+    scoring: ScoringFunction | None = None,
+    **kwargs,
+) -> AnyKRankJoin:
+    """An any-k engine over a chain query (the multiway-operator shape)."""
+    return AnyKRankJoin(
+        AnyKQuery.chain(tuple(relations), tuple(join_attrs)), scoring, **kwargs
+    )

@@ -116,6 +116,24 @@ OPERATORS: dict[str, OperatorFactory] = {
     "a-FRPA": a_frpa,
 }
 
+#: Interchangeable evaluation cores selectable via ``QuerySpec.algorithm``
+#: and the ``--algorithm`` CLI flag: the paper's pull-bounded family
+#: (``"pbrj"``) or ranked enumeration (``"anyk"``, :mod:`repro.anyk`).
+ALGORITHMS = ("pbrj", "anyk")
+
+#: Registry name of the any-k core.  Deliberately *not* in
+#: :data:`OPERATORS` — that dict enumerates the PBRJ instantiations the
+#: paper's experiments sweep (figures, ``repro compare``, parametrized
+#: suites), while any-k is a different operator family selected through
+#: ``algorithm="anyk"``.  ``make_operator`` resolves both, so shard
+#: workers and the chaos harness build either core by name.
+ANYK_OPERATOR = "AnyK"
+
+
+def operator_names() -> list[str]:
+    """Every name ``make_operator`` resolves (PBRJ family + any-k)."""
+    return sorted(OPERATORS) + [ANYK_OPERATOR]
+
 
 def make_components(
     name: str,
@@ -149,12 +167,23 @@ def make_components(
     raise KeyError(f"unknown operator {name!r}; choose from {sorted(OPERATORS)}")
 
 
-def make_operator(name: str, instance: RankJoinInstance, **kwargs) -> PBRJ:
-    """Look up an operator by its paper name and build it."""
-    try:
-        factory = OPERATORS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown operator {name!r}; choose from {sorted(OPERATORS)}"
-        ) from None
+def make_operator(name: str, instance: RankJoinInstance, **kwargs):
+    """Build any resumable rank join operator by name.
+
+    Resolves the PBRJ registry first, then the any-k core (imported
+    lazily — :mod:`repro.anyk` sits above this module).  Both speak the
+    :class:`~repro.core.stepping.ResumableOperator` contract, so callers
+    (shard workers, the service layer, the chaos harness) need not care
+    which family they got.
+    """
+    factory = OPERATORS.get(name)
+    if factory is None:
+        if name == ANYK_OPERATOR:
+            from repro.anyk.engine import anyk_operator
+
+            factory = anyk_operator
+        else:
+            raise KeyError(
+                f"unknown operator {name!r}; choose from {operator_names()}"
+            )
     return factory(instance, **kwargs)

@@ -1,5 +1,11 @@
 """Synthetic data generation (skewed TPC-H-like tables, scores, workloads)."""
 
+from repro.data.io import (
+    load_csv,
+    load_relation_csv,
+    save_relation_csv,
+    save_tables_csv,
+)
 from repro.data.scores import (
     DEFAULT_NUM_VALUES,
     generate_score_vectors,
@@ -27,10 +33,14 @@ __all__ = [
     "generate_tpch",
     "ideal_point_present",
     "lineitem_orders_instance",
+    "load_csv",
+    "load_relation_csv",
     "load_workload",
     "pipeline_tables",
     "random_instance",
     "sample_zipf_ranks",
+    "save_relation_csv",
+    "save_tables_csv",
     "score_levels",
     "zipf_probabilities",
     "zipf_weights",

@@ -12,7 +12,7 @@ import csv
 from pathlib import Path
 
 from repro.core.tuples import RankTuple
-from repro.errors import InstanceError
+from repro.errors import InstanceError, WorkloadError
 from repro.relation.relation import Relation
 
 KEY_COLUMN = "key"
@@ -101,6 +101,95 @@ def load_relation_csv(path, name: str | None = None) -> Relation:
                     payload=payload or None,
                 )
             )
+    return Relation(name or path.stem, tuples)
+
+
+def load_csv(
+    path,
+    score_col: str | list[str] | tuple[str, ...] = "score",
+    *,
+    key_col: str = KEY_COLUMN,
+    name: str | None = None,
+) -> Relation:
+    """Load user data from an arbitrary CSV into a :class:`Relation`.
+
+    Unlike :func:`load_relation_csv` (the round-trip reader for files this
+    library wrote, with its ``score_i`` naming convention), this loader
+    ingests *external* data: ``score_col`` names the column(s) holding the
+    tuple's base score(s) — a single name or a list for multi-dimensional
+    scoring — and ``key_col`` names the join column.  Every other column
+    becomes the payload dict, so loaded relations join on any attribute in
+    any-k queries or on ``key`` in the binary operators.
+
+    Validation is strict and one-line: a missing file, absent columns,
+    ragged rows, or a score that is not a finite number raises
+    :class:`~repro.errors.WorkloadError` pinpointing ``file:row``.
+    """
+    path = Path(path)
+    score_cols = [score_col] if isinstance(score_col, str) else list(score_col)
+    if not score_cols:
+        raise WorkloadError(f"{path}: need at least one score column")
+    try:
+        handle = path.open(newline="")
+    except OSError as exc:
+        raise WorkloadError(
+            f"cannot read CSV file {path}: {exc.strerror or exc}"
+        ) from exc
+    with handle:
+        reader = csv.reader(handle)
+        try:
+            headers = next(reader)
+        except StopIteration:
+            raise WorkloadError(f"{path}: empty file (no header row)") from None
+        missing = [c for c in [key_col, *score_cols] if c not in headers]
+        if missing:
+            raise WorkloadError(
+                f"{path}: missing column(s) {missing}; header has {headers}"
+            )
+        key_index = headers.index(key_col)
+        score_indexes = [headers.index(c) for c in score_cols]
+        payload_indexes = [
+            i
+            for i in range(len(headers))
+            if i != key_index and i not in score_indexes
+        ]
+        tuples = []
+        for row_number, row in enumerate(reader, start=2):
+            if len(row) != len(headers):
+                raise WorkloadError(
+                    f"{path}:{row_number}: expected {len(headers)} cells, "
+                    f"got {len(row)}"
+                )
+            scores = []
+            for column, index in zip(score_cols, score_indexes):
+                try:
+                    value = float(row[index])
+                except ValueError:
+                    raise WorkloadError(
+                        f"{path}:{row_number}: score column {column!r} "
+                        f"holds {row[index]!r}, not a number"
+                    ) from None
+                if value != value or value in (float("inf"), float("-inf")):
+                    raise WorkloadError(
+                        f"{path}:{row_number}: score column {column!r} "
+                        f"must be finite, got {row[index]!r}"
+                    )
+                scores.append(value)
+            key = _parse_value(row[key_index])
+            if row[key_index] == "":
+                raise WorkloadError(
+                    f"{path}:{row_number}: empty join key in column {key_col!r}"
+                )
+            payload = {
+                headers[i]: _parse_value(row[i])
+                for i in payload_indexes
+                if row[i] != ""
+            }
+            tuples.append(
+                RankTuple(key=key, scores=tuple(scores), payload=payload or None)
+            )
+    if not tuples:
+        raise WorkloadError(f"{path}: no data rows")
     return Relation(name or path.stem, tuples)
 
 

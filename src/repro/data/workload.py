@@ -15,6 +15,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.operators import ALGORITHMS
 from repro.core.scoring import ScoringFunction, SumScore
 from repro.data.scores import generate_score_vectors
 from repro.data.tpch import Table, TPCHConfig, generate_tpch
@@ -37,6 +38,8 @@ class WorkloadParams:
     scale: float = 0.01
     join_skew: float = 0.5
     seed: int = 0
+    #: Evaluation core: ``"pbrj"`` (paper default) or ``"anyk"``.
+    algorithm: str = "pbrj"
 
     def tpch_config(self) -> TPCHConfig:
         return TPCHConfig(
@@ -53,10 +56,10 @@ def load_workload(path: str | Path) -> WorkloadParams:
 
     The file must hold one JSON object whose keys are a subset of the
     ``WorkloadParams`` fields (``e``, ``c``, ``z``, ``k``, ``scale``,
-    ``join_skew``, ``seed``).  Any problem — missing file, invalid JSON,
-    unknown keys, non-numeric values — raises
-    :class:`~repro.errors.WorkloadError` with a one-line message suitable
-    for direct CLI display.
+    ``join_skew``, ``seed``, ``algorithm``).  Any problem — missing file,
+    invalid JSON, unknown keys, non-numeric values, an unknown
+    ``algorithm`` — raises :class:`~repro.errors.WorkloadError` with a
+    one-line message suitable for direct CLI display.
     """
     path = Path(path)
     try:
@@ -79,6 +82,13 @@ def load_workload(path: str | Path) -> WorkloadParams:
             f"known keys: {sorted(known)}"
         )
     for key, value in payload.items():
+        if key == "algorithm":
+            if value not in ALGORITHMS:
+                raise WorkloadError(
+                    f"workload file {path}: unknown algorithm {value!r}; "
+                    f"choose from {list(ALGORITHMS)}"
+                )
+            continue
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             raise WorkloadError(
                 f"workload file {path}: key {key!r} must be a number, "

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.operators import OPERATORS, make_operator
+from repro.core.operators import ALGORITHMS, ANYK_OPERATOR, OPERATORS, make_operator
 from repro.core.multiway import multiway_rank_join
 from repro.core.scoring import ScoringFunction, SumScore
 from repro.errors import InstanceError
@@ -73,7 +73,12 @@ class QuerySpec:
     operator:
         Registry name from :data:`~repro.core.operators.OPERATORS` for
         binary joins (default ``"FRPA"``); multiway queries always run the
-        multiway HRJN*-style operator.
+        multiway HRJN*-style operator.  Ignored when ``algorithm`` is
+        ``"anyk"``.
+    algorithm:
+        Evaluation core: ``"pbrj"`` (default, the paper's pull-bounded
+        family) or ``"anyk"`` (ranked enumeration, :mod:`repro.anyk`).
+        Fingerprint-namespaced, so cached answers never mix cores.
     join_attrs:
         Chain attributes for multiway queries (``len(relations) - 1``
         entries); must be empty for binary queries.
@@ -95,6 +100,7 @@ class QuerySpec:
     k: int
     scoring: ScoringFunction = field(default_factory=SumScore)
     operator: str = "FRPA"
+    algorithm: str = "pbrj"
     join_attrs: tuple[str, ...] = ()
     shards: int = 1
     exec_backend: str = "thread"
@@ -107,11 +113,16 @@ class QuerySpec:
             raise InstanceError("K must be positive")
         if len(self.relations) < 2:
             raise InstanceError("a query needs at least two relations")
+        if self.algorithm not in ALGORITHMS:
+            raise InstanceError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"choose from {ALGORITHMS}"
+            )
         if len(self.relations) == 2:
             if self.join_attrs:
                 raise InstanceError("binary queries join on the tuple key; "
                                     "join_attrs is for 3+ relations")
-            if self.operator not in OPERATORS:
+            if self.algorithm == "pbrj" and self.operator not in OPERATORS:
                 raise InstanceError(
                     f"unknown operator {self.operator!r}; "
                     f"choose from {sorted(OPERATORS)}"
@@ -138,6 +149,11 @@ class QuerySpec:
     def is_multiway(self) -> bool:
         return len(self.relations) > 2
 
+    @property
+    def effective_operator(self) -> str:
+        """The registry name the query actually runs under."""
+        return ANYK_OPERATOR if self.algorithm == "anyk" else self.operator
+
     def fingerprint(self) -> str:
         """Canonical cache key: relation content + scoring + plan shape.
 
@@ -152,9 +168,16 @@ class QuerySpec:
             digest.update(b";")
         digest.update(scoring_fingerprint(self.scoring).encode())
         digest.update(b";")
-        digest.update(self.operator.encode() if not self.is_multiway else b"multiway")
+        digest.update(
+            self.effective_operator.encode() if not self.is_multiway else b"multiway"
+        )
         digest.update(b";")
         digest.update(",".join(self.join_attrs).encode())
+        if self.algorithm != "pbrj":
+            # Namespace non-default cores: any-k agrees with PBRJ on the
+            # top-K set but the cache must never serve one core's exact
+            # tie order as the other's.
+            digest.update(f";algorithm={self.algorithm}".encode())
         if self.shards > 1:
             # Sharded runs order exact-score ties canonically, which may
             # differ from the serial operator's discovery order — keep the
@@ -172,9 +195,24 @@ class QuerySpec:
         by their session span directly.
         """
         if self.is_multiway:
+            if self.algorithm == "anyk":
+                from repro.anyk import anyk_from_chain
+
+                return anyk_from_chain(
+                    self.relations, self.join_attrs, self.scoring, obs=obs
+                )
             return multiway_rank_join(
                 list(self.relations),
                 list(self.join_attrs),
+                self.scoring,
+                obs=obs,
+            )
+        if self.algorithm == "anyk" and self.shards == 1:
+            # Any-k needs no sorted scans; skip the instance's eager sort.
+            from repro.anyk import AnyKQuery, AnyKRankJoin
+
+            return AnyKRankJoin(
+                AnyKQuery.binary(self.relations[0], self.relations[1]),
                 self.scoring,
                 obs=obs,
             )
@@ -186,7 +224,7 @@ class QuerySpec:
 
             return ShardedRankJoin(
                 instance,
-                self.operator,
+                self.effective_operator,
                 config=ExecConfig(
                     shards=self.shards,
                     backend=self.exec_backend,
@@ -199,7 +237,7 @@ class QuerySpec:
 
     def describe(self) -> str:
         names = " ⋈ ".join(r.name for r in self.relations)
-        label = f"{names} top-{self.k} via {self.operator}"
+        label = f"{names} top-{self.k} via {self.effective_operator}"
         if self.shards > 1:
             label += f" x{self.shards} shards"
         return label

@@ -85,6 +85,7 @@ class RankJoinServer:
         host: str = "127.0.0.1",
         port: int = 0,
         default_shards: int = 1,
+        default_algorithm: str = "pbrj",
         chaos=None,
         resilience=None,
     ) -> None:
@@ -93,6 +94,9 @@ class RankJoinServer:
         self.host = host
         self.port = port  # 0 → ephemeral; updated once bound
         self.default_shards = default_shards
+        #: Evaluation core applied when a request carries no
+        #: ``algorithm`` field (``"pbrj"`` or ``"anyk"``).
+        self.default_algorithm = default_algorithm
         #: Optional :class:`repro.resilience.ResilienceConfig` applied to
         #: every sharded query this server builds (retry/respawn/degrade,
         #: plus fault injection when the config carries a plan).
@@ -306,6 +310,7 @@ class RankJoinServer:
         }
         payload["draining"] = self.draining
         payload["default_shards"] = self.default_shards
+        payload["default_algorithm"] = self.default_algorithm
         return {"ok": True, **payload}
 
     def _verb_metrics(self, request: dict) -> dict:
@@ -347,6 +352,7 @@ class RankJoinServer:
             k=int(request["k"]),
             scoring=scoring,
             operator=str(request.get("operator", "FRPA")),
+            algorithm=str(request.get("algorithm", self.default_algorithm)),
             join_attrs=tuple(request.get("join_attrs", ())),
             **kwargs,
         )

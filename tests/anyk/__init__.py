@@ -1,0 +1,1 @@
+"""Tests for the any-k ranked-enumeration core (:mod:`repro.anyk`)."""

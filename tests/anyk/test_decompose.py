@@ -1,0 +1,180 @@
+"""Join-tree decomposition: GYO ear removal, GHD bag merges, validation."""
+
+import pytest
+
+from repro.anyk import AnyKQuery, KEY_ATTR, decompose
+from repro.core.scoring import MinScore, ProductScore, SumScore
+from repro.core.tuples import RankTuple
+from repro.errors import InstanceError
+from repro.relation.relation import Relation
+
+
+def relation(name, rows):
+    """rows: list of (payload dict, scores tuple)."""
+    return Relation(
+        name,
+        [
+            RankTuple(key=i, scores=scores, payload=dict(payload))
+            for i, (payload, scores) in enumerate(rows)
+        ],
+    )
+
+
+def keyed(name, pairs):
+    """pairs: list of (key, score)."""
+    return Relation(name, [RankTuple(key=k, scores=(s,)) for k, s in pairs])
+
+
+@pytest.fixture
+def chain3():
+    a = relation("A", [({"x": 1}, (0.9,)), ({"x": 2}, (0.5,))])
+    b = relation("B", [({"x": 1, "y": 7}, (0.8,)), ({"x": 2, "y": 8}, (0.6,))])
+    c = relation("C", [({"y": 7}, (0.4,)), ({"y": 8}, (0.3,))])
+    return a, b, c
+
+
+class TestQueryValidation:
+    def test_needs_two_relations(self):
+        r = keyed("R", [(1, 0.5)])
+        with pytest.raises(InstanceError):
+            AnyKQuery(relations=(r,), join_on=((0, 0, "x"),))
+
+    def test_needs_a_condition(self):
+        r, s = keyed("R", [(1, 0.5)]), keyed("S", [(1, 0.5)])
+        with pytest.raises(InstanceError):
+            AnyKQuery(relations=(r, s), join_on=())
+
+    def test_rejects_out_of_range_index(self):
+        r, s = keyed("R", [(1, 0.5)]), keyed("S", [(1, 0.5)])
+        with pytest.raises(InstanceError):
+            AnyKQuery(relations=(r, s), join_on=((0, 2, "x"),))
+
+    def test_rejects_self_join_condition(self):
+        r, s = keyed("R", [(1, 0.5)]), keyed("S", [(1, 0.5)])
+        with pytest.raises(InstanceError):
+            AnyKQuery(relations=(r, s), join_on=((1, 1, "x"),))
+
+    def test_rejects_empty_attribute(self):
+        r, s = keyed("R", [(1, 0.5)]), keyed("S", [(1, 0.5)])
+        with pytest.raises(InstanceError):
+            AnyKQuery(relations=(r, s), join_on=((0, 1, ""),))
+
+    def test_chain_arity_check(self, chain3):
+        with pytest.raises(InstanceError):
+            AnyKQuery.chain(chain3, ["x"])
+
+    def test_star_arity_check(self, chain3):
+        a, b, c = chain3
+        with pytest.raises(InstanceError):
+            AnyKQuery.star(a, [b, c], ["x"])
+
+
+class TestAcyclicDecomposition:
+    def test_binary_is_two_nodes_width_one(self):
+        left = keyed("L", [(1, 0.9), (2, 0.1)])
+        right = keyed("R", [(1, 0.8)])
+        tree = decompose(AnyKQuery.binary(left, right))
+        assert tree.width == 1
+        assert len(tree.root.children) == 1
+        assert not tree.root.children[0].children
+        # Binary joins connect on the key sentinel.
+        assert tree.root.child_attrs == [(KEY_ATTR,)]
+
+    def test_chain_is_a_path_of_singletons(self, chain3):
+        tree = decompose(AnyKQuery.chain(chain3, ["x", "y"]))
+        assert tree.width == 1
+        depth, node = 0, tree.root
+        while node.children:
+            assert len(node.children) == 1
+            assert len(node.members) == 1
+            node = node.children[0]
+            depth += 1
+        assert depth == 2
+
+    def test_star_center_has_all_satellites(self):
+        center = relation(
+            "hub", [({"x": 1, "y": 1, "z": 1}, (0.9,))]
+        )
+        sats = [
+            relation("S1", [({"x": 1}, (0.1,))]),
+            relation("S2", [({"y": 1}, (0.2,))]),
+            relation("S3", [({"z": 1}, (0.3,))]),
+        ]
+        tree = decompose(AnyKQuery.star(center, sats, ["x", "y", "z"]))
+        assert tree.width == 1
+        # The center is adjacent to every satellite, wherever the root
+        # landed: all satellite nodes are neighbours of the center node.
+        nodes, stack = [], [(tree.root, None)]
+        while stack:
+            node, parent = stack.pop()
+            nodes.append((node, parent))
+            stack.extend((child, node) for child in node.children)
+        hub = next(node for node, __ in nodes if node.members == (0,))
+        neighbours = {child.members for child in hub.children}
+        parent_of_hub = next(p for n, p in nodes if n is hub)
+        if parent_of_hub is not None:
+            neighbours.add(parent_of_hub.members)
+        assert neighbours == {(1,), (2,), (3,)}
+
+    def test_every_relation_appears_exactly_once(self, chain3):
+        tree = decompose(AnyKQuery.chain(chain3, ["x", "y"]))
+        seen = []
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            seen.extend(node.members)
+            stack.extend(node.children)
+        assert sorted(seen) == [0, 1, 2]
+
+
+class TestCyclicDecomposition:
+    def triangle(self):
+        a = relation("A", [({"x": 1, "y": 1}, (0.9,)), ({"x": 2, "y": 2}, (0.5,))])
+        b = relation("B", [({"y": 1, "z": 1}, (0.8,)), ({"y": 2, "z": 2}, (0.4,))])
+        c = relation("C", [({"z": 1, "x": 1}, (0.7,)), ({"z": 2, "x": 2}, (0.3,))])
+        return AnyKQuery(
+            relations=(a, b, c),
+            join_on=((0, 1, "y"), (1, 2, "z"), (0, 2, "x")),
+        )
+
+    def test_triangle_merges_into_width_two_bag(self):
+        tree = decompose(self.triangle())
+        assert tree.width == 2
+        sizes = []
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            sizes.append(len(node.members))
+            stack.extend(node.children)
+        assert sorted(sizes) == [1, 2]
+
+    def test_bag_tuples_satisfy_the_merged_conditions(self):
+        tree = decompose(self.triangle())
+        bag = tree.root if len(tree.root.members) == 2 else tree.root.children[0]
+        assert len(bag.members) == 2
+        # Both bag tuples honour the shared variable between the members.
+        assert len(bag.tuples) == 2
+
+
+class TestRejections:
+    def test_disconnected_query_is_rejected(self):
+        a = relation("A", [({"x": 1}, (0.9,))])
+        b = relation("B", [({"x": 1, "y": 1}, (0.8,))])
+        c = relation("C", [({"w": 1}, (0.7,))])
+        d = relation("D", [({"w": 1}, (0.6,))])
+        query = AnyKQuery(
+            relations=(a, b, c, d),
+            join_on=((0, 1, "x"), (2, 3, "w")),
+        )
+        with pytest.raises(InstanceError, match="disconnected"):
+            decompose(query)
+
+    @pytest.mark.parametrize("scoring", [MinScore(), ProductScore()])
+    def test_non_additive_scoring_is_rejected(self, scoring, chain3):
+        query = AnyKQuery.chain(chain3, ["x", "y"])
+        with pytest.raises(InstanceError, match="additive"):
+            decompose(query, scoring)
+
+    def test_sum_score_is_accepted(self, chain3):
+        tree = decompose(AnyKQuery.chain(chain3, ["x", "y"]), SumScore())
+        assert tree.width == 1

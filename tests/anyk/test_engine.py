@@ -1,0 +1,309 @@
+"""AnyKRankJoin correctness and the ResumableOperator contract."""
+
+import itertools
+
+import pytest
+
+from repro.anyk import AnyKQuery, AnyKRankJoin, anyk_from_chain, anyk_operator
+from repro.core.naive import naive_top_k, top_scores
+from repro.core.operators import make_operator
+from repro.core.scoring import AverageScore, SumScore, WeightedSum
+from repro.core.stepping import PENDING
+from repro.core.tuples import RankTuple
+from repro.data.workload import random_instance
+from repro.errors import PullBudgetExceeded
+from repro.relation.relation import Relation
+
+
+def relation(name, rows):
+    return Relation(
+        name,
+        [
+            RankTuple(key=i, scores=scores, payload=dict(payload))
+            for i, (payload, scores) in enumerate(rows)
+        ],
+    )
+
+
+def brute_force(query, scoring):
+    """All join results by full enumeration, scores sorted descending."""
+    results = []
+    for combo in itertools.product(*[rel.tuples for rel in query.relations]):
+        ok = True
+        for a, b, attr in query.join_on:
+            left = combo[a].key if attr == "@key" else combo[a].payload[attr]
+            right = combo[b].key if attr == "@key" else combo[b].payload[attr]
+            if left != right:
+                ok = False
+                break
+        if ok:
+            vector = tuple(s for t in combo for s in t.scores)
+            results.append(scoring(vector))
+    return sorted(results, reverse=True)
+
+
+@pytest.fixture
+def chain4():
+    a = relation("A", [({"x": 1}, (0.9,)), ({"x": 2}, (0.5,)), ({"x": 1}, (0.2,))])
+    b = relation(
+        "B",
+        [({"x": 1, "y": 7}, (0.8,)), ({"x": 2, "y": 8}, (0.6,)),
+         ({"x": 1, "y": 8}, (0.1,))],
+    )
+    c = relation(
+        "C",
+        [({"y": 7, "z": 3}, (0.4,)), ({"y": 8, "z": 4}, (0.3,)),
+         ({"y": 7, "z": 4}, (0.7,))],
+    )
+    d = relation("D", [({"z": 3}, (0.5,)), ({"z": 4}, (0.9,))])
+    return a, b, c, d
+
+
+class TestBinaryCorrectness:
+    def test_matches_oracle_scores_exactly(self):
+        instance = random_instance(
+            n_left=120, n_right=120, e_left=2, e_right=2,
+            num_keys=12, k=15, cut=0.5, seed=3,
+        )
+        op = anyk_operator(instance)
+        got = [r.score for r in op.top_k(15)]
+        expected = top_scores(
+            naive_top_k(instance.left.tuples, instance.right.tuples,
+                        instance.scoring, 15)
+        )
+        # Bit-identical, not approx: the engine re-scores every result
+        # through the same scoring call the PBRJ family uses.
+        assert got == expected
+
+    def test_matches_frpa_bit_identically(self):
+        instance = random_instance(
+            n_left=150, n_right=150, e_left=1, e_right=1,
+            num_keys=10, k=20, seed=7,
+        )
+        anyk_scores = [r.score for r in anyk_operator(instance).top_k(20)]
+        frpa_scores = [r.score for r in make_operator("FRPA", instance).top_k(20)]
+        assert anyk_scores == frpa_scores
+
+    def test_full_drain_equals_join_size(self):
+        instance = random_instance(
+            n_left=80, n_right=80, e_left=1, e_right=1,
+            num_keys=8, k=1, seed=0,
+        )
+        drained = list(anyk_operator(instance))
+        assert len(drained) == instance.join_size()
+
+    def test_tie_order_is_canonical(self):
+        # Many exact ties: output must still be sorted and deterministic.
+        left = Relation(
+            "L", [RankTuple(key=i % 3, scores=(round((i % 5) / 5, 3),))
+                  for i in range(30)]
+        )
+        right = Relation(
+            "R", [RankTuple(key=i % 3, scores=(round((i % 5) / 5, 3),))
+                  for i in range(30)]
+        )
+        query = AnyKQuery.binary(left, right)
+        runs = []
+        for __ in range(2):
+            results = list(AnyKRankJoin(query, SumScore()))
+            runs.append([(r.score, repr(r.left.key), repr(r.right.key))
+                         for r in results])
+        assert runs[0] == runs[1]
+        scores = [row[0] for row in runs[0]]
+        assert scores == sorted(scores, reverse=True)
+
+    @pytest.mark.parametrize("scoring", [
+        SumScore(),
+        WeightedSum([0.7, 0.3]),
+        AverageScore(),
+    ])
+    def test_additive_scorings_match_oracle(self, scoring):
+        instance = random_instance(
+            n_left=60, n_right=60, e_left=1, e_right=1,
+            num_keys=6, k=10, seed=5, scoring=scoring,
+        )
+        got = [r.score for r in anyk_operator(instance).top_k(10)]
+        expected = top_scores(
+            naive_top_k(instance.left.tuples, instance.right.tuples,
+                        scoring, 10)
+        )
+        assert got == pytest.approx(expected, abs=1e-12)
+
+
+class TestNaryCorrectness:
+    def test_chain4_matches_multiway(self, chain4):
+        attrs = ["x", "y", "z"]
+        anyk = anyk_from_chain(chain4, attrs)
+        from repro.core.multiway import multiway_rank_join
+
+        reference = multiway_rank_join(list(chain4), attrs, SumScore())
+        anyk_scores = [r.score for r in anyk]
+        ref_scores = [r.score for r in reference]
+        assert anyk_scores == ref_scores
+
+    def test_chain4_matches_brute_force(self, chain4):
+        query = AnyKQuery.chain(chain4, ["x", "y", "z"])
+        got = [r.score for r in AnyKRankJoin(query)]
+        assert got == pytest.approx(brute_force(query, SumScore()))
+
+    def test_star3_matches_brute_force(self):
+        center = relation(
+            "hub",
+            [({"x": 1, "y": 1}, (0.9,)), ({"x": 2, "y": 1}, (0.5,)),
+             ({"x": 1, "y": 2}, (0.3,))],
+        )
+        s1 = relation("S1", [({"x": 1}, (0.4,)), ({"x": 2}, (0.8,))])
+        s2 = relation("S2", [({"y": 1}, (0.6,)), ({"y": 2}, (0.2,))])
+        query = AnyKQuery.star(center, [s1, s2], ["x", "y"])
+        got = [r.score for r in AnyKRankJoin(query)]
+        assert got == pytest.approx(brute_force(query, SumScore()))
+
+    def test_triangle_matches_brute_force(self):
+        a = relation(
+            "A", [({"x": i % 3, "y": i % 2}, (i / 10,)) for i in range(6)]
+        )
+        b = relation(
+            "B", [({"y": i % 2, "z": i % 3}, ((5 - i) / 10,)) for i in range(6)]
+        )
+        c = relation(
+            "C", [({"z": i % 3, "x": i % 3}, (i / 12,)) for i in range(6)]
+        )
+        query = AnyKQuery(
+            relations=(a, b, c),
+            join_on=((0, 1, "y"), (1, 2, "z"), (0, 2, "x")),
+        )
+        got = [r.score for r in AnyKRankJoin(query)]
+        assert got == pytest.approx(brute_force(query, SumScore()))
+
+    def test_nary_results_expose_relation_ordered_tuples(self, chain4):
+        anyk = anyk_from_chain(chain4, ["x", "y", "z"])
+        result = anyk.get_next()
+        assert len(result.tuples) == 4
+        # Components come back in query-relation order regardless of the
+        # internal join order the decomposition chose.
+        assert [t.payload.get("x") is not None for t in result.tuples[:1]] == [True]
+
+
+class TestResumability:
+    def make(self, seed=2):
+        instance = random_instance(
+            n_left=90, n_right=90, e_left=1, e_right=1,
+            num_keys=9, k=10, seed=seed,
+        )
+        return instance, anyk_operator(instance)
+
+    def test_budgeted_stepping_equals_unbudgeted(self):
+        instance, budgeted = self.make()
+        reference = [r.score for r in anyk_operator(instance)]
+        got = []
+        while True:
+            result = budgeted.try_next(max_pulls=5)
+            if result is None:
+                break
+            if result is not PENDING:
+                got.append(result.score)
+        assert got == reference
+
+    def test_pending_is_falsy_and_repeated(self):
+        __, op = self.make()
+        first = op.try_next(max_pulls=1)
+        assert first is PENDING
+        assert not first
+
+    def test_zero_pull_drain(self):
+        __, op = self.make()
+        # Nothing buffered yet: zero pulls must do zero work.
+        assert op.try_next(max_pulls=0) is PENDING
+        assert op.pulls == 0
+        op.get_next()  # builds the DP, buffers the first tie batch
+        pulls = op.pulls
+        while op.try_next(max_pulls=0) not in (None, PENDING):
+            pass
+        assert op.pulls == pulls  # drains cost nothing
+
+    def test_pull_accounting_is_monotone(self):
+        __, op = self.make()
+        previous = 0
+        for __ in range(50):
+            result = op.try_next(max_pulls=7)
+            assert op.pulls >= previous
+            previous = op.pulls
+            if result is None:
+                break
+
+    def test_top_k_is_history_retaining(self):
+        __, op = self.make()
+        first = op.top_k(5)
+        again = op.top_k(5)
+        assert [r.score for r in first] == [r.score for r in again]
+        extended = op.top_k(8)
+        assert [r.score for r in extended[:5]] == [r.score for r in first]
+
+    def test_clone_fresh_restarts_from_scratch(self):
+        __, op = self.make()
+        expected = [r.score for r in op.top_k(6)]
+        clone = op.clone_fresh()
+        assert clone.pulls == 0
+        assert [r.score for r in clone.top_k(6)] == expected
+
+    def test_max_pulls_budget_raises(self):
+        instance, __ = self.make()
+        op = anyk_operator(instance, max_pulls=10)
+        with pytest.raises(PullBudgetExceeded):
+            op.top_k(50)
+
+
+class TestFrontier:
+    def test_frontier_is_conservative_then_exact(self):
+        instance = random_instance(
+            n_left=70, n_right=70, e_left=1, e_right=1,
+            num_keys=7, k=5, seed=4,
+        )
+        op = anyk_operator(instance)
+        assert op.frontier() == float("inf")
+        scores = []
+        while True:
+            result = op.get_next()
+            if result is None:
+                break
+            scores.append(result.score)
+            # Every emitted result beats (or ties) whatever is left.
+            assert op.frontier() <= result.score + 1e-9
+        assert op.frontier() == float("-inf")
+        assert scores == sorted(scores, reverse=True)
+
+    def test_frontier_non_increasing(self):
+        instance = random_instance(
+            n_left=70, n_right=70, e_left=1, e_right=1,
+            num_keys=7, k=5, seed=8,
+        )
+        op = anyk_operator(instance)
+        op.get_next()
+        previous = op.frontier()
+        while op.get_next() is not None:
+            current = op.frontier()
+            assert current <= previous + 1e-9
+            previous = current
+
+
+class TestReporting:
+    def test_depths_and_stats(self):
+        instance = random_instance(
+            n_left=50, n_right=40, e_left=1, e_right=1,
+            num_keys=5, k=5, seed=1,
+        )
+        op = anyk_operator(instance)
+        op.top_k(5)
+        depths = op.depths()
+        # The DP ingests both inputs completely.
+        assert depths.left == 50 and depths.right == 40
+        stats = op.stats()
+        assert stats.operator == "AnyK"
+        assert stats.results == 5
+        assert stats.io_cost == 90.0
+        assert stats.depths.sum_depths == 90
+
+    def test_nary_depths_are_per_relation(self, chain4):
+        op = anyk_from_chain(chain4, ["x", "y", "z"])
+        op.get_next()
+        assert op.depths() == [3, 3, 3, 2]

@@ -1,0 +1,120 @@
+"""Property tests: any-k enumeration vs the oracle on random workloads.
+
+The satellite contract: over random acyclic workloads *with duplicate
+scores*, the enumeration must be (a) monotone non-increasing in score,
+(b) duplicate-free, and (c) exactly equal — scores and canonical tie
+order — to the oracle's top-K.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anyk import AnyKQuery, AnyKRankJoin
+from repro.anyk.engine import _identity
+from repro.core.scoring import SumScore
+from repro.core.tuples import RankTuple
+from repro.relation.relation import Relation
+
+# Coarse score grid + tiny key/value domains: exact duplicate scores and
+# exact tie groups are the common case, not the corner case.
+score = st.sampled_from([0.0, 0.1, 0.25, 0.25, 0.5, 0.5, 0.75, 1.0])
+small = st.integers(0, 2)
+
+
+def binary_query(draw):
+    def side(name):
+        rows = draw(
+            st.lists(st.tuples(small, score), min_size=1, max_size=12)
+        )
+        return Relation(
+            name, [RankTuple(key=k, scores=(s,)) for k, s in rows]
+        )
+
+    return AnyKQuery.binary(side("L"), side("R"))
+
+
+def chain_query(draw):
+    def rel(name, attrs):
+        rows = draw(
+            st.lists(
+                st.tuples(*([small] * len(attrs)), score),
+                min_size=1, max_size=6,
+            )
+        )
+        return Relation(
+            name,
+            [
+                RankTuple(
+                    key=i,
+                    scores=(row[-1],),
+                    payload=dict(zip(attrs, row[:-1])),
+                )
+                for i, row in enumerate(rows)
+            ],
+        )
+
+    relations = (rel("A", ["x"]), rel("B", ["x", "y"]), rel("C", ["y"]))
+    return AnyKQuery.chain(relations, ["x", "y"])
+
+
+def oracle(query, scoring):
+    """Full enumeration in the engine's canonical order: score desc, then
+    the canonical content identity — the cross-core tie-order contract."""
+    results = []
+    for combo in itertools.product(*[rel.tuples for rel in query.relations]):
+        ok = True
+        for a, b, attr in query.join_on:
+            left = combo[a].key if attr == "@key" else combo[a].payload[attr]
+            right = combo[b].key if attr == "@key" else combo[b].payload[attr]
+            if left != right:
+                ok = False
+                break
+        if ok:
+            vector = tuple(s for t in combo for s in t.scores)
+            results.append((scoring(vector), combo))
+    results.sort(key=lambda pair: (-pair[0], _identity(pair[1])))
+    return results
+
+
+def assert_enumeration_contract(query):
+    scoring = SumScore()
+    expected = oracle(query, scoring)
+    emitted = list(AnyKRankJoin(query, scoring))
+
+    scores = [r.score for r in emitted]
+    # (a) monotone non-increasing.
+    assert scores == sorted(scores, reverse=True)
+    # (b) duplicate-free: no input-tuple combination emitted twice.  (By
+    # object identity — relations may hold content-identical tuples, and
+    # each occurrence is its own join result.)
+    combos = [
+        tuple(getattr(r, "tuples", None) or (r.left, r.right)) for r in emitted
+    ]
+    object_ids = [tuple(id(t) for t in combo) for combo in combos]
+    assert len(set(object_ids)) == len(object_ids)
+    identities = [_identity(combo) for combo in combos]
+    # (c) exactly the oracle: scores bit-identical, ties in canonical order.
+    assert scores == [s for s, __ in expected]
+    assert identities == [_identity(combo) for __, combo in expected]
+
+
+class TestEnumerationProperties:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_binary_matches_oracle(self, data):
+        assert_enumeration_contract(binary_query(data.draw))
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_chain3_matches_oracle(self, data):
+        assert_enumeration_contract(chain_query(data.draw))
+
+    @given(data=st.data(), k=st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_topk_is_a_prefix_of_the_full_enumeration(self, data, k):
+        query = binary_query(data.draw)
+        full = [r.score for r in AnyKRankJoin(query)]
+        prefix = [r.score for r in AnyKRankJoin(query).top_k(k)]
+        assert prefix == full[: min(k, len(full))]

@@ -4,9 +4,14 @@ import pytest
 
 from repro.core.scoring import SumScore
 from repro.core.tuples import RankTuple
-from repro.data.io import load_relation_csv, save_relation_csv, save_tables_csv
+from repro.data.io import (
+    load_csv,
+    load_relation_csv,
+    save_relation_csv,
+    save_tables_csv,
+)
 from repro.data.tpch import TPCHConfig, generate_tpch
-from repro.errors import InstanceError
+from repro.errors import InstanceError, WorkloadError
 from repro.relation.relation import RankJoinInstance, Relation
 
 
@@ -96,3 +101,69 @@ class TestTables:
         lineitem = load_relation_csv(tmp_path / "lineitem.csv")
         assert len(lineitem) == tables["lineitem"].size
         assert "partkey" in lineitem.tuples[0].payload
+
+
+class TestLoadCSV:
+    """The external-data loader (``score_col`` names the score columns)."""
+
+    def write(self, tmp_path, text, name="data.csv"):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_loads_scores_and_payload(self, tmp_path):
+        path = self.write(
+            tmp_path, "title,rating,year,key\nHeat,9.1,1995,1\nRonin,8.0,1998,2\n"
+        )
+        relation = load_csv(path, "rating")
+        assert relation.name == "data"
+        assert [t.scores for t in relation.tuples] == [(9.1,), (8.0,)]
+        assert relation.tuples[0].payload == {"title": "Heat", "year": 1995}
+        assert relation.tuples[0].key == 1
+
+    def test_multiple_score_columns(self, tmp_path):
+        path = self.write(tmp_path, "key,a,b\n1,0.5,0.25\n")
+        relation = load_csv(path, ["a", "b"], name="scored")
+        assert relation.name == "scored"
+        assert relation.dimension == 2
+        assert relation.tuples[0].scores == (0.5, 0.25)
+
+    def test_custom_key_column(self, tmp_path):
+        path = self.write(tmp_path, "orderkey,price\n7,0.9\n")
+        relation = load_csv(path, "price", key_col="orderkey")
+        assert relation.tuples[0].key == 7
+
+    def test_loaded_relation_joins(self, tmp_path):
+        left = load_csv(self.write(tmp_path, "key,s\n1,0.9\n2,0.5\n", "l.csv"), "s")
+        right = load_csv(self.write(tmp_path, "key,s\n1,0.8\n", "r.csv"), "s")
+        instance = RankJoinInstance(left, right, SumScore(), 1)
+        assert instance.join_size() == 1
+
+    def test_missing_file_is_one_line_workload_error(self, tmp_path):
+        with pytest.raises(WorkloadError) as err:
+            load_csv(tmp_path / "nope.csv", "s")
+        assert "\n" not in str(err.value)
+        assert "nope.csv" in str(err.value)
+
+    @pytest.mark.parametrize("content,fragment", [
+        ("title,rating\nHeat,9.1\n", "missing column"),
+        ("key,rating\n1,high\n", "not a number"),
+        ("key,rating\n1,nan\n", "must be finite"),
+        ("key,rating\n1,inf\n", "must be finite"),
+        ("key,rating\n1,9.1,extra\n", "expected 2 cells"),
+        ("key,rating\n,9.1\n", "empty join key"),
+        ("key,rating\n", "no data rows"),
+        ("", "empty file"),
+    ])
+    def test_malformed_rows_are_one_line_errors(self, tmp_path, content, fragment):
+        path = self.write(tmp_path, content)
+        with pytest.raises(WorkloadError) as err:
+            load_csv(path, "rating")
+        message = str(err.value)
+        assert fragment in message
+        assert "\n" not in message
+
+    def test_row_errors_carry_file_and_row(self, tmp_path):
+        path = self.write(tmp_path, "key,rating\n1,0.5\n2,oops\n")
+        with pytest.raises(WorkloadError, match=r"data\.csv:3"):
+            load_csv(path, "rating")

@@ -191,3 +191,63 @@ class TestTrace:
         pulls = [e for e in events if e.get("name") == "bound_trace"]
         assert len(pulls) > 0
         assert [e["pull"] for e in pulls] == list(range(1, len(pulls) + 1))
+
+
+class TestAlgorithm:
+    """--algorithm selects the evaluation core; unknown names exit 2."""
+
+    def test_run_with_anyk(self, capsys):
+        assert main([
+            "run", "--algorithm", "anyk", "--scale", "0.0003", "--k", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "top scores" in out
+        assert "AnyK" in out
+
+    def test_anyk_matches_pbrj_scores(self, capsys):
+        assert main(["run", "FRPA", "--scale", "0.0003", "--k", "3"]) == 0
+        pbrj_out = capsys.readouterr().out
+        assert main([
+            "run", "--algorithm", "anyk", "--scale", "0.0003", "--k", "3",
+        ]) == 0
+        anyk_out = capsys.readouterr().out
+        pick = lambda text: next(  # noqa: E731
+            line for line in text.splitlines() if "top scores" in line
+        )
+        assert pick(anyk_out).split(":", 1)[1] == pick(pbrj_out).split(":", 1)[1]
+
+    def test_unknown_algorithm_flag_exits_2(self, capsys):
+        assert main([
+            "run", "--algorithm", "lawler", "--scale", "0.0003",
+        ]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: unknown algorithm")
+        assert "'lawler'" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_unknown_algorithm_in_workload_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps({"scale": 0.0003, "algorithm": "lawler"}))
+        assert main(["run", "FRPA", "--workload", str(path)]) == 2
+        captured = capsys.readouterr()
+        assert "unknown algorithm" in captured.err
+        assert "'lawler'" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_workload_file_algorithm_wins(self, tmp_path, capsys):
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps({"scale": 0.0003, "k": 2, "algorithm": "anyk"}))
+        assert main(["run", "FRPA", "--workload", str(path)]) == 0
+        assert "AnyK" in capsys.readouterr().out
+
+    def test_serve_rejects_unknown_algorithm(self, capsys):
+        assert main(["serve", "--algorithm", "nope", "--scale", "0.0003"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_sharded_anyk_run(self, capsys):
+        assert main([
+            "run", "--algorithm", "anyk", "--scale", "0.0003", "--k", "3",
+            "--shards", "2",
+        ]) == 0
+        assert "top scores" in capsys.readouterr().out
