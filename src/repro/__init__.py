@@ -12,6 +12,8 @@ contributes to:
 * sorted single-pass access with simulated I/O costs (:mod:`repro.relation`);
 * the paper's synthetic skewed TPC-H workload generator (:mod:`repro.data`);
 * pipelined physical plans and a declarative query layer (:mod:`repro.plan`);
+* a skew-adaptive cost-based planner with online re-sharding
+  (:mod:`repro.planner`);
 * the complete experimental harness regenerating every evaluation figure
   (:mod:`repro.experiments`).
 
@@ -85,6 +87,14 @@ from repro.errors import (
 )
 from repro.kernels import PointSet, available_backends, kernel_name, set_backend
 from repro.plan import Pipeline, QueryInput, RankQuery
+from repro.planner import (
+    AdaptiveConfig,
+    AdaptiveShardedRankJoin,
+    CostCoefficients,
+    PlanDecision,
+    Planner,
+    PlannerConfig,
+)
 from repro.relation import CostModel, RankJoinInstance, Relation, SortedScan
 from repro.service import (
     QueryService,
@@ -102,10 +112,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AFRBound",
+    "AdaptiveConfig",
+    "AdaptiveShardedRankJoin",
     "AnyKQuery",
     "AnyKRankJoin",
     "BudgetExhausted",
     "CornerBound",
+    "CostCoefficients",
     "CostModel",
     "DepthReport",
     "ExecConfig",
@@ -123,6 +136,9 @@ __all__ = [
     "PartitionStats",
     "PBRJ",
     "Pipeline",
+    "PlanDecision",
+    "Planner",
+    "PlannerConfig",
     "PointSet",
     "PotentialAdaptive",
     "PullBudgetExceeded",

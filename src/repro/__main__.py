@@ -101,10 +101,10 @@ def _algorithm(args: argparse.Namespace) -> str | None:
     line on stderr, exit code 2 at the caller.
     """
     algorithm = getattr(args, "algorithm", "pbrj")
-    if algorithm not in ALGORITHMS:
+    if algorithm not in ALGORITHMS + ("auto",):
         print(
             f"error: unknown algorithm {algorithm!r}; "
-            f"choose from {list(ALGORITHMS)}",
+            f"choose from {list(ALGORITHMS) + ['auto']}",
             file=sys.stderr,
         )
         return None
@@ -147,7 +147,13 @@ def cmd_figures(args: argparse.Namespace) -> int:
         for name in unknown:
             print(f"unknown figure {name!r}; choose from {sorted(FIGURES)}")
         return 2
-    config = FigureConfig(scale=args.scale, num_seeds=args.seeds)
+    config = FigureConfig(
+        scale=args.scale, num_seeds=args.seeds, algorithm=args.algorithm
+    )
+    if config.algorithm == "anyk" and "all" in requested:
+        # Only the operator-comparison figures have an any-k leg; the
+        # PBRJ-internal ones (strategy/cover ablations) stay pbrj-only.
+        names = [n for n in names if n in figure_module.ANYK_FIGURES]
     obs = _build_obs(args, "figures")
     for name in names:
         table: ExperimentTable = FIGURES[name](config)
@@ -203,6 +209,48 @@ def _run_sharded(args: argparse.Namespace, instance, obs, operator=None) -> int:
     return 0
 
 
+def _run_planned(args: argparse.Namespace, instance, obs,
+                 algorithm: str, shards: int | str) -> int:
+    """``run --plan auto``: let the planner choose, print its cost table."""
+    import time
+
+    from repro.service.query import QuerySpec
+
+    spec = QuerySpec(
+        relations=(instance.left, instance.right),
+        k=instance.k,
+        scoring=instance.scoring,
+        operator=args.operator if args.operator in OPERATORS else "FRPA",
+        algorithm=algorithm,
+        shards=shards,
+        exec_backend=args.exec_backend,
+    )
+    resolved = spec.resolve(obs=obs)
+    print(resolved.decision.table())
+    print()
+    started = time.perf_counter()
+    operator = resolved.build_operator(obs=obs)
+    try:
+        results = operator.top_k(instance.k)
+        elapsed = time.perf_counter() - started
+        reshards = getattr(operator, "reshards", 0)
+        print(f"plan         : {resolved.plan_summary()} "
+              f"(kernel={kernels.kernel_name()})")
+        print(f"instance     : L={len(instance.left)} O={len(instance.right)} "
+              f"K={instance.k}")
+        print(f"top scores   : {[round(r.score, 4) for r in results]}")
+        print(f"pulls        : {operator.pulls}"
+              + (f" (re-sharded x{reshards})" if reshards else ""))
+        print(f"time         : total={elapsed:.4f}s "
+              f"(planning {resolved.decision.planning_seconds:.4f}s)")
+    finally:
+        close = getattr(operator, "close", None)
+        if callable(close):
+            close()
+    _finish_obs(obs, args)
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     algorithm = _algorithm(args)
     if algorithm is None:
@@ -211,15 +259,28 @@ def cmd_run(args: argparse.Namespace) -> int:
         params = _workload(args)
     except ReproError as exc:
         return _fail(exc)
+    shards: int | str = args.shards
     if getattr(args, "workload", None):
+        # The workload file owns the whole execution shape when given.
         algorithm = params.algorithm
+        shards = params.shards
+        args.exec_backend = params.exec_backend
+    if args.plan == "auto":
+        algorithm = "auto"
+        shards = "auto"
     operator = ANYK_OPERATOR if algorithm == "anyk" else args.operator
     if algorithm == "pbrj" and args.operator not in OPERATORS:
         print(f"unknown operator {args.operator!r}; choose from {sorted(OPERATORS)}")
         return 2
     instance = lineitem_orders_instance(params)
     obs = _build_obs(args, "run")
-    if args.shards > 1:
+    if algorithm == "auto" or shards == "auto":
+        try:
+            return _run_planned(args, instance, obs, algorithm, shards)
+        except ReproError as exc:
+            return _fail(exc)
+    if shards > 1:
+        args.shards = shards
         return _run_sharded(args, instance, obs, operator)
     result = run_operator(operator, instance, obs=obs)
     stats = result.stats
@@ -309,6 +370,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return _fail(exc)
     if getattr(args, "workload", None):
         algorithm = params.algorithm
+    default_shards: int | str = args.shards
+    if args.plan == "auto":
+        algorithm = "auto"
+        default_shards = "auto"
     obs = _build_obs(args, "serve") or Observability()
     try:
         service = QueryService(
@@ -339,7 +404,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
     server = RankJoinServer(
         service, relations, host=args.host, port=args.port,
-        default_shards=args.shards, default_algorithm=algorithm, chaos=chaos,
+        default_shards=default_shards, default_algorithm=algorithm,
+        chaos=chaos,
     )
     sizes = ", ".join(f"{name}={len(rel)}" for name, rel in relations.items())
     print(f"relations loaded: {sizes}", flush=True)
@@ -413,6 +479,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         backends=tuple(args.backends),
         kinds=tuple(args.kinds),
         operator=args.operator,
+        reshard=args.reshard,
     )
     print(render_report(cases))
     return 0 if all(case.ok for case in cases) else 1
@@ -443,6 +510,10 @@ def main(argv: list[str] | None = None) -> int:
     p_fig.add_argument("--format", choices=["txt", "csv", "json"], default="txt")
     p_fig.add_argument("--chart", action="store_true",
                        help="also print an ASCII chart of the first series")
+    p_fig.add_argument("--algorithm", default="pbrj",
+                       choices=["pbrj", "anyk"],
+                       help="evaluation core for the operator-comparison "
+                            "figures (anyk swaps in the any-k leg)")
     _add_obs_args(p_fig)
     p_fig.set_defaults(func=cmd_figures)
 
@@ -459,6 +530,10 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--exec-backend", default="thread",
                        choices=["serial", "thread", "process"],
                        help="sharded execution backend (with --shards > 1)")
+    p_run.add_argument("--plan", choices=["static", "auto"], default="static",
+                       help="'auto' delegates algorithm/operator/shards/"
+                            "backend to the cost-based planner and prints "
+                            "its candidate table")
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="run every operator on a workload")
@@ -505,6 +580,11 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--shards", type=int, default=1,
                          help="sharded execution for every binary query "
                               "(1 = serial; requests may override)")
+    p_serve.add_argument("--plan", choices=["static", "auto"],
+                         default="static",
+                         help="'auto' makes the planner choose algorithm "
+                              "and shards for every query that does not "
+                              "pin them")
     p_serve.add_argument("--chaos-seed", type=int, default=0,
                          help="request-chaos RNG seed")
     p_serve.add_argument("--chaos-error-rate", type=float, default=0.0,
@@ -559,6 +639,9 @@ def main(argv: list[str] | None = None) -> int:
                          help="fault kinds to schedule")
     p_chaos.add_argument("--operator", default="FRPA",
                          help="operator every shard runs")
+    p_chaos.add_argument("--reshard", action="store_true",
+                         help="also fire each fault DURING a live re-shard "
+                              "migration (planner adaptivity path)")
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_info = sub.add_parser("info", help="library inventory")

@@ -1,19 +1,25 @@
 """Process-wide configuration knobs (:class:`ReproConfig`).
 
-Currently the one global knob is the kernel backend of
-:mod:`repro.kernels`.  Resolution order for the backend, highest priority
-first:
+Two global knobs live here:
 
-1. an explicit ``--kernel`` CLI flag / :func:`repro.kernels.set_backend`
-   call / ``ReproConfig(kernel=...).apply()``;
-2. the ``REPRO_KERNEL`` environment variable;
-3. ``auto`` (numpy when importable, pure Python otherwise).
+* the kernel backend of :mod:`repro.kernels`.  Resolution order, highest
+  priority first: an explicit ``--kernel`` CLI flag /
+  :func:`repro.kernels.set_backend` call / ``ReproConfig(kernel=...)``;
+  the ``REPRO_KERNEL`` environment variable; ``auto`` (numpy when
+  importable, pure Python otherwise).
+* the planner's cost-model coefficients (:mod:`repro.planner.cost`).
+  ``planner_coeffs`` names a JSON file of coefficient overrides; the
+  ``REPRO_PLANNER_COEFFS`` environment variable provides the same hook,
+  and with neither set the planner micro-benchmarks the machine once per
+  process.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.kernels import BACKEND_CHOICES, ENV_VAR, kernel_name, set_backend
 
@@ -23,11 +29,14 @@ class ReproConfig:
     """Declarative bundle of process-wide settings.
 
     ``kernel`` is one of :data:`repro.kernels.BACKEND_CHOICES`
-    (``auto``/``numpy``/``python``).  Construct-and-:meth:`apply`, or use
-    :meth:`from_env` to mirror the environment.
+    (``auto``/``numpy``/``python``); ``planner_coeffs`` optionally names
+    a JSON file of :class:`repro.planner.CostCoefficients` overrides.
+    Construct-and-:meth:`apply`, or use :meth:`from_env` to mirror the
+    environment.
     """
 
     kernel: str = "auto"
+    planner_coeffs: str | None = None
 
     def __post_init__(self) -> None:
         if self.kernel not in BACKEND_CHOICES:
@@ -39,10 +48,15 @@ class ReproConfig:
     @classmethod
     def from_env(cls) -> "ReproConfig":
         """Config as the environment would resolve it (invalid → auto)."""
+        from repro.planner.cost import ENV_VAR as PLANNER_ENV_VAR
+
         raw = os.environ.get(ENV_VAR, "auto").strip().lower()
         if raw not in BACKEND_CHOICES:
             raw = "auto"
-        return cls(kernel=raw)
+        return cls(
+            kernel=raw,
+            planner_coeffs=os.environ.get(PLANNER_ENV_VAR) or None,
+        )
 
     @classmethod
     def current(cls) -> "ReproConfig":
@@ -51,4 +65,10 @@ class ReproConfig:
 
     def apply(self) -> str:
         """Install these settings; returns the resolved kernel name."""
+        if self.planner_coeffs is not None:
+            # Imported lazily — the planner is an optional consumer.
+            from repro.planner.cost import CostCoefficients, set_coefficients
+
+            payload = json.loads(Path(self.planner_coeffs).read_text())
+            set_coefficients(CostCoefficients.from_dict(payload))
         return set_backend(self.kernel)

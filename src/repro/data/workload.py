@@ -38,8 +38,15 @@ class WorkloadParams:
     scale: float = 0.01
     join_skew: float = 0.5
     seed: int = 0
-    #: Evaluation core: ``"pbrj"`` (paper default) or ``"anyk"``.
+    #: Evaluation core: ``"pbrj"`` (paper default), ``"anyk"``, or
+    #: ``"auto"`` (cost-based planner).
     algorithm: str = "pbrj"
+    #: Shard count for sharded execution: a positive integer, or
+    #: ``"auto"`` to let the planner choose (1 = plain serial operator).
+    shards: int | str = 1
+    #: Execution backend for sharded runs (``serial``/``thread``/
+    #: ``process``); ignored when ``shards`` is 1.
+    exec_backend: str = "thread"
 
     def tpch_config(self) -> TPCHConfig:
         return TPCHConfig(
@@ -56,10 +63,13 @@ def load_workload(path: str | Path) -> WorkloadParams:
 
     The file must hold one JSON object whose keys are a subset of the
     ``WorkloadParams`` fields (``e``, ``c``, ``z``, ``k``, ``scale``,
-    ``join_skew``, ``seed``, ``algorithm``).  Any problem — missing file,
-    invalid JSON, unknown keys, non-numeric values, an unknown
-    ``algorithm`` — raises :class:`~repro.errors.WorkloadError` with a
-    one-line message suitable for direct CLI display.
+    ``join_skew``, ``seed``, ``algorithm``, ``shards``,
+    ``exec_backend``).  Any problem — missing file, invalid JSON, unknown
+    keys, non-numeric values, an unknown ``algorithm``, an invalid
+    ``shards``/``exec_backend`` combination — raises
+    :class:`~repro.errors.WorkloadError` with a one-line message suitable
+    for direct CLI display (the CLI exits 2), instead of failing deep
+    inside engine construction.
     """
     path = Path(path)
     try:
@@ -83,10 +93,30 @@ def load_workload(path: str | Path) -> WorkloadParams:
         )
     for key, value in payload.items():
         if key == "algorithm":
-            if value not in ALGORITHMS:
+            if value not in ALGORITHMS + ("auto",):
                 raise WorkloadError(
                     f"workload file {path}: unknown algorithm {value!r}; "
-                    f"choose from {list(ALGORITHMS)}"
+                    f"choose from {list(ALGORITHMS) + ['auto']}"
+                )
+            continue
+        if key == "shards":
+            valid = value == "auto" or (
+                isinstance(value, int) and not isinstance(value, bool)
+                and value >= 1
+            )
+            if not valid:
+                raise WorkloadError(
+                    f"workload file {path}: shards must be a positive "
+                    f"integer or 'auto', got {value!r}"
+                )
+            continue
+        if key == "exec_backend":
+            from repro.exec.worker import BACKENDS
+
+            if value not in BACKENDS:
+                raise WorkloadError(
+                    f"workload file {path}: unknown exec_backend {value!r}; "
+                    f"choose from {list(BACKENDS)}"
                 )
             continue
         if isinstance(value, bool) or not isinstance(value, (int, float)):

@@ -111,14 +111,13 @@ def _pair_counts(left: Relation, right: Relation) -> dict[Hashable, int]:
     return pairs
 
 
-def skew_aware_plan(
-    left: Relation,
-    right: Relation,
+def skew_plan_from_pairs(
+    pairs: dict[Hashable, int],
     shards: int,
     *,
     heavy_fraction: float | None = None,
 ) -> SkewAwarePlan:
-    """Build a :class:`SkewAwarePlan` from the observed key frequencies.
+    """Build a :class:`SkewAwarePlan` from per-key pair counts.
 
     A key is *heavy* when its estimated result contribution exceeds
     ``heavy_fraction`` of the total (default ``1 / shards`` — more than
@@ -126,11 +125,12 @@ def skew_aware_plan(
     first, to dedicated shards cycling over at most ``shards - 1`` of the
     available shards (one shard always remains open for the long tail).
     Fully deterministic: ties between equally-heavy keys break on the
-    key's stable hash.
+    key's stable hash.  The counts may come from the relations themselves
+    (:func:`skew_aware_plan`) or from planner statistics / runtime
+    observation — any ``key → count`` map works.
     """
     if shards < 1:
         raise InstanceError("a partition plan needs at least one shard")
-    pairs = _pair_counts(left, right)
     total = sum(pairs.values())
     if shards == 1 or total == 0:
         return SkewAwarePlan(shards, {})
@@ -143,6 +143,19 @@ def skew_aware_plan(
     reserve = max(1, shards - 1)
     dedicated = {key: index % reserve for index, key in enumerate(heavies)}
     return SkewAwarePlan(shards, dedicated)
+
+
+def skew_aware_plan(
+    left: Relation,
+    right: Relation,
+    shards: int,
+    *,
+    heavy_fraction: float | None = None,
+) -> SkewAwarePlan:
+    """Build a :class:`SkewAwarePlan` from the observed key frequencies."""
+    return skew_plan_from_pairs(
+        _pair_counts(left, right), shards, heavy_fraction=heavy_fraction
+    )
 
 
 def partition_relation(relation: Relation, plan: HashPartitionPlan) -> list[Relation]:

@@ -50,6 +50,13 @@ EXACT_COVER_BUDGET_S = 90.0
 ALL_OPERATORS = ["HRJN*", "PBRJ_FR^RR", "FRPA", "a-FRPA"]
 NAN = float("nan")
 
+#: Figures with an any-k leg (``--algorithm anyk``): the operator-
+#: comparison sweeps, where swapping the PBRJ operator list for the any-k
+#: core is meaningful.  Figures 10/11/15 and the ablations probe PBRJ
+#: internals (cover thresholds, pulling strategies, pipelined PBRJ plans)
+#: and stay pbrj-only.
+ANYK_FIGURES = ("2", "12", "13", "14", "skew")
+
 
 @dataclass(frozen=True)
 class FigureConfig:
@@ -60,11 +67,18 @@ class FigureConfig:
     seed: int = 0
     io_latency: float = 0.0005  # modeled seconds per tuple access
     exact_budget_s: float = EXACT_COVER_BUDGET_S
+    #: ``"pbrj"`` (paper operators) or ``"anyk"`` — swaps the operator
+    #: list of the comparison figures (see :data:`ANYK_FIGURES`).
+    algorithm: str = "pbrj"
 
     def budgets(self) -> dict[str, dict]:
         """Per-operator budgets: cap only the exact-cover operators."""
         cap = {"max_seconds": self.exact_budget_s}
         return {"PBRJ_FR^RR": dict(cap), "FRPA": dict(cap), "FRPA_RR": dict(cap)}
+
+    def comparison_operators(self, default: list[str]) -> list[str]:
+        """The operator list a comparison figure should sweep."""
+        return ["AnyK"] if self.algorithm == "anyk" else default
 
 
 def _depth(result: AveragedResult) -> float:
@@ -103,14 +117,15 @@ def figure_02(
     """
     config = config or FigureConfig()
     params = WorkloadParams(e=e, c=c, z=0.5, k=k, scale=config.scale, seed=config.seed)
+    operators = config.comparison_operators(["HRJN*", "PBRJ_FR^RR"])
     results = averaged_runs(
         params,
-        ["HRJN*", "PBRJ_FR^RR"],
+        operators,
         num_seeds=config.num_seeds,
         operator_budgets=config.budgets(),
     )
     table = ExperimentTable(
-        title=f"Figure 2: HRJN* vs PBRJ_FR^RR (e={e}, c={c}, K={k})",
+        title=f"Figure 2: {' vs '.join(operators)} (e={e}, c={c}, K={k})",
         headers=[
             "operator", "left_depth", "right_depth", "sumDepths",
             "io_time", "bound_time", "other_time", "total_time", "model_time",
@@ -264,6 +279,7 @@ def figure_12(
         cuts,
         lambda c: WorkloadParams(e=2, c=c, scale=config.scale, seed=config.seed),
         config,
+        operators=config.comparison_operators(ALL_OPERATORS),
     )
     table.notes.append(
         "expected shape: gap vs HRJN* grows as c shrinks (several-fold by "
@@ -290,6 +306,7 @@ def figure_13(
         es,
         lambda e: WorkloadParams(e=e, scale=config.scale, seed=config.seed),
         config,
+        operators=config.comparison_operators(ALL_OPERATORS),
     )
     table.notes.append(
         "expected shape: feasible-region operators win hugely at e=1 "
@@ -312,6 +329,7 @@ def figure_14(
         ks,
         lambda k: WorkloadParams(k=k, scale=config.scale, seed=config.seed),
         config,
+        operators=config.comparison_operators(ALL_OPERATORS),
     )
     table.notes.append(
         "expected shape: FRPA/a-FRPA dominate depths across K; gaps narrow "
@@ -332,6 +350,7 @@ def skew_sweep(
         zs,
         lambda z: WorkloadParams(z=z, scale=config.scale, seed=config.seed),
         config,
+        operators=config.comparison_operators(ALL_OPERATORS),
     )
     table.notes.append("paper: qualitatively identical trends across z")
     return table

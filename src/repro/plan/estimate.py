@@ -128,8 +128,18 @@ def estimate_binary_depths(
     samples: int = 4000,
     seed: int = 0,
 ) -> DepthEstimate:
-    """Corner-model depth estimate for a binary rank join instance."""
+    """Corner-model depth estimate for a binary rank join instance.
+
+    Degenerate instances degrade gracefully (mirroring
+    :func:`estimate_chain_depths`): when the join is smaller than ``k``
+    or an input is empty, any operator reads everything, so the estimate
+    is the full input depths with a ``-inf`` terminal score.
+    """
     join_size = join_cardinality(instance.left, instance.right)
+    if join_size < instance.k or not (len(instance.left) and len(instance.right)):
+        return DepthEstimate(
+            (len(instance.left), len(instance.right)), float("-inf"), join_size
+        )
     terminal = estimate_terminal_score(
         [instance.left, instance.right],
         join_size,

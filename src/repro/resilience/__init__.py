@@ -43,6 +43,7 @@ from repro.resilience.chaos import (
     emission_view,
     reference_run,
     render_report,
+    reshard_chaos_run,
     run_chaos_suite,
     seed_instance,
 )
@@ -85,6 +86,7 @@ __all__ = [
     "emission_view",
     "reference_run",
     "render_report",
+    "reshard_chaos_run",
     "run_chaos_suite",
     "seed_instance",
 ]

@@ -112,6 +112,8 @@ class ChaosCase:
     respawns: int
     retries: int
     degraded: bool
+    #: Completed live re-shard migrations (reshard cases require exactly 1).
+    reshards: int = 0
 
     @property
     def ok(self) -> bool:
@@ -162,6 +164,67 @@ def chaos_run(
     )
 
 
+def reshard_chaos_run(
+    workload: str,
+    shards: int,
+    backend: str,
+    kind: str,
+    *,
+    seed: int = 0,
+    operator: str = "FRPA",
+) -> ChaosCase:
+    """Fire a fault DURING a live re-shard migration; verify bit-identity.
+
+    The engine is forced to migrate almost immediately (threshold 0, one
+    pull / one emitted result), and the seeded fault plan is attached as
+    the *migration* resilience config — shard 0's fault fires at pull
+    depth 0 of the replacement engine, i.e. while it is replaying the
+    emission history mid-migration.  The case passes only if the fault
+    fired, exactly one migration completed, and the final top-K is
+    bit-identical (scores, identities, emission order) to the fault-free
+    serial run.
+    """
+    from repro.planner import AdaptiveConfig, AdaptiveShardedRankJoin
+
+    instance = seed_instance(workload)
+    reference = emission_view(reference_run(instance, shards, operator))
+    plan = chaos_plan(kind, shards, seed)
+    obs = Observability()
+    config = ExecConfig(shards=shards, backend=backend)
+    adaptive = AdaptiveConfig(
+        threshold=0.0,
+        min_pulls=1,
+        min_emitted=1,
+        target_partitioner="skew",
+        migration_resilience=ResilienceConfig(
+            plan=plan, retry=CHAOS_RETRY, seed=seed
+        ),
+    )
+    with AdaptiveShardedRankJoin(
+        instance, operator, config=config, adaptive=adaptive, obs=obs
+    ) as engine:
+        chaotic = emission_view(engine.top_k(instance.k))
+        degraded = engine.degraded
+        reshards = engine.reshards
+    respawns = obs.metrics.value("worker_respawns_total") or 0
+    retries = sum(
+        obs.metrics.value("resilience_retries_total", kind=k) or 0
+        for k in ("transient", "worker-lost")
+    )
+    return ChaosCase(
+        workload=workload,
+        shards=shards,
+        backend=backend,
+        kind=f"{kind}+reshard",
+        matched=chaotic == reference and reshards == 1,
+        fired=respawns + retries,
+        respawns=respawns,
+        retries=retries,
+        degraded=degraded,
+        reshards=reshards,
+    )
+
+
 def run_chaos_suite(
     *,
     seed: int = 0,
@@ -170,8 +233,14 @@ def run_chaos_suite(
     backends: tuple[str, ...] = ("thread", "process"),
     kinds: tuple[str, ...] = CHAOS_KINDS,
     operator: str = "FRPA",
+    reshard: bool = False,
 ) -> list[ChaosCase]:
-    """The full chaos matrix: workload × shards × backend × fault kind."""
+    """The full chaos matrix: workload × shards × backend × fault kind.
+
+    ``reshard=True`` appends one extra case per matrix point with the
+    fault firing during a live re-shard migration (see
+    :func:`reshard_chaos_run`).
+    """
     cases = []
     for workload in workloads:
         for n_shards in shards:
@@ -183,20 +252,27 @@ def run_chaos_suite(
                             seed=seed, operator=operator,
                         )
                     )
+                    if reshard:
+                        cases.append(
+                            reshard_chaos_run(
+                                workload, n_shards, backend, kind,
+                                seed=seed, operator=operator,
+                            )
+                        )
     return cases
 
 
 def render_report(cases: list[ChaosCase]) -> str:
     """A fixed-width table of the suite results."""
     header = (
-        f"{'workload':<16}{'shards':>6}  {'backend':<8}{'fault':<12}"
+        f"{'workload':<16}{'shards':>6}  {'backend':<8}{'fault':<20}"
         f"{'match':<7}{'fired':>5}{'respawns':>9}{'retries':>8}  degraded"
     )
     lines = [header, "-" * len(header)]
     for case in cases:
         lines.append(
             f"{case.workload:<16}{case.shards:>6}  {case.backend:<8}"
-            f"{case.kind:<12}{'yes' if case.matched else 'NO':<7}"
+            f"{case.kind:<20}{'yes' if case.matched else 'NO':<7}"
             f"{case.fired:>5}{case.respawns:>9}{case.retries:>8}  "
             f"{'yes' if case.degraded else 'no'}"
         )

@@ -16,7 +16,7 @@ in ``k`` share one cache entry, because a retained top-K prefix answers any
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -77,15 +77,19 @@ class QuerySpec:
         ``"anyk"``.
     algorithm:
         Evaluation core: ``"pbrj"`` (default, the paper's pull-bounded
-        family) or ``"anyk"`` (ranked enumeration, :mod:`repro.anyk`).
-        Fingerprint-namespaced, so cached answers never mix cores.
+        family), ``"anyk"`` (ranked enumeration, :mod:`repro.anyk`), or
+        ``"auto"`` — let the cost-based planner (:mod:`repro.planner`)
+        choose the core *and* the operator.  Fingerprint-namespaced, so
+        cached answers never mix cores.
     join_attrs:
         Chain attributes for multiway queries (``len(relations) - 1``
         entries); must be empty for binary queries.
     shards:
         Number of hash partitions for sharded execution (binary joins
         only).  ``1`` (the default) runs the plain serial operator;
-        ``> 1`` builds a :class:`~repro.exec.engine.ShardedRankJoin`.
+        ``> 1`` builds a :class:`~repro.exec.engine.ShardedRankJoin`;
+        ``"auto"`` lets the planner choose the shard count, partitioner
+        and exec backend.
     exec_backend:
         Backend for sharded execution (``"thread"`` / ``"process"`` /
         ``"serial"``).  Ignored when ``shards == 1``.
@@ -94,6 +98,19 @@ class QuerySpec:
         sharded backend in retry/respawn/degrade machinery (sharded
         queries only).  Excluded from the fingerprint: recovery never
         changes the answer (chaos-suite-enforced).
+    partitioner:
+        ``"hash"`` (default) or ``"skew"`` — the partition plan for
+        sharded execution.  Excluded from the fingerprint: the merge gate
+        makes the emission order partition-independent (test-enforced).
+    kernel:
+        Optional kernel-backend override for this query's execution
+        (``None`` inherits the process default).  Fingerprint-excluded:
+        kernels are bit-identical by contract.
+    adaptive:
+        Optional :class:`repro.planner.AdaptiveConfig` enabling online
+        re-sharding for sharded execution.  Planner-resolved sharded
+        specs get one by default.  Fingerprint-excluded: migration
+        preserves the emission sequence (test- and chaos-enforced).
     """
 
     relations: tuple[Relation, ...]
@@ -102,9 +119,12 @@ class QuerySpec:
     operator: str = "FRPA"
     algorithm: str = "pbrj"
     join_attrs: tuple[str, ...] = ()
-    shards: int = 1
+    shards: int | str = 1
     exec_backend: str = "thread"
     resilience: object | None = None
+    partitioner: str = "hash"
+    kernel: str | None = None
+    adaptive: object | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "relations", tuple(self.relations))
@@ -113,16 +133,19 @@ class QuerySpec:
             raise InstanceError("K must be positive")
         if len(self.relations) < 2:
             raise InstanceError("a query needs at least two relations")
-        if self.algorithm not in ALGORITHMS:
+        if self.algorithm not in ALGORITHMS + ("auto",):
             raise InstanceError(
                 f"unknown algorithm {self.algorithm!r}; "
-                f"choose from {ALGORITHMS}"
+                f"choose from {ALGORITHMS + ('auto',)}"
             )
         if len(self.relations) == 2:
             if self.join_attrs:
                 raise InstanceError("binary queries join on the tuple key; "
                                     "join_attrs is for 3+ relations")
-            if self.algorithm == "pbrj" and self.operator not in OPERATORS:
+            if (
+                self.algorithm in ("pbrj", "auto")
+                and self.operator not in OPERATORS
+            ):
                 raise InstanceError(
                     f"unknown operator {self.operator!r}; "
                     f"choose from {sorted(OPERATORS)}"
@@ -132,14 +155,26 @@ class QuerySpec:
                 f"need {len(self.relations) - 1} join attributes for "
                 f"{len(self.relations)} relations, got {len(self.join_attrs)}"
             )
-        if self.shards < 1:
+        if isinstance(self.shards, str):
+            if self.shards != "auto":
+                raise InstanceError(
+                    f"shards must be a positive integer or 'auto', "
+                    f"got {self.shards!r}"
+                )
+        elif self.shards < 1:
             raise InstanceError("shards must be >= 1")
-        if self.shards > 1 and self.is_multiway:
+        if self.partitioner not in ("hash", "skew"):
+            raise InstanceError(
+                f"unknown partitioner {self.partitioner!r}; "
+                f"choose from ('hash', 'skew')"
+            )
+        concrete = isinstance(self.shards, int)
+        if concrete and self.shards > 1 and self.is_multiway:
             raise InstanceError(
                 "sharded execution supports binary joins only; "
                 "multiway queries must use shards=1"
             )
-        if self.resilience is not None and self.shards == 1:
+        if self.resilience is not None and concrete and self.shards == 1:
             raise InstanceError(
                 "resilience config applies to sharded execution only; "
                 "set shards > 1"
@@ -150,9 +185,87 @@ class QuerySpec:
         return len(self.relations) > 2
 
     @property
+    def is_auto(self) -> bool:
+        """True when at least one axis is left to the planner."""
+        return self.algorithm == "auto" or self.shards == "auto"
+
+    @property
     def effective_operator(self) -> str:
         """The registry name the query actually runs under."""
+        if self.algorithm == "auto":
+            return "auto"
         return ANYK_OPERATOR if self.algorithm == "anyk" else self.operator
+
+    # ------------------------------------------------------------------
+    # Planner resolution
+    # ------------------------------------------------------------------
+    @property
+    def decision(self):
+        """The :class:`~repro.planner.PlanDecision` behind a resolved spec."""
+        return getattr(self, "_decision", None)
+
+    def resolve(self, *, obs=None, planner=None) -> "QuerySpec":
+        """Pin every ``auto`` axis via the cost-based planner.
+
+        Returns ``self`` for fully static specs.  The resolution is
+        memoized on the spec (statistics are content-addressed and the
+        estimators seeded, so it is deterministic within a process) and
+        the resulting spec carries the full :class:`PlanDecision` on
+        :attr:`decision` for explainability.
+        """
+        if not self.is_auto:
+            return self
+        cached = getattr(self, "_resolved", None)
+        if cached is not None:
+            return cached
+        from repro.planner import AdaptiveConfig, Planner
+
+        if planner is None:
+            planner = Planner(obs=obs)
+        pin_operator = self.algorithm != "auto" and not self.is_multiway
+        decision = planner.plan(
+            list(self.relations),
+            self.k,
+            self.scoring,
+            algorithm=self.algorithm,
+            shards=self.shards,
+            operator=self.operator if pin_operator else None,
+            join_attrs=self.join_attrs,
+        )
+        sharded = decision.shards > 1
+        resolved = replace(
+            self,
+            algorithm=decision.algorithm,
+            operator=(
+                decision.operator
+                if decision.algorithm == "pbrj" and not self.is_multiway
+                else self.operator
+            ),
+            shards=decision.shards,
+            exec_backend=(decision.backend if sharded else self.exec_backend),
+            partitioner=(decision.partitioner if sharded else "hash"),
+            kernel=(decision.kernel if decision.kernel != "auto" else self.kernel),
+            resilience=(self.resilience if sharded else None),
+            adaptive=(
+                (self.adaptive or AdaptiveConfig()) if sharded else None
+            ),
+        )
+        object.__setattr__(resolved, "_decision", decision)
+        object.__setattr__(self, "_resolved", resolved)
+        return resolved
+
+    def plan_summary(self) -> str:
+        """One-line label of the effective plan (for dashboards)."""
+        if self.is_auto:
+            return "auto (unresolved)"
+        if self.decision is not None:
+            return self.decision.summary()
+        if self.is_multiway:
+            return f"{self.algorithm}/multiway"
+        label = f"{self.algorithm}/{self.effective_operator}"
+        if isinstance(self.shards, int) and self.shards > 1:
+            label += f" x{self.shards} {self.partitioner}/{self.exec_backend}"
+        return label
 
     def fingerprint(self) -> str:
         """Canonical cache key: relation content + scoring + plan shape.
@@ -161,7 +274,14 @@ class QuerySpec:
         cached answer is byte-identical to what the same query would
         produce when run serially — operators agree on the top-K *set* but
         may order exact score ties differently.
+
+        ``auto`` specs fingerprint as their planner-resolved spec, so an
+        auto query and the equivalent static query share one cache entry
+        (safe because auto execution is bit-identical to static execution
+        of the same effective plan — test-enforced).
         """
+        if self.is_auto:
+            return self.resolve().fingerprint()
         digest = hashlib.sha256()
         for relation in self.relations:
             digest.update(relation.fingerprint().encode())
@@ -193,7 +313,12 @@ class QuerySpec:
         execution should hang under (the session span).  Only the
         sharded engine consumes it today — serial operators are timed
         by their session span directly.
+
+        ``auto`` specs are planner-resolved first; planner-resolved
+        sharded plans run under the adaptive re-sharding wrapper.
         """
+        if self.is_auto:
+            return self.resolve(obs=obs).build_operator(obs=obs, trace=trace)
         if self.is_multiway:
             if self.algorithm == "anyk":
                 from repro.anyk import anyk_from_chain
@@ -222,22 +347,46 @@ class QuerySpec:
         if self.shards > 1:
             from repro.exec import ExecConfig, ShardedRankJoin
 
+            config = ExecConfig(
+                shards=self.shards,
+                backend=self.exec_backend,
+                partitioner=self.partitioner,
+                kernel=self.kernel,
+                resilience=self.resilience,
+            )
+            if self.adaptive is not None:
+                from repro.planner import AdaptiveShardedRankJoin
+
+                engine = AdaptiveShardedRankJoin(
+                    instance,
+                    self.effective_operator,
+                    config=config,
+                    adaptive=self.adaptive,
+                    obs=obs,
+                    trace=trace,
+                )
+                engine.plan_label = self.plan_summary()
+                return engine
             return ShardedRankJoin(
                 instance,
                 self.effective_operator,
-                config=ExecConfig(
-                    shards=self.shards,
-                    backend=self.exec_backend,
-                    resilience=self.resilience,
-                ),
+                config=config,
                 obs=obs,
                 trace=trace,
             )
+        if self.kernel is not None:
+            # Same process-wide semantics as the sharded engine's kernel
+            # override (repro.kernels is a module-level switch).
+            from repro import kernels
+
+            kernels.set_backend(self.kernel)
         return make_operator(self.operator, instance, obs=obs)
 
     def describe(self) -> str:
         names = " ⋈ ".join(r.name for r in self.relations)
         label = f"{names} top-{self.k} via {self.effective_operator}"
-        if self.shards > 1:
+        if isinstance(self.shards, int) and self.shards > 1:
             label += f" x{self.shards} shards"
+        elif self.shards == "auto":
+            label += " (planned)"
         return label

@@ -84,7 +84,7 @@ class RankJoinServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
-        default_shards: int = 1,
+        default_shards: int | str = 1,
         default_algorithm: str = "pbrj",
         chaos=None,
         resilience=None,
@@ -95,7 +95,9 @@ class RankJoinServer:
         self.port = port  # 0 → ephemeral; updated once bound
         self.default_shards = default_shards
         #: Evaluation core applied when a request carries no
-        #: ``algorithm`` field (``"pbrj"`` or ``"anyk"``).
+        #: ``algorithm`` field (``"pbrj"``, ``"anyk"``, or ``"auto"`` to
+        #: let the cost-based planner choose; ``default_shards`` may be
+        #: ``"auto"`` likewise — both set by ``serve --plan auto``).
         self.default_algorithm = default_algorithm
         #: Optional :class:`repro.resilience.ResilienceConfig` applied to
         #: every sharded query this server builds (retry/respawn/degrade,
@@ -338,9 +340,10 @@ class RankJoinServer:
             scoring = WeightedSum(flat)
         else:
             scoring = SumScore()
-        shards = int(request.get("shards", self.default_shards))
+        raw_shards = request.get("shards", self.default_shards)
+        shards = "auto" if raw_shards == "auto" else int(raw_shards)
         kwargs = {}
-        if shards > 1 and len(relations) == 2:
+        if len(relations) == 2 and (shards == "auto" or shards > 1):
             kwargs["shards"] = shards
             backend = request.get("backend")
             if backend is not None:

@@ -106,6 +106,11 @@ class QueryService:
         quanta, retries — parents back to it.
         """
         session_id = f"s{next(self._ids)}"
+        # Resolve any planner-delegated axes up front: the fingerprint,
+        # cache entry, session label and telemetry all describe the
+        # *effective* plan (and the planner's decision counter increments
+        # through this service's metrics registry).
+        spec = spec.resolve(obs=self.obs)
         ctx = trace
         if ctx is None and self.obs.enabled:
             ctx = TraceContext.root()
@@ -215,12 +220,17 @@ class QueryService:
         set_slo_gauges(self.obs.metrics)
         return render_prometheus(self.obs.metrics)
 
-    @staticmethod
-    def _brief(session: QuerySession) -> dict:
+    def _brief(self, session: QuerySession) -> dict:
+        spec = self._specs.get(session.session_id)
+        reshards = getattr(session.operator, "reshards", 0)
+        plan = spec.plan_summary() if spec is not None else "?"
+        if reshards:
+            plan += f" (re-sharded x{reshards})"
         return {
             "session": session.session_id,
             "state": session.state.value,
             "label": session.label,
+            "plan": plan,
             "results": len(session.results),
             "k": session.k,
             "pulls": session.pulls,

@@ -100,7 +100,7 @@ def render_dashboard(
     if sessions:
         lines.append(
             f"{'SESSION':<9} {'STATE':<9} {'RESULTS':>8} {'PULLS':>9} "
-            f"{'FLAGS':<9} LABEL"
+            f"{'FLAGS':<9} {'PLAN':<28} LABEL"
         )
         for session in sessions:
             flags = "degraded" if session.get("degraded") else ""
@@ -109,7 +109,8 @@ def render_dashboard(
                 f"{session.get('state', '?'):<9} "
                 f"{session.get('results', 0):>4}/{session.get('k', 0):<3} "
                 f"{session.get('pulls', 0):>9,} "
-                f"{flags:<9} {session.get('label', '')}"
+                f"{flags:<9} {session.get('plan', '?'):<28} "
+                f"{session.get('label', '')}"
             )
     else:
         lines.append("no sessions in flight")

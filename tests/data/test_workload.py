@@ -1,5 +1,7 @@
 """Tests for workload factories."""
 
+import json
+
 import pytest
 
 from repro.core.scoring import MinScore
@@ -7,9 +9,11 @@ from repro.data.workload import (
     WorkloadParams,
     anti_correlated_instance,
     lineitem_orders_instance,
+    load_workload,
     pipeline_tables,
     random_instance,
 )
+from repro.errors import WorkloadError
 
 
 class TestWorkloadParams:
@@ -24,6 +28,50 @@ class TestWorkloadParams:
         assert config.score_cut == 0.25
         assert config.score_skew == 1.0
         assert config.join_skew == 0.8
+
+
+class TestWorkloadFileExecutionKeys:
+    """Execution-shape keys (shards / exec_backend / algorithm) validate
+    at load time with one-line errors — not deep inside engine setup."""
+
+    def _load(self, tmp_path, payload):
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps(payload))
+        return load_workload(path)
+
+    def test_valid_execution_shape(self, tmp_path):
+        params = self._load(
+            tmp_path,
+            {"shards": 4, "exec_backend": "serial", "algorithm": "anyk"},
+        )
+        assert params.shards == 4
+        assert params.exec_backend == "serial"
+        assert params.algorithm == "anyk"
+
+    def test_auto_values_accepted(self, tmp_path):
+        params = self._load(tmp_path, {"shards": "auto", "algorithm": "auto"})
+        assert params.shards == "auto"
+        assert params.algorithm == "auto"
+
+    @pytest.mark.parametrize("shards", [0, -2, 1.5, "many", True, None])
+    def test_invalid_shards_rejected(self, tmp_path, shards):
+        with pytest.raises(WorkloadError) as info:
+            self._load(tmp_path, {"shards": shards})
+        message = str(info.value)
+        assert "shards must be a positive integer or 'auto'" in message
+        assert "\n" not in message  # one line, CLI-displayable
+
+    def test_unknown_exec_backend_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError) as info:
+            self._load(tmp_path, {"exec_backend": "gpu"})
+        message = str(info.value)
+        assert "unknown exec_backend 'gpu'" in message
+        assert "serial" in message and "thread" in message
+        assert "\n" not in message
+
+    def test_unknown_algorithm_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError, match="unknown algorithm"):
+            self._load(tmp_path, {"algorithm": "lawler"})
 
 
 class TestLineitemOrders:

@@ -18,7 +18,7 @@ from repro.plan.estimate import (
     join_cardinality,
     rank_pipeline_orders,
 )
-from repro.relation.relation import Relation
+from repro.relation.relation import RankJoinInstance, Relation
 
 
 def relation(name, rows, key_attr="k"):
@@ -115,6 +115,55 @@ class TestBinaryDepths:
         estimate = estimate_binary_depths(instance)
         assert estimate.depths[0] <= 100
         assert estimate.depths[1] <= 50
+
+
+class TestBinaryDepthsDegenerate:
+    """Graceful degradation: the planner feeds arbitrary instances here,
+    so degenerate inputs must produce a full-scan estimate, not raise."""
+
+    def _instance(self, left_rows, right_rows, k):
+        left = relation("L", left_rows) if left_rows else Relation("L", [])
+        right = relation("R", right_rows) if right_rows else Relation("R", [])
+        return RankJoinInstance(left, right, SumScore(), k)
+
+    def test_empty_relation_full_scan(self):
+        instance = self._instance([({"k": 1}, (0.5,))], [], k=1)
+        estimate = estimate_binary_depths(instance)
+        assert estimate.depths == (1, 0)
+        assert estimate.terminal_score == float("-inf")
+        assert estimate.join_size == 0
+
+    def test_both_empty(self):
+        instance = self._instance([], [], k=1)
+        estimate = estimate_binary_depths(instance)
+        assert estimate.depths == (0, 0)
+        assert estimate.sum_depths == 0
+
+    def test_single_tuple_each_side(self):
+        instance = self._instance(
+            [({"k": 1}, (0.7,))], [({"k": 1}, (0.3,))], k=1
+        )
+        estimate = estimate_binary_depths(instance)
+        assert estimate.depths == (1, 1)
+        assert estimate.join_size == 1
+
+    def test_join_smaller_than_k_full_scan(self):
+        instance = self._instance(
+            [({"k": 1}, (0.7,)), ({"k": 2}, (0.6,))],
+            [({"k": 1}, (0.3,))],
+            k=5,
+        )
+        estimate = estimate_binary_depths(instance)
+        assert estimate.depths == (2, 1)
+        assert estimate.terminal_score == float("-inf")
+
+    def test_all_equal_scores(self):
+        rows = [({"k": i % 3}, (0.5,)) for i in range(30)]
+        instance = self._instance(rows, rows, k=5)
+        estimate = estimate_binary_depths(instance)
+        assert 1 <= estimate.depths[0] <= 30
+        assert 1 <= estimate.depths[1] <= 30
+        assert estimate.join_size >= 5
 
 
 class TestChainDepths:

@@ -1,0 +1,20 @@
+"""Shared planner-test setup: pinned coefficients, cleared caches.
+
+Installing explicit :class:`CostCoefficients` keeps every test free of
+micro-benchmark noise (``measure()`` would otherwise run once and make
+decisions machine-dependent); clearing the stats/depth caches keeps
+tests order-independent.
+"""
+
+import pytest
+
+from repro.planner import clear_depth_cache, clear_stats_caches, set_coefficients
+from repro.planner.cost import CostCoefficients
+
+
+@pytest.fixture(autouse=True)
+def fixed_coefficients():
+    set_coefficients(CostCoefficients())
+    clear_stats_caches()
+    clear_depth_cache()
+    yield

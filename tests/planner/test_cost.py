@@ -1,0 +1,179 @@
+"""Tests for the calibrated cost model (coefficients + scoring formulas)."""
+
+import json
+
+import pytest
+
+from repro.planner.cost import (
+    CostCoefficients,
+    PlanCandidate,
+    coefficients,
+    measure,
+    score_anyk_candidate,
+    score_multiway_pbrj,
+    score_pbrj_candidate,
+    set_coefficients,
+)
+
+COEFFS = CostCoefficients()
+
+
+def pbrj_candidate(**overrides) -> PlanCandidate:
+    base = dict(
+        algorithm="pbrj", operator="HRJN*", shards=1,
+        partitioner="hash", backend="serial", kernel="auto",
+    )
+    base.update(overrides)
+    return PlanCandidate(**base)
+
+
+class TestCoefficients:
+    def test_round_trip(self):
+        coeffs = CostCoefficients(pull_pbrj=1e-6, parallelism=4)
+        assert CostCoefficients.from_dict(coeffs.to_dict()) == coeffs
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown cost coefficient"):
+            CostCoefficients.from_dict({"pull_pbrj": 1e-6, "warp_speed": 9})
+
+    def test_partial_dict_keeps_defaults(self):
+        coeffs = CostCoefficients.from_dict({"pull_anyk": 5e-6})
+        assert coeffs.pull_anyk == 5e-6
+        assert coeffs.pull_pbrj == CostCoefficients().pull_pbrj
+
+    def test_backend_lookups(self):
+        assert COEFFS.round_overhead("process") > COEFFS.round_overhead("serial")
+        assert COEFFS.startup("process") > COEFFS.startup("thread")
+
+    def test_kernel_factor_crossover(self):
+        assert COEFFS.kernel_factor("numpy", 10_000) == 1.0
+        assert COEFFS.kernel_factor("python", 100) < 1.0
+        assert COEFFS.kernel_factor("python", 100_000) > 1.0
+
+    def test_env_file_resolution(self, tmp_path, monkeypatch):
+        path = tmp_path / "coeffs.json"
+        path.write_text(json.dumps({"pull_pbrj": 7.5e-7}))
+        monkeypatch.setenv("REPRO_PLANNER_COEFFS", str(path))
+        set_coefficients(None)  # drop the test fixture's explicit install
+        try:
+            assert coefficients().pull_pbrj == 7.5e-7
+        finally:
+            set_coefficients(CostCoefficients())
+
+    def test_measure_produces_positive_costs(self):
+        measured = measure(seed=0)
+        assert measured.pull_pbrj > 0
+        assert measured.pull_anyk > 0
+        assert measured.parallelism >= 1
+
+
+class TestPbrjScoring:
+    def test_partition_cost_keeps_small_joins_serial(self):
+        # Shallow query over a biggish input: the O(n) partition scan
+        # outweighs the cover shrink, so serial must be cheaper.
+        serial = score_pbrj_candidate(
+            pbrj_candidate(), coeffs=COEFFS, depth=200,
+            total_tuples=5_000, shares=(1.0,),
+        )
+        sharded = score_pbrj_candidate(
+            pbrj_candidate(shards=8, backend="serial"),
+            coeffs=COEFFS, depth=200, total_tuples=5_000,
+            shares=(0.125,) * 8,
+        )
+        assert sharded.detail["partition"] > 0.0
+        assert serial.detail["partition"] == 0.0
+        assert serial.cost < sharded.cost
+
+    def test_balanced_sharding_beats_serial(self):
+        serial = score_pbrj_candidate(
+            pbrj_candidate(), coeffs=COEFFS, depth=10_000,
+            total_tuples=5_000, shares=(1.0,),
+        )
+        sharded = score_pbrj_candidate(
+            pbrj_candidate(shards=4, backend="serial"),
+            coeffs=COEFFS, depth=10_000, total_tuples=5_000,
+            shares=(0.25, 0.25, 0.25, 0.25),
+        )
+        # Cover shrink: balanced shards do ~S^gamma less work.
+        assert sharded.cost < serial.cost
+
+    def test_skewed_shares_cost_more_than_balanced(self):
+        balanced = score_pbrj_candidate(
+            pbrj_candidate(shards=4), coeffs=COEFFS, depth=10_000,
+            total_tuples=5_000, shares=(0.25, 0.25, 0.25, 0.25),
+        )
+        skewed = score_pbrj_candidate(
+            pbrj_candidate(shards=4), coeffs=COEFFS, depth=10_000,
+            total_tuples=5_000, shares=(0.85, 0.05, 0.05, 0.05),
+        )
+        assert skewed.cost > balanced.cost
+        assert skewed.detail["imbalance"] > balanced.detail["imbalance"]
+
+    def test_process_backend_pays_startup(self):
+        thread = score_pbrj_candidate(
+            pbrj_candidate(shards=4, backend="thread"),
+            coeffs=COEFFS, depth=1_000, total_tuples=2_000,
+            shares=(0.25,) * 4,
+        )
+        process = score_pbrj_candidate(
+            pbrj_candidate(shards=4, backend="process"),
+            coeffs=COEFFS, depth=1_000, total_tuples=2_000,
+            shares=(0.25,) * 4,
+        )
+        assert process.detail["startup"] > thread.detail["startup"]
+
+    def test_process_parallelism_divides_compute(self):
+        fast = CostCoefficients(parallelism=4)
+        slow = CostCoefficients(parallelism=1)
+        kwargs = dict(depth=100_000, total_tuples=2_000, shares=(0.25,) * 4)
+        candidate = pbrj_candidate(shards=4, backend="process")
+        assert (
+            score_pbrj_candidate(candidate, coeffs=fast, **kwargs).detail["compute"]
+            < score_pbrj_candidate(candidate, coeffs=slow, **kwargs).detail["compute"]
+        )
+
+    def test_tighter_bound_reads_shallower_pays_more_per_pull(self):
+        kwargs = dict(coeffs=COEFFS, depth=10_000, total_tuples=5_000, shares=(1.0,))
+        hrjn = score_pbrj_candidate(pbrj_candidate(operator="HRJN*"), **kwargs)
+        frpa = score_pbrj_candidate(pbrj_candidate(operator="FRPA"), **kwargs)
+        assert frpa.detail["depth"] < hrjn.detail["depth"]
+
+    def test_zero_depth_clamped(self):
+        result = score_pbrj_candidate(
+            pbrj_candidate(), coeffs=COEFFS, depth=0,
+            total_tuples=0, shares=(1.0,),
+        )
+        assert result.cost > 0
+
+
+class TestAnykScoring:
+    def test_linear_in_input(self):
+        candidate = PlanCandidate(
+            algorithm="anyk", operator="AnyK", shards=1,
+            partitioner="hash", backend="serial", kernel="auto",
+        )
+        small = score_anyk_candidate(candidate, coeffs=COEFFS, total_tuples=1_000, k=10)
+        large = score_anyk_candidate(candidate, coeffs=COEFFS, total_tuples=10_000, k=10)
+        assert large.cost > small.cost
+        # Depth-independent: the DP reads everything regardless.
+        assert large.detail["depth"] == 10_000
+
+    def test_label(self):
+        candidate = PlanCandidate(
+            algorithm="anyk", operator="AnyK", shards=1,
+            partitioner="hash", backend="serial", kernel="auto",
+        )
+        assert candidate.label() == "anyk"
+        sharded = PlanCandidate(
+            algorithm="pbrj", operator="FRPA", shards=4,
+            partitioner="skew", backend="thread", kernel="auto",
+        )
+        assert sharded.label() == "pbrj/FRPA x4 skew/thread"
+
+
+class TestMultiwayScoring:
+    def test_arity_raises_cost(self):
+        candidate = pbrj_candidate()
+        two = score_multiway_pbrj(candidate, coeffs=COEFFS, depth=1_000, arity=2)
+        four = score_multiway_pbrj(candidate, coeffs=COEFFS, depth=1_000, arity=4)
+        assert four.cost > two.cost

@@ -47,3 +47,40 @@ def test_chaos_suite_entrypoint_smoke():
         kinds=("transient",),
     )
     assert len(cases) == 1 and cases[0].ok
+
+
+class TestReshardChaos:
+    """Faults fired DURING a live re-shard migration must not break the
+    bit-identity invariant: the adaptive engine replays the emitted prefix
+    on the new topology under fault injection and must land exactly where
+    the fault-free serial run lands."""
+
+    @pytest.mark.parametrize("kind", ("transient", "worker-kill"))
+    @pytest.mark.parametrize("backend", CHAOS_BACKENDS)
+    def test_fault_during_migration(self, backend, kind):
+        from repro.resilience import reshard_chaos_run
+
+        case = reshard_chaos_run("uniform", 2, backend, kind)
+        assert case.matched, (
+            f"reshard under {kind} on {backend}: results diverged "
+            f"(respawns={case.respawns}, retries={case.retries})"
+        )
+        assert case.reshards == 1
+        assert case.fired > 0, "no injected fault fired during migration"
+
+    def test_skewed_workload_reshard_under_fault(self):
+        from repro.resilience import reshard_chaos_run
+
+        case = reshard_chaos_run("zipf", 4, "thread", "worker-kill", seed=2)
+        assert case.ok and case.reshards == 1
+
+    def test_suite_entrypoint_grows_reshard_leg(self):
+        from repro.resilience import run_chaos_suite
+
+        cases = run_chaos_suite(
+            workloads=("uniform",), shards=(2,), backends=("thread",),
+            kinds=("transient",), reshard=True,
+        )
+        assert len(cases) == 2
+        assert all(c.ok for c in cases)
+        assert any(c.kind.endswith("+reshard") for c in cases)

@@ -22,7 +22,8 @@ STATS = {
     "shards": {"0": 320, "1": 320},
     "sessions": [
         {"session": "q-1", "state": "RUNNING", "label": "hrjn k=10",
-         "results": 4, "k": 10, "pulls": 320, "degraded": True},
+         "results": 4, "k": 10, "pulls": 320, "degraded": True,
+         "plan": "pbrj/FRPA x4 skew/thread"},
     ],
 }
 
@@ -51,6 +52,20 @@ class TestRenderDashboard:
     def test_empty_stats_do_not_crash(self):
         screen = render_dashboard({})
         assert "no sessions in flight" in screen
+
+    def test_plan_column_rendered_per_session(self):
+        screen = render_dashboard(STATS)
+        assert "PLAN" in screen
+        assert "pbrj/FRPA x4 skew/thread" in screen
+
+    def test_missing_plan_renders_placeholder(self):
+        stats = dict(STATS)
+        stats["sessions"] = [
+            {"session": "q-2", "state": "RUNNING", "label": "x",
+             "results": 0, "k": 5, "pulls": 0, "degraded": False},
+        ]
+        screen = render_dashboard(stats)
+        assert "?" in screen
 
     def test_draining_flag_in_title(self):
         screen = render_dashboard({"draining": True})

@@ -251,3 +251,58 @@ class TestAlgorithm:
             "--shards", "2",
         ]) == 0
         assert "top scores" in capsys.readouterr().out
+
+
+class TestPlanAuto:
+    def test_run_plan_auto(self, capsys):
+        assert main([
+            "run", "--plan", "auto", "--scale", "0.0003", "--k", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "top scores" in out
+        assert "planning" in out
+        assert "est cost" in out  # the explainable candidate table
+        assert "*" in out  # chosen-candidate marker
+
+    def test_workload_file_auto_shards(self, tmp_path, capsys):
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps({
+            "scale": 0.0003, "k": 3, "shards": "auto", "algorithm": "auto",
+        }))
+        assert main(["run", "FRPA", "--workload", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "top scores" in out and "planning" in out
+
+    def test_workload_file_invalid_shards_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps({"scale": 0.0003, "shards": 0}))
+        assert main(["run", "FRPA", "--workload", str(path)]) == 2
+        captured = capsys.readouterr()
+        assert "shards must be a positive integer or 'auto'" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_workload_file_invalid_exec_backend_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps({"scale": 0.0003, "exec_backend": "gpu"}))
+        assert main(["run", "FRPA", "--workload", str(path)]) == 2
+        captured = capsys.readouterr()
+        assert "unknown exec_backend 'gpu'" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_workload_file_static_shards_adopted(self, tmp_path, capsys):
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps({
+            "scale": 0.0003, "k": 3, "shards": 2, "exec_backend": "serial",
+        }))
+        assert main(["run", "FRPA", "--workload", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "top scores" in out
+        assert "x2" in out  # sharded plan line mentions the shard count
+
+    def test_figures_anyk_leg(self, capsys):
+        assert main([
+            "figures", "2", "--scale", "0.0003", "--seeds", "1",
+            "--algorithm", "anyk",
+        ]) == 0
+        assert "AnyK" in capsys.readouterr().out
