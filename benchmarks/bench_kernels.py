@@ -1,19 +1,33 @@
-"""Kernel backend micro/macro benchmarks: python vs numpy.
+"""Kernel backend micro/macro benchmarks: python vs numpy vs auto dispatch.
 
-Times the batch kernels that dominate FR-family bound computation under
-both backends and writes ``benchmarks/results/BENCH_kernels.json``:
+Times the batch kernels that dominate FR-family bound computation and
+writes two records under ``benchmarks/results/``:
 
-* ``micro`` — per-op wall-clock (skyline filter, dominance masks, corner
-  scores, cover carve) on synthetic unit vectors;
-* ``bound_refresh`` — the FR*/aFR bound hot path at e=3 over n-row seen
-  columns: a full partial-score recompute on both sides, the seen×seen
-  cross-product max, and the capped-cover corner max (the aFR shape,
-  |CR| ≤ 500).  This is exactly the work :class:`repro.core.frstar_bound.
-  FRStarBound` re-does when a prepared operand's stamp invalidates.
+``BENCH_kernels.json``
+    * ``micro`` — per-op wall-clock (skyline filter, dominance masks,
+      corner scores, cover carve) on synthetic unit vectors;
+    * ``bound_refresh`` — the FR*/aFR bound hot path at e=3 over n-row
+      seen columns: a full partial-score recompute on both sides, the
+      seen×seen cross-product max, and the capped-cover corner max (the
+      aFR shape, |CR| ≤ 500).  This is exactly the work
+      :class:`repro.core.frstar_bound.FRStarBound` re-does when a
+      prepared operand's stamp invalidates.
 
-Acceptance: numpy must beat python on the bound refresh (the tentpole's
-reason to exist).  The full run uses n = 50,000 rows; ``--quick`` (CI)
-shrinks the inputs but keeps the same invariant.
+``BENCH_dispatch.json``
+    All 11 kernel ops swept over batch sizes n ∈ {4, 16, 64, 256, 1k,
+    10k, 50k}, timing size-aware ``auto`` dispatch against every pinned
+    backend.  Acceptance: at every swept size the backend auto routes
+    to must stay within 5 % (plus a 5 µs timer-noise floor) of the
+    *best* pinned backend — i.e. per-call routing captures the
+    python/numpy crossover instead of paying numpy's fixed overhead on
+    four-row batches.  Super-linear ops cap their ladder (recorded as
+    ``capped_at`` — no silent truncation).  Inputs come from
+    :mod:`repro.kernels.dispatch`'s own synthetic generators so the
+    sweep exercises exactly the shapes calibration measured.
+
+Acceptance for the original record: numpy must beat python on the bound
+refresh.  The full run uses n = 50,000 rows; ``--quick`` (CI) shrinks
+the inputs and the sweep ladder but keeps the same invariants.
 
 Run directly: ``python benchmarks/bench_kernels.py [--quick]`` — or via
 pytest, where ``REPRO_BENCH_KERNELS_QUICK=1`` selects the quick shape.
@@ -22,6 +36,7 @@ pytest, where ``REPRO_BENCH_KERNELS_QUICK=1`` selects the quick shape.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import random
@@ -32,7 +47,8 @@ from pathlib import Path
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro import kernels  # noqa: E402
-from repro.kernels import PointSet, use_backend  # noqa: E402
+from repro.kernels import HAS_NUMBA, PointSet, use_backend  # noqa: E402
+from repro.kernels.dispatch import ARG_BUILDERS  # noqa: E402
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -148,16 +164,218 @@ def bench_bound_refresh(params: dict) -> dict:
     }
 
 
-def run_bench(quick: bool) -> dict:
-    params = QUICK_PARAMS if quick else FULL_PARAMS
+# ----------------------------------------------------------------------
+# Dispatch sweep: auto vs every pinned backend, per op, per batch size
+# ----------------------------------------------------------------------
+DISPATCH_SIZES = (4, 16, 64, 256, 1024, 10_000, 50_000)
+DISPATCH_QUICK_SIZES = (4, 64, 1024)
+
+#: Ladder caps for ops whose reference tier is super-linear; anything
+#: above the cap is dropped from the sweep and recorded as ``capped_at``.
+DISPATCH_SIZE_CAPS = {
+    "cover_carve": 1024,     # O(|cover|·|observed|) carve cascades
+    "skyline_filter": 10_000,  # O(n·|skyline|) incremental filter
+}
+
+#: Auto must stay within 5 % of the best pinned backend, with a 5 µs
+#: absolute floor: near a crossover both tiers run in single-digit µs
+#: and the gap between them is below timer resolution.
+DISPATCH_REL_TOL = 1.05
+DISPATCH_ABS_TOL = 5e-6
+
+
+def _dispatch_backends() -> list[str]:
+    pinned = [b for b in ("python", "numpy", "numba")
+              if b in kernels.available_backends()]
+    return pinned + ["auto"]
+
+
+def _reps_for(size: int) -> int:
+    # Loop-and-divide: sub-µs calls at n=4 need ~64 reps to clear timer
+    # noise; bulk calls are long enough to time individually.
+    return max(1, min(64, 2048 // max(size, 1)))
+
+
+def _time_backends(fn, args: tuple, backends, reps: int, rounds: int) -> dict:
+    """Per-backend best seconds/call, measured *interleaved*.
+
+    Timing each backend in its own block lets GC pauses and frequency
+    drift land on one backend only — at the 200 µs scale that shows up
+    as a spurious ±25 % between bit-identical implementations.  Round-
+    robin rounds with GC paused give every backend the same conditions;
+    the min discards one-sided noise.
+    """
+    best = {b: float("inf") for b in backends}
+    gc.disable()
+    try:
+        for r in range(rounds):
+            # Rotate the order each round: turbo decay within a round
+            # would otherwise consistently penalise the last backend.
+            order = backends[r % len(backends):] + backends[: r % len(backends)]
+            for backend in order:
+                with use_backend(backend):
+                    started = time.perf_counter()
+                    for _ in range(reps):
+                        fn(*args)
+                    elapsed = (time.perf_counter() - started) / reps
+                if elapsed < best[backend]:
+                    best[backend] = elapsed
+    finally:
+        gc.enable()
+    return best
+
+
+def bench_dispatch(params: dict, quick: bool) -> dict:
+    """Sweep every kernel op across batch sizes under auto + pinned."""
+    # Resolve thresholds deliberately (generous budget, compiled tier
+    # included when importable) so the sweep measures routing quality,
+    # not a half-finished import-time calibration.
+    thresholds = kernels.calibrate_thresholds(
+        budget=2.0 if not quick else 0.5, include_compiled=HAS_NUMBA
+    )
+    backends = _dispatch_backends()
+    sizes = DISPATCH_QUICK_SIZES if quick else DISPATCH_SIZES
+    # One extra rotation per backend so every backend leads a round.
+    rounds = params["repeats"] + len(backends)
+
+    ops: dict[str, dict] = {}
+    for op in kernels.KERNEL_OPS:
+        builder = ARG_BUILDERS[op]
+        fn = getattr(kernels, op)
+        cap = DISPATCH_SIZE_CAPS.get(op)
+        swept = [n for n in sizes if cap is None or n <= cap]
+        timings: dict[str, list[float]] = {b: [] for b in backends}
+        chosen: list[str] = []
+        for size in swept:
+            args = builder(size)
+            reps = _reps_for(size)
+            for backend in backends:
+                with use_backend(backend):
+                    fn(*args)  # warm (numba: jit) outside the timers
+            best = _time_backends(fn, args, backends, reps, rounds)
+            for backend in backends:
+                timings[backend].append(best[backend])
+            chosen.append(_route_choice(op, args))
+        pinned = [b for b in backends if b != "auto"]
+        ops[op] = {
+            "sizes": swept,
+            "capped_at": cap,
+            "timings": timings,
+            "auto_route": chosen,
+            "auto_vs_best": [
+                timings["auto"][i] / min(timings[b][i] for b in pinned)
+                for i in range(len(swept))
+            ],
+            # Routing quality on the pinned series: the chosen backend's
+            # pinned time vs the best pinned time.  This is the 5 %
+            # acceptance metric — both sides come from the same timing
+            # conditions, so same-impl timer noise cancels out of the
+            # comparison (``auto_vs_best`` compares different series and
+            # carries that noise; it is recorded for transparency only).
+            "route_vs_best": [
+                timings[chosen[i]][i] / min(timings[b][i] for b in pinned)
+                for i in range(len(swept))
+            ],
+        }
     return {
-        "mode": "quick" if quick else "full",
+        "sizes": list(sizes),
+        "backends": backends,
+        "thresholds": thresholds,
+        "routes": kernels.dispatch_routes(),
+        "tolerance": {
+            "relative": DISPATCH_REL_TOL,
+            "absolute_seconds": DISPATCH_ABS_TOL,
+        },
+        "ops": ops,
+    }
+
+
+def _route_choice(op: str, args: tuple) -> str:
+    """The backend the auto route table picks for this exact call."""
+    from repro.kernels.dispatch import SIZERS, _first_len
+
+    n = SIZERS.get(op, _first_len)(args)
+    for min_size, backend in kernels.dispatch_routes()[op]:
+        if n >= min_size:
+            return backend
+    return "python"
+
+
+def check_dispatch(record: dict) -> list[str]:
+    """Auto's routing within 5 % (+5 µs) of the best pinned backend.
+
+    Evaluated on the *pinned* series: the backend auto routed to must
+    time within tolerance of the best pinned backend at that size.
+    Comparing auto's own wall clock against a different timing series
+    would re-test the machine's timer noise, not the routing — on a
+    shared box two runs of the *identical* implementation differ by
+    ±15 % at the 200 µs scale (the raw gap is still recorded as
+    ``auto_vs_best``).  A misroute — auto picking a backend that is
+    genuinely slower at that size — fails loudly either way.
+    """
+    errors = []
+    pinned = [b for b in record["backends"] if b != "auto"]
+    for op, row in record["ops"].items():
+        for i, size in enumerate(row["sizes"]):
+            best = min(row["timings"][b][i] for b in pinned)
+            routed = row["timings"][row["auto_route"][i]][i]
+            if routed > best * DISPATCH_REL_TOL + DISPATCH_ABS_TOL:
+                errors.append(
+                    f"auto dispatch misroutes {op} at n={size}: "
+                    f"chose {row['auto_route'][i]}={routed * 1e6:.2f}µs, "
+                    f"best pinned={best * 1e6:.2f}µs"
+                )
+    # The tentpole's headline: small batches of the early-exit ops must
+    # no longer regress against the pure-Python reference.  Calls here
+    # are in the single-µs range, so the absolute floor covers noise
+    # and auto's own wall clock (dispatch overhead included) is held to
+    # the bound directly.
+    for op in ("dominates_any", "skyline_filter", "cover_carve"):
+        row = record["ops"][op]
+        for i, size in enumerate(row["sizes"]):
+            if size > 64:
+                continue
+            python = row["timings"]["python"][i]
+            auto = row["timings"]["auto"][i]
+            if auto > python * DISPATCH_REL_TOL + DISPATCH_ABS_TOL:
+                errors.append(
+                    f"small-batch regression: {op} at n={size} "
+                    f"auto={auto * 1e6:.2f}µs python={python * 1e6:.2f}µs"
+                )
+    return errors
+
+
+def report_dispatch(record: dict) -> None:
+    print()
+    print(f"dispatch sweep (sizes={record['sizes']})")
+    for op, row in record["ops"].items():
+        worst_route = max(row["route_vs_best"])
+        worst_raw = max(row["auto_vs_best"])
+        cap = f" (capped at {row['capped_at']})" if row["capped_at"] else ""
+        print(
+            f"  {op:22s}: route/best worst {worst_route:5.2f}x "
+            f"(raw auto {worst_raw:4.2f}x){cap}"
+        )
+
+
+def run_bench(quick: bool) -> tuple[dict, dict]:
+    """(BENCH_kernels record, BENCH_dispatch record)."""
+    params = QUICK_PARAMS if quick else FULL_PARAMS
+    mode = "quick" if quick else "full"
+    kernels_record = {
+        "mode": mode,
         "dimension": DIMENSION,
         "params": params,
         "backends": list(kernels.available_backends()),
         "micro": bench_micro(params),
         "bound_refresh": bench_bound_refresh(params),
     }
+    dispatch_record = {
+        "mode": mode,
+        "dimension": DIMENSION,
+        **bench_dispatch(params, quick),
+    }
+    return kernels_record, dispatch_record
 
 
 def check(record: dict) -> list[str]:
@@ -188,11 +406,9 @@ def report(record: dict) -> None:
     )
 
 
-def write_record(record: dict) -> None:
+def write_record(record: dict, name: str = "BENCH_kernels.json") -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_kernels.json").write_text(
-        json.dumps(record, indent=2) + "\n"
-    )
+    (RESULTS_DIR / name).write_text(json.dumps(record, indent=2) + "\n")
 
 
 def test_kernel_backends():
@@ -201,10 +417,12 @@ def test_kernel_backends():
 
         pytest.skip("numpy backend unavailable")
     quick = bool(os.environ.get("REPRO_BENCH_KERNELS_QUICK"))
-    record = run_bench(quick)
+    record, dispatch_record = run_bench(quick)
     report(record)
+    report_dispatch(dispatch_record)
     write_record(record)
-    errors = check(record)
+    write_record(dispatch_record, "BENCH_dispatch.json")
+    errors = check(record) + check_dispatch(dispatch_record)
     assert not errors, errors
 
 
@@ -216,10 +434,12 @@ if __name__ == "__main__":
     if "numpy" not in kernels.available_backends():
         print("BENCH SKIPPED: numpy backend unavailable")
         sys.exit(0)
-    bench_record = run_bench(args.quick)
+    bench_record, dispatch_bench_record = run_bench(args.quick)
     report(bench_record)
+    report_dispatch(dispatch_bench_record)
     write_record(bench_record)
-    failures = check(bench_record)
+    write_record(dispatch_bench_record, "BENCH_dispatch.json")
+    failures = check(bench_record) + check_dispatch(dispatch_bench_record)
     if failures:
         print("BENCH FAILED:")
         for failure in failures:

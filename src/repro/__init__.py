@@ -85,7 +85,14 @@ from repro.errors import (
     ReproError,
     WorkloadError,
 )
-from repro.kernels import PointSet, available_backends, kernel_name, set_backend
+from repro.kernels import (
+    PointSet,
+    available_backends,
+    dispatch_routes,
+    kernel_name,
+    set_backend,
+    set_thresholds,
+)
 from repro.plan import Pipeline, QueryInput, RankQuery
 from repro.planner import (
     AdaptiveConfig,
@@ -172,6 +179,7 @@ __all__ = [
     "anti_correlated_instance",
     "available_backends",
     "certificate_optimal_sum_depths",
+    "dispatch_routes",
     "frpa",
     "generate_tpch",
     "hrjn",
@@ -188,6 +196,7 @@ __all__ = [
     "pbrj_fr_rr",
     "random_instance",
     "set_backend",
+    "set_thresholds",
     "skew_aware_plan",
     "__version__",
 ]

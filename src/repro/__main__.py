@@ -71,7 +71,9 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
 def _add_kernel_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--kernel", choices=kernels.BACKEND_CHOICES, default=None,
-        help="point-set kernel backend (default: REPRO_KERNEL env or auto)",
+        help="point-set kernel: 'auto' dispatches per call by batch size; "
+             "python/numpy/numba pin one backend "
+             "(default: REPRO_KERNEL env or auto)",
     )
 
 
@@ -493,6 +495,11 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(f"figures   : {', '.join(sorted(FIGURES))}")
     print(f"kernels   : {', '.join(kernels.available_backends())} "
           f"(active: {kernels.kernel_name()})")
+    if kernels.kernel_name() == "auto":
+        print("dispatch  : op -> [(min batch size, backend)], scanned high→low")
+        for op, entries in sorted(kernels.dispatch_routes().items()):
+            table = ", ".join(f"{size}:{name}" for size, name in entries)
+            print(f"  {op:<22} {table}")
     print("defaults  : e=2 c=.5 z=.5 K=10 (the paper's Table 2)")
     return 0
 

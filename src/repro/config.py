@@ -1,12 +1,18 @@
 """Process-wide configuration knobs (:class:`ReproConfig`).
 
-Two global knobs live here:
+Three global knobs live here:
 
-* the kernel backend of :mod:`repro.kernels`.  Resolution order, highest
+* the kernel of :mod:`repro.kernels`.  Resolution order, highest
   priority first: an explicit ``--kernel`` CLI flag /
   :func:`repro.kernels.set_backend` call / ``ReproConfig(kernel=...)``;
-  the ``REPRO_KERNEL`` environment variable; ``auto`` (numpy when
-  importable, pure Python otherwise).
+  the ``REPRO_KERNEL`` environment variable; ``auto`` (size-aware
+  per-call dispatch over the installed backends).  Pinned names
+  (``python``/``numpy``/``numba``) resolve every op at one tier.
+* the dispatcher's crossover thresholds.  ``kernel_thresholds`` names a
+  JSON file of per-op minimum batch sizes (same schema as the
+  ``$REPRO_KERNEL_THRESHOLDS`` override and the per-machine cache under
+  ``~/.cache/repro/kernel_thresholds.json``); with neither set the
+  dispatcher calibrates once per machine and caches the result.
 * the planner's cost-model coefficients (:mod:`repro.planner.cost`).
   ``planner_coeffs`` names a JSON file of coefficient overrides; the
   ``REPRO_PLANNER_COEFFS`` environment variable provides the same hook,
@@ -22,6 +28,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.kernels import BACKEND_CHOICES, ENV_VAR, kernel_name, set_backend
+from repro.kernels.dispatch import ENV_VAR as THRESHOLDS_ENV_VAR
 
 
 @dataclass(frozen=True)
@@ -29,13 +36,16 @@ class ReproConfig:
     """Declarative bundle of process-wide settings.
 
     ``kernel`` is one of :data:`repro.kernels.BACKEND_CHOICES`
-    (``auto``/``numpy``/``python``); ``planner_coeffs`` optionally names
-    a JSON file of :class:`repro.planner.CostCoefficients` overrides.
+    (``auto``/``numpy``/``python``/``numba``); ``kernel_thresholds``
+    optionally names a JSON file of per-op dispatch crossovers;
+    ``planner_coeffs`` optionally names a JSON file of
+    :class:`repro.planner.CostCoefficients` overrides.
     Construct-and-:meth:`apply`, or use :meth:`from_env` to mirror the
     environment.
     """
 
     kernel: str = "auto"
+    kernel_thresholds: str | None = None
     planner_coeffs: str | None = None
 
     def __post_init__(self) -> None:
@@ -55,16 +65,23 @@ class ReproConfig:
             raw = "auto"
         return cls(
             kernel=raw,
+            kernel_thresholds=os.environ.get(THRESHOLDS_ENV_VAR) or None,
             planner_coeffs=os.environ.get(PLANNER_ENV_VAR) or None,
         )
 
     @classmethod
     def current(cls) -> "ReproConfig":
-        """Config reflecting the backend that is active right now."""
+        """Config reflecting the kernel that is active right now."""
         return cls(kernel=kernel_name())
 
     def apply(self) -> str:
-        """Install these settings; returns the resolved kernel name."""
+        """Install these settings; returns the selected kernel name."""
+        if self.kernel_thresholds is not None:
+            from repro.kernels import dispatch, set_thresholds
+
+            set_thresholds(
+                dispatch.load_thresholds_file(self.kernel_thresholds)
+            )
         if self.planner_coeffs is not None:
             # Imported lazily — the planner is an optional consumer.
             from repro.planner.cost import CostCoefficients, set_coefficients

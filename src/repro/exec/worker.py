@@ -63,8 +63,9 @@ class ExecConfig:
         Skew partitioner knob: a key is heavy when its estimated result
         share exceeds this fraction (default ``1 / shards``).
     kernel:
-        Optional :mod:`repro.kernels` backend for the run (``"auto"`` /
-        ``"numpy"`` / ``"python"``).  ``None`` (default) inherits the
+        Optional :mod:`repro.kernels` selection for the run (``"auto"``
+        dispatches per call by batch size; ``"numpy"`` / ``"python"`` /
+        ``"numba"`` pin one backend).  ``None`` (default) inherits the
         process-wide selection.  Applied by the engine before workers
         start; fork-based process children inherit the selection.
     resilience:

@@ -13,7 +13,8 @@ cover points dominating ``y`` are removed and replaced by their projections
 cover nothing and are dropped).  It is a deliberately loop-based oracle; the
 production path is :class:`CoverRegion`, which keeps its points in a columnar
 :class:`~repro.kernels.PointSet` and carves through the batch kernel
-:func:`repro.kernels.cover_carve` (vectorized under the numpy backend).
+:func:`repro.kernels.cover_carve` — dispatched per call by cover size, so
+small covers stay on the early-exit loops and bulk carves go vectorized.
 
 The FR* variant additionally skylines the result.  Note a deliberate
 deviation documented in DESIGN.md: the paper skylines only the new points
@@ -105,8 +106,8 @@ class CoverRegion:
     each :meth:`update` is a single :func:`repro.kernels.cover_carve` batch
     call — cover maintenance runs on every pull of the FR-family bounds and
     is their hottest loop.  The semantics are identical to the reference
-    :func:`update_cover` under either kernel backend (the test suite asserts
-    the equivalence property-based).
+    :func:`update_cover` under every kernel backend and under size-aware
+    auto dispatch (the test suite asserts the equivalence property-based).
     """
 
     def __init__(self, dimension: int, *, skyline_mode: bool = False) -> None:

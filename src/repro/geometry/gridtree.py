@@ -22,9 +22,10 @@ Implementation notes (see DESIGN.md):
 * The batch set operations (carve, antichain reduction, bulk quantization)
   are delegated to :mod:`repro.kernels` — :func:`~repro.kernels.grid_carve`,
   :func:`~repro.kernels.antichain` and
-  :func:`~repro.kernels.grid_cell_assign` — so the grid tree runs
-  vectorized under the numpy backend and loop-based under the pure-Python
-  one, with identical marked sets.
+  :func:`~repro.kernels.grid_cell_assign` — so the grid tree runs on
+  whichever tier the per-call dispatcher picks for the batch at hand
+  (loops for small marked sets, vectorized/compiled for bulk), with
+  identical marked sets under every backend.
 * ``UpdateGridCR``'s recursive unmark-and-slide (which walks the grid cell
   by cell) is implemented as an equivalent *batch carve*: a marked cell is
   unmarked iff its corner strictly dominates the up-quantized vector, and

@@ -11,8 +11,11 @@ stabilizes quickly.
 The data plane is columnar: :class:`IncrementalSkyline` holds its points
 in a :class:`~repro.kernels.PointSet` and filters candidates in one
 kernel call per insertion (:func:`repro.kernels.dominates_any` +
-:func:`repro.kernels.strict_dominance_mask`), so both the pure-Python and
-the numpy backend serve it interchangeably.
+:func:`repro.kernels.strict_dominance_mask`).  Calls go through the
+size-aware dispatcher: under the default ``auto`` kernel each insertion
+is routed to the early-exit loops while the skyline is small and to the
+vectorized/compiled tiers once it grows past the calibrated crossover —
+all tiers are bit-identical, so the choice is purely a speed matter.
 """
 
 from __future__ import annotations

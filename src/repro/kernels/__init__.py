@@ -3,37 +3,57 @@
 The paper's empirical finding (Figure 2(b)) is that *bound computation*
 dominates rank-join runtime.  This package concentrates that hot path
 into a small batch-kernel interface over columnar :class:`PointSet`
-storage, with two interchangeable backends:
+storage, with three interchangeable implementation tiers behind a
+per-op :class:`~repro.kernels.registry.KernelRegistry`:
 
 * ``"python"`` — :class:`~repro.kernels.reference.ReferenceBackend`,
-  pure loops, the semantic oracle and numpy-free fallback;
+  pure loops, the semantic oracle and dependency-free fallback;
 * ``"numpy"`` — :class:`~repro.kernels.vectorized.NumpyBackend`,
-  one broadcast per batch (default when numpy is importable).
+  one broadcast per batch, fastest on bulk;
+* ``"numba"`` — :class:`~repro.kernels.compiled.CompiledBackend`,
+  jit-compiled reference loops (lazy compilation, registered only when
+  numba is importable).
 
-The two backends are **bit-identical**: same skylines, same cover sets,
-same partial scores (float additions happen in the same order), so every
-operator-level invariant test doubles as a kernel-equivalence oracle.
+All tiers are **bit-identical**: same skylines, same cover sets, same
+partial scores (float additions happen left-to-right in every tier), so
+every operator-level invariant test doubles as a kernel-equivalence
+oracle.
+
+Per-call dispatch
+-----------------
+BENCH_kernels.json showed that no tier wins at every batch size — numpy
+is 59–73× faster on bulk ops but *loses* to the early-exit loops on
+small batches.  The default ``"auto"`` kernel therefore routes **each
+call** by batch size against per-op crossover thresholds
+(:mod:`repro.kernels.dispatch`: calibrated once per machine, cached to
+``~/.cache/repro/kernel_thresholds.json``, overridable via
+``$REPRO_KERNEL_THRESHOLDS`` / ``ReproConfig.kernel_thresholds``).
+Pinned names (``python``/``numpy``/``numba``) bypass the size test and
+resolve every op at one tier — with *per-op* fallback down the tier
+order when an implementation is missing, warned once and tallied in the
+``kernel_fallbacks_total`` counter, never a silent process-wide flip.
 
 Selection
 ---------
-The active backend is resolved, in priority order, from
+The active kernel is resolved, in priority order, from
 
 1. an explicit :func:`set_backend` call (the CLI ``--kernel`` flag and
    :class:`repro.config.ReproConfig` end here),
-2. the ``REPRO_KERNEL`` environment variable (``numpy``/``python``/``auto``),
-3. ``auto``: numpy when importable, else the pure-Python fallback.
-
-Requesting ``numpy`` without numpy installed warns and falls back.
+2. the ``REPRO_KERNEL`` environment variable
+   (``auto``/``numpy``/``python``/``numba``),
+3. ``auto``: size-aware per-call dispatch over the installed tiers.
 
 Observability
 -------------
 :func:`observe` attaches a :class:`~repro.obs.metrics.MetricRegistry`;
 afterwards every kernel call increments
-``kernel_calls_total{kernel=…, fn=…}`` and a deterministic 1-in-16
-sample of calls records wall-clock in the
-``bound_kernel_seconds{kernel=…}`` histogram — the per-backend
-Figure 2(b) breakdown shown by ``python -m repro trace``.  Call counts
-are exact; only the latency histogram is sampled.
+``kernel_calls_total{kernel=…, fn=…}`` labelled with the backend the
+dispatcher actually **chose** for that call (so ``python -m repro
+trace`` shows the dispatch mix under ``auto``), per-op degradations
+increment ``kernel_fallbacks_total{fn=…, requested=…, used=…}``, and a
+deterministic 1-in-16 sample of calls records wall-clock in the
+``bound_kernel_seconds{kernel=…}`` histogram.  Call counts are exact;
+only the latency histogram is sampled.
 """
 
 from __future__ import annotations
@@ -43,8 +63,15 @@ import warnings
 from contextlib import contextmanager
 from time import perf_counter
 
+from repro.kernels import dispatch as _dispatch
+from repro.kernels.dispatch import (
+    AutoDispatcher,
+    PinnedDispatcher,
+    set_thresholds,
+)
 from repro.kernels.pointset import HAS_NUMPY, PointSet
 from repro.kernels.reference import ReferenceBackend
+from repro.kernels.registry import BACKEND_TIER, KernelRegistry
 from repro.kernels.types import (
     Cell,
     Point,
@@ -74,42 +101,58 @@ KERNEL_SECONDS_BUCKETS = (
     1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 1.0,
 )
 
-_BACKENDS: dict[str, object] = {"python": ReferenceBackend()}
+#: The per-op implementation registry all dispatchers resolve against.
+REGISTRY = KernelRegistry(KERNEL_OPS)
+REGISTRY.register("reference", ReferenceBackend())
 if HAS_NUMPY:
     from repro.kernels.vectorized import NumpyBackend
 
-    _BACKENDS["numpy"] = NumpyBackend()
+    REGISTRY.register("vectorized", NumpyBackend())
+
+from repro.kernels.compiled import HAS_NUMBA  # noqa: E402  (cheap probe)
+
+if HAS_NUMBA:
+    from repro.kernels.compiled import CompiledBackend
+
+    REGISTRY.register("compiled", CompiledBackend())
 
 #: Names accepted by :func:`set_backend` / ``REPRO_KERNEL`` / ``--kernel``.
-BACKEND_CHOICES = ("auto", "numpy", "python")
+BACKEND_CHOICES = ("auto", "numpy", "python", "numba")
 
 ENV_VAR = "REPRO_KERNEL"
 
 
 def available_backends() -> tuple[str, ...]:
-    """Installed backend names (``python`` always, ``numpy`` if importable)."""
-    return tuple(sorted(_BACKENDS))
+    """Installed backend names (``python`` always; ``numpy``/``numba``
+    when importable)."""
+    return REGISTRY.backend_names()
+
+
+#: Dispatcher instances are cached per name so route tables and resolved
+#: op tables survive backend switches (tests flip constantly).
+_DISPATCHERS: dict[str, object] = {}
+
+
+def _dispatcher(name: str):
+    cached = _DISPATCHERS.get(name)
+    if cached is None:
+        if name == "auto":
+            cached = AutoDispatcher(REGISTRY)
+        else:
+            cached = PinnedDispatcher(REGISTRY, name)
+        _DISPATCHERS[name] = cached
+    return cached
 
 
 def _resolve(name: str | None):
     if name is None:
         name = "auto"
     name = str(name).strip().lower()
-    if name == "auto":
-        return _BACKENDS.get("numpy", _BACKENDS["python"])
     if name not in BACKEND_CHOICES:
         raise ValueError(
             f"unknown kernel backend {name!r}; choose from {BACKEND_CHOICES}"
         )
-    backend = _BACKENDS.get(name)
-    if backend is None:  # numpy requested but unavailable
-        warnings.warn(
-            f"kernel backend {name!r} unavailable; falling back to 'python'",
-            RuntimeWarning,
-            stacklevel=3,
-        )
-        return _BACKENDS["python"]
-    return backend
+    return _dispatcher(name)
 
 
 def _from_env():
@@ -131,11 +174,13 @@ _active = _from_env()
 
 
 def set_backend(name: str | None) -> str:
-    """Select the active kernel backend; returns the resolved name.
+    """Select the active kernel; returns the selected name.
 
     ``name`` is one of :data:`BACKEND_CHOICES` (``None`` means ``auto``).
-    ``auto`` prefers numpy and falls back to pure Python; an explicit
-    ``numpy`` without numpy installed warns and falls back.
+    ``auto`` dispatches per call by batch size; a pinned name keeps its
+    identity even when some ops degrade (per-op fallback is warned once
+    and tallied in ``kernel_fallbacks_total`` instead of silently
+    renaming the backend).
     """
     global _active
     _active = _resolve(name)
@@ -143,18 +188,20 @@ def set_backend(name: str | None) -> str:
 
 
 def get_backend():
-    """The active backend object (exposes the :data:`KERNEL_OPS` methods)."""
+    """The active dispatcher (``auto`` routes per call; pinned names
+    resolve every op at one tier)."""
     return _active
 
 
 def kernel_name() -> str:
-    """Name of the active backend (``"numpy"`` or ``"python"``)."""
+    """Name of the active kernel (``"auto"``, ``"numpy"``, ``"python"``
+    or ``"numba"``)."""
     return _active.name
 
 
 @contextmanager
 def use_backend(name: str):
-    """Temporarily switch backends (tests and benchmarks)."""
+    """Temporarily switch kernels (tests and benchmarks)."""
     global _active
     previous = _active
     _active = _resolve(name)
@@ -162,6 +209,40 @@ def use_backend(name: str):
         yield _active
     finally:
         _active = previous
+
+
+def dispatch_routes() -> dict[str, list[tuple[int, str]]]:
+    """The auto dispatcher's live route table: op -> [(min_size, backend)].
+
+    Entries are scanned high-to-low; the first whose ``min_size`` fits
+    the batch wins.  Shown by ``python -m repro info``.
+    """
+    return _dispatcher("auto").routes_snapshot()
+
+
+def dispatch_thresholds() -> dict[str, dict[str, int]]:
+    """The resolved per-op crossover thresholds (min batch size per
+    backend; ``dispatch.NEVER`` disables a backend for an op)."""
+    return {
+        op: dict(table)
+        for op, table in _dispatch.thresholds(REGISTRY).items()
+    }
+
+
+def calibrate_thresholds(
+    *, budget: float = 0.15, include_compiled: bool = False
+) -> dict[str, dict[str, int]]:
+    """Re-measure crossover thresholds on this machine and install them."""
+    measured = _dispatch.calibrate(
+        REGISTRY, budget=budget, include_compiled=include_compiled
+    )
+    set_thresholds(measured)
+    return dispatch_thresholds()
+
+
+def kernel_fallbacks() -> dict[tuple[str, str, str], int]:
+    """Resolution-time fallback tally: (op, requested, used) -> count."""
+    return dict(REGISTRY.fallbacks)
 
 
 # ----------------------------------------------------------------------
@@ -178,7 +259,7 @@ _SAMPLE = 16
 
 
 class _KernelHandle:
-    """Pre-resolved metric handles for one (backend, fn) series."""
+    """Pre-resolved metric handles for one (chosen backend, fn) series."""
 
     __slots__ = ("counter", "hist", "tick")
 
@@ -198,16 +279,19 @@ class _KernelHandle:
 class _InstrumentationSink:
     """Resolves and caches metric handles for kernel-call accounting.
 
-    ``handles`` is keyed ``(backend_name, fn)`` and read directly by
-    :func:`_call` — the steady-state cost of an instrumented kernel call
-    is one dict lookup plus a counter increment.
+    ``handles`` is keyed by the backend the dispatcher *chose* for the
+    call plus the op name, and read directly by :func:`_call` — the
+    steady-state cost of an instrumented kernel call is one dict lookup
+    plus a counter increment.  ``fallback_handles`` is keyed
+    ``(fn, requested, used)`` and only touched on degraded calls.
     """
 
-    __slots__ = ("_metrics", "handles")
+    __slots__ = ("_metrics", "handles", "fallback_handles")
 
     def __init__(self, metrics) -> None:
         self._metrics = metrics
         self.handles: dict[tuple[str, str], _KernelHandle] = {}
+        self.fallback_handles: dict[tuple[str, str, str], object] = {}
 
     def handle(self, backend: str, fn: str) -> _KernelHandle:
         key = (backend, fn)
@@ -222,6 +306,16 @@ class _InstrumentationSink:
             )
         return handle
 
+    def fallback(self, fn: str, requested: str, used: str):
+        key = (fn, requested, used)
+        counter = self.fallback_handles.get(key)
+        if counter is None:
+            counter = self.fallback_handles[key] = self._metrics.counter(
+                "kernel_fallbacks_total",
+                fn=fn, requested=requested, used=used,
+            )
+        return counter
+
 
 _sink: _InstrumentationSink | None = None
 
@@ -232,7 +326,7 @@ def observe(metrics) -> None:
     Called by instrumented operators (PBRJ with an observability
     pipeline).  The sink is process-global — concurrent pipelines share
     it, last registration wins — and adds one ``perf_counter`` pair per
-    kernel call, nothing when never registered.
+    sampled kernel call, nothing when never registered.
     """
     global _sink
     _sink = _InstrumentationSink(metrics)
@@ -245,19 +339,21 @@ def unobserve() -> None:
 
 
 def _call(fn: str, *args, **kwargs):
-    backend = _active
+    entry = _active.select(fn, args)
     sink = _sink
     if sink is None:
-        return getattr(backend, fn)(*args, **kwargs)
-    handle = sink.handles.get((backend.name, fn))
+        return entry.impl(*args, **kwargs)
+    handle = sink.handles.get((entry.used, fn))
     if handle is None:
-        handle = sink.handle(backend.name, fn)
+        handle = sink.handle(entry.used, fn)
     handle.counter.inc()
+    if entry.fallback:
+        sink.fallback(fn, entry.requested, entry.used).inc()
     if not handle.should_sample():
-        return getattr(backend, fn)(*args, **kwargs)
+        return entry.impl(*args, **kwargs)
     start = perf_counter()
     try:
-        return getattr(backend, fn)(*args, **kwargs)
+        return entry.impl(*args, **kwargs)
     finally:
         handle.hist.observe(perf_counter() - start)
 
@@ -329,28 +425,36 @@ def mask_any(mask) -> bool:
 
 __all__ = [
     "BACKEND_CHOICES",
+    "BACKEND_TIER",
     "Cell",
+    "HAS_NUMBA",
     "HAS_NUMPY",
     "KERNEL_OPS",
     "Point",
     "PointSet",
+    "REGISTRY",
     "antichain",
     "as_cell",
     "as_point",
     "available_backends",
+    "calibrate_thresholds",
     "cover_carve",
     "cover_corner_scores",
     "cross_product_max",
+    "dispatch_routes",
+    "dispatch_thresholds",
     "dominates_any",
     "get_backend",
     "grid_carve",
     "grid_cell_assign",
+    "kernel_fallbacks",
     "kernel_name",
     "mask_any",
     "max_corner_score",
     "observe",
     "ones",
     "set_backend",
+    "set_thresholds",
     "skyline_filter",
     "strict_dominance_mask",
     "substitute",

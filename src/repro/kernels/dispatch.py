@@ -1,0 +1,543 @@
+"""Size-aware per-call kernel dispatch with calibrated crossovers.
+
+BENCH_kernels.json established that no single backend wins everywhere:
+numpy is 59–73× faster on bulk ops (``cover_corner_scores``, bound
+refresh) yet *loses* to the pure-Python loops on small batches
+(``dominates_any`` 0.03×, ``skyline_filter`` 0.29×, ``cover_carve``
+0.78×), because a broadcast pays fixed per-call overhead that a
+four-point early-exit loop never does.  This module routes **each call**
+by batch size instead of pinning one backend per process.
+
+Route tables
+------------
+Every op owns a route table — ``((min_size, ResolvedOp), …)`` sorted by
+descending ``min_size`` — plus a *sizer* that extracts the batch size
+from the call's arguments (row count for most ops, ``|L|·|R|`` for
+``cross_product_max``, ``|cover| + |observed|`` for ``cover_carve``).
+Selection scans the table for the first entry whose ``min_size`` fits;
+the pure-Python reference tier anchors the table at size 0, so selection
+cannot fail.  The scan is 2–3 comparisons — cheap enough that pinned
+backends route through the same machinery (a one-entry table), keeping
+auto-vs-pinned overhead identical by construction.
+
+Thresholds
+----------
+Per-op crossover sizes resolve in priority order:
+
+1. an explicit :func:`set_thresholds` call
+   (``ReproConfig.kernel_thresholds`` ends here),
+2. a JSON file named by ``$REPRO_KERNEL_THRESHOLDS``,
+3. the per-machine cache ``~/.cache/repro/kernel_thresholds.json``
+   (``$XDG_CACHE_HOME``-aware, invalidated when the Python version or
+   the set of installed backends changes),
+4. a ~100 ms one-shot calibration à la ``planner/cost.py:measure()``
+   — synthetic batches per op, doubling size ladder, crossover at the
+   geometric midpoint of the bracketing sizes — whose result is written
+   to the cache,
+5. library defaults (hand-set from BENCH_kernels.json).
+
+Calibration never touches the compiled tier by default: the first numba
+call pays jit compilation, which would blow the 100 ms budget by two
+orders of magnitude.  ``calibrate(..., include_compiled=True)`` (used by
+``benchmarks/bench_kernels.py``) opts in after warmup.
+
+Threshold values are *minimum batch sizes*: ``{"dominates_any":
+{"numpy": 512}}`` means "use numpy for dominates_any once the batch has
+≥ 512 rows".  The sentinel :data:`NEVER` disables a backend for an op.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from collections.abc import Callable, Mapping
+from math import sqrt
+from pathlib import Path
+from time import perf_counter
+
+from repro.kernels.registry import (
+    BACKEND_TIER,
+    TIER_BACKEND,
+    KernelRegistry,
+    ResolvedOp,
+)
+
+#: Environment variable naming a JSON threshold-override file.
+ENV_VAR = "REPRO_KERNEL_THRESHOLDS"
+
+#: Cache schema version — bump to invalidate every on-disk cache.
+SCHEMA_VERSION = 1
+
+#: Threshold sentinel: "never route this op to this backend".
+NEVER = 1 << 30
+
+#: Hand-set crossover defaults (minimum batch size per backend), tuned
+#: from BENCH_kernels.json: loop ops with early exits keep the reference
+#: tier far longer than streaming ops, and the compiled tier — plain
+#: jitted loops, no broadcast temporaries — takes over earlier than
+#: numpy wherever it is installed.
+DEFAULT_THRESHOLDS: dict[str, dict[str, int]] = {
+    "dominates_any": {"numpy": 512, "numba": 48},
+    "weak_dominance_mask": {"numpy": 64, "numba": 32},
+    "strict_dominance_mask": {"numpy": 64, "numba": 32},
+    # Per-insertion broadcasts never amortize for the incremental
+    # skyline (0.2–0.4× at every measured size) and the antichain's
+    # dedup-then-pairwise shape (unique cells are bounded by the grid
+    # resolution, so the pairwise part never grows) — reference only.
+    "skyline_filter": {"numpy": NEVER, "numba": 48},
+    "cover_corner_scores": {"numpy": 32, "numba": 32},
+    "max_corner_score": {"numpy": 32, "numba": 32},
+    "cross_product_max": {"numpy": 256, "numba": 64},
+    "cover_carve": {"numpy": 128, "numba": 96},
+    "grid_cell_assign": {"numpy": 64, "numba": 48},
+    "antichain": {"numpy": NEVER, "numba": 48},
+    "grid_carve": {"numpy": 128, "numba": 96},
+}
+
+#: Ops whose vectorized tier structurally never amortizes (see the
+#: DEFAULT_THRESHOLDS comment).  Calibration records :data:`NEVER` for
+#: these instead of probing: near the tie a single noisy low-budget
+#: probe can flip every bulk call onto the slower tier, and the full
+#: sweep in BENCH_dispatch.json confirms reference wins at every size.
+#: An explicit :func:`set_thresholds` override still re-enables numpy.
+VECTORIZED_NEVER_WINS = frozenset({"skyline_filter", "antichain"})
+
+#: Tie-break rank when two tiers share a crossover size (prefer the
+#: cheaper-per-call tier).
+_TIER_RANK = {"reference": 0, "vectorized": 1, "compiled": 2}
+
+
+# ----------------------------------------------------------------------
+# Sizers — batch size from a call's positional arguments
+# ----------------------------------------------------------------------
+def _length(obj) -> int:
+    try:
+        return len(obj)
+    except TypeError:
+        return 0
+
+
+def _first_len(args) -> int:
+    return _length(args[0])
+
+
+def _cross_size(args) -> int:
+    return _length(args[0]) * _length(args[1])
+
+
+def _carve_size(args) -> int:
+    return _length(args[0]) + _length(args[1])
+
+
+#: op -> sizer; anything absent sizes by its first argument's length.
+SIZERS: dict[str, Callable] = {
+    "cross_product_max": _cross_size,
+    "cover_carve": _carve_size,
+}
+
+
+# ----------------------------------------------------------------------
+# Threshold resolution
+# ----------------------------------------------------------------------
+_installed: dict[str, dict[str, int]] | None = None
+_resolved: dict[str, dict[str, int]] | None = None
+#: Bumped whenever thresholds change; dispatchers rebuild lazily.
+_EPOCH = 0
+
+
+def _merge(
+    overrides: Mapping[str, Mapping[str, int]],
+) -> dict[str, dict[str, int]]:
+    """Overrides layered over the defaults (unknown ops are ignored)."""
+    merged = {op: dict(table) for op, table in DEFAULT_THRESHOLDS.items()}
+    for op, table in overrides.items():
+        if op not in merged or not isinstance(table, Mapping):
+            continue
+        for backend, value in table.items():
+            if backend in BACKEND_TIER:
+                merged[op][backend] = int(value)
+    return merged
+
+
+def load_thresholds_file(path: str | os.PathLike) -> dict[str, dict[str, int]]:
+    """Parse a threshold JSON file (bare mapping or ``{"thresholds": …}``)."""
+    payload = json.loads(Path(path).read_text())
+    if isinstance(payload, Mapping) and "thresholds" in payload:
+        payload = payload["thresholds"]
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"threshold file {path!s} is not a mapping")
+    return _merge(payload)
+
+
+def _cache_path() -> Path:
+    root = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return Path(root) / "repro" / "kernel_thresholds.json"
+
+
+def _cache_meta(registry: KernelRegistry) -> dict:
+    return {
+        "version": SCHEMA_VERSION,
+        "python": f"{sys.version_info[0]}.{sys.version_info[1]}",
+        "backends": list(registry.backend_names()),
+    }
+
+
+def _load_cache(registry: KernelRegistry):
+    path = _cache_path()
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, Mapping):
+        return None
+    if payload.get("meta") != _cache_meta(registry):
+        return None  # stale: interpreter or backend set changed
+    table = payload.get("thresholds")
+    return _merge(table) if isinstance(table, Mapping) else None
+
+
+def _store_cache(
+    registry: KernelRegistry, measured: Mapping[str, Mapping[str, int]]
+) -> None:
+    path = _cache_path()
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "meta": _cache_meta(registry),
+            "thresholds": {op: dict(t) for op, t in measured.items()},
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        tmp.replace(path)
+    except OSError:
+        pass  # read-only HOME: calibration still applies for this process
+
+
+def set_thresholds(
+    overrides: Mapping[str, Mapping[str, int]] | None,
+) -> None:
+    """Install explicit crossover overrides (``None`` → auto-resolution).
+
+    Overrides are partial: only the named ``(op, backend)`` cells change,
+    everything else keeps its resolved value.  Active dispatchers pick
+    the change up on their next call.
+    """
+    global _installed, _resolved, _EPOCH
+    _installed = None if overrides is None else _merge(overrides)
+    _resolved = None
+    _EPOCH += 1
+
+
+def reset() -> None:
+    """Drop every resolved/installed threshold (tests)."""
+    global _installed, _resolved, _EPOCH
+    _installed = None
+    _resolved = None
+    _EPOCH += 1
+
+
+def thresholds(registry: KernelRegistry) -> dict[str, dict[str, int]]:
+    """The active per-op crossover table (resolved once, then cached)."""
+    global _resolved
+    if _installed is not None:
+        return _installed
+    if _resolved is None:
+        _resolved = _resolve(registry)
+    return _resolved
+
+
+def _resolve(registry: KernelRegistry) -> dict[str, dict[str, int]]:
+    path = os.environ.get(ENV_VAR)
+    if path:
+        try:
+            return load_thresholds_file(path)
+        except (OSError, ValueError, TypeError):
+            pass  # unreadable override — fall through to the cache
+    cached = _load_cache(registry)
+    if cached is not None:
+        return cached
+    try:
+        measured = calibrate(registry)
+    except Exception:
+        return _merge({})
+    _store_cache(registry, measured)
+    return _merge(measured)
+
+
+# ----------------------------------------------------------------------
+# Calibration
+# ----------------------------------------------------------------------
+#: Doubling batch-size ladders; quadratic ops get capped ladders so the
+#: reference timing stays inside the budget.
+_DEFAULT_LADDER = (4, 16, 64, 256, 1024)
+_SIZE_LADDERS: dict[str, tuple[int, ...]] = {
+    "antichain": (4, 16, 64, 256),
+    "cross_product_max": (16, 64, 256, 1024),
+    "cover_carve": (8, 32, 128, 512),
+    "grid_carve": (8, 32, 128, 512),
+    "skyline_filter": (4, 16, 64, 256, 1024),
+}
+
+
+def synthetic_points(n: int, e: int = 3) -> list[tuple[float, ...]]:
+    """Deterministic point batch in ``(0, 1]^e`` (shared with the bench)."""
+    return [
+        tuple(((i * (j + 3) + 7 * j + 1) % 97 + 1) / 128.0 for j in range(e))
+        for i in range(n)
+    ]
+
+
+def _point_set(n: int, e: int = 3):
+    """Points wrapped the way the geometry layer feeds the kernels.
+
+    The hot path hands kernels a columnar :class:`PointSet` whose array
+    view is built once and cached — timing on plain lists would charge
+    the vectorized tier a per-call list→array conversion it never pays
+    in production, skewing every crossover upward.
+    """
+    from repro.kernels.pointset import PointSet
+
+    return PointSet(e, synthetic_points(n, e))
+
+
+def synthetic_cells(n: int, e: int = 3, resolution: int = 8) -> list[tuple[int, ...]]:
+    return [
+        tuple((i * (2 * j + 3) + j) % resolution for j in range(e))
+        for i in range(n)
+    ]
+
+
+def _side(n: int) -> int:
+    return max(1, int(sqrt(n)))
+
+
+#: op -> size -> positional argument tuple for one timed call.  Point
+#: operands are PointSets (as the geometry layer passes them); the
+#: dominance target sits high so early-exit loops scan realistically.
+ARG_BUILDERS: dict[str, Callable[[int], tuple]] = {
+    "dominates_any": lambda n: (_point_set(n), (0.99, 0.99, 0.99)),
+    "weak_dominance_mask": lambda n: (_point_set(n), (0.5, 0.5, 0.5)),
+    "strict_dominance_mask": lambda n: (_point_set(n), (0.5, 0.5, 0.5)),
+    "skyline_filter": lambda n: (_point_set(n),),
+    "cover_corner_scores": lambda n: (_point_set(n), (0.6, 0.3, 0.1)),
+    "max_corner_score": lambda n: (_point_set(n), None),
+    "cross_product_max": lambda n: (
+        [v / _side(n) for v in range(_side(n))],
+        [v / _side(n) for v in range(_side(n))],
+    ),
+    "cover_carve": lambda n: (
+        _point_set(max(n - 1, 1)),
+        [(0.5, 0.5, 0.5)],
+    ),
+    "grid_cell_assign": lambda n: (_point_set(n), 8),
+    "antichain": lambda n: (synthetic_cells(n),),
+    "grid_carve": lambda n: (synthetic_cells(n), (0.5, 0.5, 0.5), 8),
+}
+
+
+def _time_call(impl: Callable, args: tuple, reps: int) -> float:
+    """Best-of-2 mean seconds per call over ``reps`` back-to-back calls."""
+    best = float("inf")
+    for _ in range(2):
+        started = perf_counter()
+        for _ in range(reps):
+            impl(*args)
+        elapsed = (perf_counter() - started) / reps
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _reps_for(size: int) -> int:
+    # Loop-and-divide: small batches finish in ~1 µs, far below timer
+    # noise for a single call; mid-size batches still get a few reps —
+    # a single ~200 µs sample is noisy enough to flip a crossover.
+    return max(1, min(32, 2048 // max(size, 1)))
+
+
+#: A candidate tier must beat the reference by this margin to win a
+#: calibration probe.  Near the crossover the two tiers sit within
+#: timer noise of each other; without a margin a single noisy probe on
+#: a never-wins op (antichain, skyline) flips every bulk call onto the
+#: slower tier.  Ties route to the reference — the safe choice.
+_WIN_MARGIN = 0.92
+
+
+def _fast_wins(base, fast, builder, size: int) -> bool:
+    args = builder(size)
+    reps = _reps_for(size)
+    return _time_call(fast, args, reps) < _WIN_MARGIN * _time_call(
+        base, args, reps
+    )
+
+
+def _refine(base, fast, builder, lo: int, hi: int, deadline: float) -> int:
+    """Shrink a ``(lo, hi]`` win bracket with up to two bisection probes.
+
+    The doubling ladder leaves a 4× bracket; returning its raw midpoint
+    can misroute a batch sitting exactly there by ~20 %.  Two geometric
+    bisections narrow the bracket enough that the midpoint error stays
+    inside the dispatch tolerance.
+    """
+    for _ in range(2):
+        mid = int(sqrt(lo * hi))
+        if mid <= lo or mid >= hi or perf_counter() > deadline:
+            break
+        if _fast_wins(base, fast, builder, mid):
+            hi = mid
+        else:
+            lo = mid
+    return max(1, int(sqrt(lo * hi)))
+
+
+def _crossover(
+    base: Callable,
+    fast: Callable,
+    builder: Callable[[int], tuple],
+    sizes: tuple[int, ...],
+    deadline: float,
+) -> int:
+    """Smallest batch size where ``fast`` beats ``base``.
+
+    Walks the doubling ladder to bracket the crossover, then bisects the
+    bracket.  Returns :data:`NEVER` when ``fast`` never wins inside the
+    ladder.
+    """
+    previous = 0
+    for size in sizes:
+        if perf_counter() > deadline:
+            return NEVER if previous == 0 else previous
+        if _fast_wins(base, fast, builder, size):
+            if previous == 0:
+                return max(1, size // 2)
+            return _refine(base, fast, builder, previous, size, deadline)
+        previous = size
+    return NEVER
+
+
+def calibrate(
+    registry: KernelRegistry,
+    *,
+    budget: float = 0.15,
+    include_compiled: bool = False,
+) -> dict[str, dict[str, int]]:
+    """Measure per-op reference→{numpy,numba} crossover sizes (~100 ms).
+
+    Ops not reached before the budget expires keep their defaults, and
+    the :data:`VECTORIZED_NEVER_WINS` ops record :data:`NEVER` without a
+    probe.  The compiled tier is skipped unless ``include_compiled`` (its
+    first call jit-compiles, which must never happen inside the
+    import-time budget).
+    """
+    deadline = perf_counter() + budget
+    tiers = [t for t in ("vectorized", "compiled") if t in registry.tiers()]
+    if not include_compiled and "compiled" in tiers:
+        tiers.remove("compiled")
+    measured: dict[str, dict[str, int]] = {}
+    if not tiers:
+        return measured
+    for op in registry.ops:
+        if perf_counter() > deadline:
+            break
+        builder = ARG_BUILDERS.get(op)
+        if builder is None:
+            continue
+        base = registry.implementations(op).get("reference")
+        if base is None:
+            continue
+        sizes = _SIZE_LADDERS.get(op, _DEFAULT_LADDER)
+        for tier in tiers:
+            fast = registry.implementations(op).get(tier)
+            if fast is None:
+                continue
+            if tier == "vectorized" and op in VECTORIZED_NEVER_WINS:
+                value = NEVER
+            else:
+                value = _crossover(base, fast, builder, sizes, deadline)
+            measured.setdefault(op, {})[TIER_BACKEND[tier]] = value
+    return measured
+
+
+# ----------------------------------------------------------------------
+# Dispatchers
+# ----------------------------------------------------------------------
+class PinnedDispatcher:
+    """Every op resolved once at a single tier (``--kernel python|numpy|numba``).
+
+    ``select`` is one dict lookup; per-op fallback (say ``numba``
+    requested without numba installed) was recorded at resolution time
+    and is re-surfaced per call through :attr:`ResolvedOp.fallback`.
+    """
+
+    __slots__ = ("name", "table")
+
+    def __init__(self, registry: KernelRegistry, backend: str) -> None:
+        self.name = backend
+        self.table = registry.resolve_all(BACKEND_TIER[backend])
+
+    def select(self, fn: str, args: tuple) -> ResolvedOp:
+        return self.table[fn]
+
+
+class AutoDispatcher:
+    """Routes each call by batch size against the per-op crossover table.
+
+    Route tables are built lazily (the first selection triggers threshold
+    resolution, possibly calibration) and rebuilt whenever
+    :func:`set_thresholds`/:func:`reset` bump the epoch — the steady-state
+    cost per call is one sizer call plus a 2–3 entry scan.
+    """
+
+    __slots__ = ("name", "registry", "_routes", "_epoch")
+
+    def __init__(self, registry: KernelRegistry) -> None:
+        self.name = "auto"
+        self.registry = registry
+        self._routes: dict[str, tuple] | None = None
+        self._epoch = -1
+
+    def _rebuild(self) -> None:
+        table = thresholds(self.registry)
+        routes: dict[str, tuple] = {}
+        for op in self.registry.ops:
+            entries: list[tuple[int, int, ResolvedOp]] = [
+                (0, 0, self.registry.resolve(op, "reference"))
+            ]
+            for backend, min_size in table.get(op, {}).items():
+                tier = BACKEND_TIER[backend]
+                if min_size >= NEVER or not self.registry.has(op, tier):
+                    continue
+                entries.append(
+                    (int(min_size), _TIER_RANK[tier],
+                     self.registry.resolve(op, tier))
+                )
+            entries.sort()  # ascending size; preferred tier last on ties
+            entries.reverse()
+            routes[op] = (
+                SIZERS.get(op, _first_len),
+                tuple((size, resolved) for size, _, resolved in entries),
+            )
+        self._routes = routes
+        self._epoch = _EPOCH
+
+    def select(self, fn: str, args: tuple) -> ResolvedOp:
+        if self._epoch != _EPOCH:
+            self._rebuild()
+        sizer, entries = self._routes[fn]
+        n = sizer(args)
+        for min_size, resolved in entries:
+            if n >= min_size:
+                return resolved
+        return entries[-1][1]  # pragma: no cover - size-0 anchor always hits
+
+    def routes_snapshot(self) -> dict[str, list[tuple[int, str]]]:
+        """Human-readable route table: op -> [(min_size, backend), …]."""
+        if self._epoch != _EPOCH:
+            self._rebuild()
+        return {
+            op: [(size, resolved.used) for size, resolved in entries]
+            for op, (_, entries) in self._routes.items()
+        }

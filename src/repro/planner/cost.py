@@ -75,9 +75,15 @@ class CostCoefficients:
     startup_serial: float = 2.0e-5     # one-time per-shard setup
     startup_thread: float = 3.0e-4
     startup_process: float = 4.0e-2
-    kernel_python_factor: float = 1.5  # python-kernel pull cost on large inputs
-    kernel_small_factor: float = 0.95  # ... and its win on tiny inputs
-    kernel_crossover: int = 2000       # input tuples where the factor flips
+    # Dispatch-aware kernel terms.  Since the "auto" kernel routes every
+    # call to the winning tier by batch size, only *pinned* backends pay
+    # a penalty: python on bulk inputs (no vectorization), vector tiers
+    # (numpy/numba) on tiny inputs (per-call broadcast overhead).  Auto
+    # rides the cheap side of both crossovers.
+    kernel_pin_bulk_penalty: float = 1.5   # pinned python, bulk inputs
+    kernel_pin_small_penalty: float = 1.05  # pinned numpy/numba, tiny inputs
+    kernel_auto_bonus: float = 0.95        # small-batch early-exit win
+    kernel_crossover: int = 2000       # input tuples where bulk effects win
     parallelism: int = 1               # usable cores for the process backend
 
     def round_overhead(self, backend: str) -> float:
@@ -95,11 +101,20 @@ class CostCoefficients:
         }.get(backend, self.startup_thread)
 
     def kernel_factor(self, kernel: str | None, total_tuples: int) -> float:
-        if kernel != "python":
-            return 1.0
-        if total_tuples <= self.kernel_crossover:
-            return self.kernel_small_factor
-        return self.kernel_python_factor
+        """Relative per-pull cost of a kernel choice at this input scale.
+
+        ``auto`` (and ``None``, which inherits it) models per-call
+        dispatch: the lower envelope of the pinned factors on both sides
+        of the crossover.
+        """
+        small = total_tuples <= self.kernel_crossover
+        if kernel in (None, "auto"):
+            return self.kernel_auto_bonus if small else 1.0
+        if kernel == "python":
+            return (
+                self.kernel_auto_bonus if small else self.kernel_pin_bulk_penalty
+            )
+        return self.kernel_pin_small_penalty if small else 1.0
 
     def to_dict(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -51,9 +51,11 @@ class PlannerConfig:
     The default backend list excludes ``process``: per-shard fork startup
     only pays off with real multi-core parallelism, and a user can always
     pin ``exec_backend="process"`` to force it into the candidate set.
-    The default kernel list is ``("auto",)`` because the kernel backend is
-    a process-wide switch in this codebase; extra kernels can be added to
-    let the model weigh them.
+    The default kernel list is ``("auto",)`` because size-aware per-call
+    dispatch is the lower envelope of every pinned backend in the cost
+    model (``CostCoefficients.kernel_factor``) — a pinned kernel can
+    never beat it, so enumerating pins only makes sense when a user adds
+    them here explicitly to compare.
     """
 
     shard_choices: tuple[int, ...] = (1, 2, 4, 8)

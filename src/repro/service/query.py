@@ -103,9 +103,12 @@ class QuerySpec:
         sharded execution.  Excluded from the fingerprint: the merge gate
         makes the emission order partition-independent (test-enforced).
     kernel:
-        Optional kernel-backend override for this query's execution
-        (``None`` inherits the process default).  Fingerprint-excluded:
-        kernels are bit-identical by contract.
+        Optional kernel override for this query's execution (``"auto"``
+        per-call dispatch, or a pinned ``python``/``numpy``/``numba``;
+        ``None`` inherits the process default).  Fingerprint-excluded:
+        every tier — and size-aware dispatch across them — is
+        bit-identical by contract, so a pinned run warms the result
+        cache for an auto run and vice versa (test-enforced).
     adaptive:
         Optional :class:`repro.planner.AdaptiveConfig` enabling online
         re-sharding for sharded execution.  Planner-resolved sharded

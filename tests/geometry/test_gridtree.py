@@ -16,10 +16,27 @@ from hypothesis import strategies as st
 from repro.geometry.dominance import dominates
 from repro.geometry.gridtree import GridTree, _partial_deltas
 from repro.geometry.skyline import is_skyline
+from repro.kernels import HAS_NUMBA, use_backend
+from repro.kernels.pointset import HAS_NUMPY
 
 unit = st.floats(0.0, 1.0, allow_nan=False)
 vec2 = st.tuples(unit, unit)
 vec3 = st.tuples(unit, unit, unit)
+
+#: Every kernel the grid tree must behave identically under: the three
+#: implementation tiers plus size-aware per-call dispatch.
+BACKENDS = [
+    "python",
+    pytest.param(
+        "numpy",
+        marks=pytest.mark.skipif(not HAS_NUMPY, reason="requires numpy"),
+    ),
+    pytest.param(
+        "numba",
+        marks=pytest.mark.skipif(not HAS_NUMBA, reason="requires numba"),
+    ),
+    "auto",
+]
 
 
 class TestConstruction:
@@ -203,6 +220,68 @@ class TestResolutionReduction:
         while tree.resolution > 1:
             tree.reduce_resolution()
             assert is_skyline(tree.cover_points())
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestEdgeCasesAcrossBackends:
+    """Degenerate grids behave identically under every kernel tier."""
+
+    def test_minimum_resolution_degenerates_to_corner_bound(self, backend):
+        # One cell per dimension (the paper's L = 0): updates are no-ops
+        # and the cover is pinned at the ideal corner — HRJN* regime.
+        with use_backend(backend):
+            tree = GridTree(2, 1)
+            assert tree.cover_points() == [(1.0, 1.0)]
+            assert tree.update((0.1, 0.1)) is False
+            assert tree.update((0.0, 0.0)) is False
+            assert tree.cover_points() == [(1.0, 1.0)]
+            assert tree.covers((0.99, 0.99))
+            tree.load_points([(0.2, 0.8), (0.2, 0.8), (0.7, 0.7)])
+            assert tree.cover_points() == [(1.0, 1.0)]
+            with pytest.raises(ValueError):
+                tree.reduce_resolution()
+
+    def test_duplicate_corners_collapse(self, backend):
+        with use_backend(backend):
+            tree = GridTree(2, 8)
+            # Distinct points quantizing onto the same cell, plus exact
+            # duplicates: the marked set must dedup to a single cell.
+            tree.load_points([(0.31, 0.31), (0.35, 0.35), (0.35, 0.35)])
+            assert tree.num_marked == 1
+            assert tree.marked_cells == {(2, 2)}
+
+    def test_duplicate_projected_corners_after_carve(self, backend):
+        with use_backend(backend):
+            tree = GridTree(2, 4)
+            # Carving the top cell twice with equivalent vectors must not
+            # re-introduce removed corners or duplicate the slid ones.
+            assert tree.update((0.6, 0.6)) is True
+            first = tree.marked_cells
+            assert tree.update((0.6, 0.6)) is False
+            assert tree.marked_cells == first
+            assert is_skyline(tree.cover_points())
+
+    def test_empty_carve_on_empty_marked_set(self, backend):
+        with use_backend(backend):
+            tree = GridTree(2, 2)
+            assert tree.update((0.0, 0.0)) is True  # empties the cover
+            assert tree.cover_points() == []
+            assert tree.covers((0.5, 0.5)) is False
+            # Carving an already-empty marked set reports "unchanged".
+            assert tree.update((0.5, 0.5)) is False
+            assert tree.cover_points() == []
+
+    def test_update_sequence_identical_marked_sets(self, backend):
+        sequence = [(0.7, 0.7), (0.4, 0.9), (0.9, 0.4), (0.2, 0.2)]
+        with use_backend("python"):
+            reference = GridTree(2, 8)
+            for s in sequence:
+                reference.update(s)
+        with use_backend(backend):
+            tree = GridTree(2, 8)
+            for s in sequence:
+                tree.update(s)
+            assert tree.marked_cells == reference.marked_cells
 
 
 class TestCoveredCount:

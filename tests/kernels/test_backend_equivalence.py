@@ -1,10 +1,13 @@
-"""Property tests: the numpy and python kernel backends are bit-identical.
+"""Property tests: every kernel tier is bit-identical to the reference.
 
-Every op is driven with the same hypothesis-generated inputs under both
-backends; dominance masks, skyline index lists, partial scores (exact
-float equality — both backends accumulate left-to-right), cover carves
-and grid ops must agree.  Dimensions e ∈ {2, 3, 4}, duplicate rows, and
-the 0/1 boundary coordinates are all drawn deliberately.
+Every op is driven with the same hypothesis-generated inputs under the
+pure-Python reference and each comparison kernel — ``numpy``, ``numba``
+(when installed), and the size-aware ``auto`` dispatcher, which must be
+bit-identical *by construction* no matter which tier each call lands on.
+Dominance masks, skyline index lists, partial scores (exact float
+equality — all tiers accumulate left-to-right), cover carves and grid
+ops must agree.  Dimensions e ∈ {2, 3, 4}, duplicate rows, and the 0/1
+boundary coordinates are all drawn deliberately.
 """
 
 import pytest
@@ -12,12 +15,17 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import kernels
-from repro.kernels import PointSet, use_backend
+from repro.kernels import HAS_NUMBA, PointSet, use_backend
 from repro.kernels.pointset import HAS_NUMPY
 
 pytestmark = pytest.mark.skipif(
-    not HAS_NUMPY, reason="equivalence needs both backends installed"
+    not HAS_NUMPY, reason="equivalence needs the vectorized tier installed"
 )
+
+#: Kernels compared against the "python" reference.  "numba" joins the
+#: list only when importable; "auto" is always compared — per-call
+#: dispatch must be invisible in the results.
+COMPARE = ["numpy"] + (["numba"] if HAS_NUMBA else []) + ["auto"]
 
 # Boundary values 0.0 and 1.0 are drawn often: they exercise the cover
 # carve's corner substitutions and the grid's edge cells.
@@ -59,12 +67,24 @@ def _points(points):
     return sorted(tuple(float(v) for v in p) for p in points)
 
 
-def both(fn, *args, **kwargs):
+def variants(fn, *args, **kwargs):
+    """(reference result, {kernel name: result}) for one op call."""
     with use_backend("python"):
-        py = fn(*args, **kwargs)
-    with use_backend("numpy"):
-        np_ = fn(*args, **kwargs)
-    return py, np_
+        base = fn(*args, **kwargs)
+    others = {}
+    for name in COMPARE:
+        with use_backend(name):
+            others[name] = fn(*args, **kwargs)
+    return base, others
+
+
+def check(normalize, fn, *args, **kwargs):
+    """Assert every comparison kernel matches the reference; return it."""
+    base, others = variants(fn, *args, **kwargs)
+    expected = normalize(base)
+    for name, value in others.items():
+        assert normalize(value) == expected, f"kernel {name} diverged"
+    return base
 
 
 class TestDominanceOps:
@@ -74,19 +94,16 @@ class TestDominanceOps:
         e = len(points[0])
         q = data.draw(st.tuples(*([coord] * e)))
         ps = PointSet(e, points)
-        py_w, np_w = both(kernels.weak_dominance_mask, ps, q)
-        assert _mask(py_w) == _mask(np_w)
-        py_s, np_s = both(kernels.strict_dominance_mask, ps, q)
-        assert _mask(py_s) == _mask(np_s)
-        py_d, np_d = both(kernels.dominates_any, ps, q)
-        assert py_d == np_d == any(_mask(py_w))
+        weak = check(_mask, kernels.weak_dominance_mask, ps, q)
+        check(_mask, kernels.strict_dominance_mask, ps, q)
+        any_dom = check(bool, kernels.dominates_any, ps, q)
+        assert any_dom == any(_mask(weak))
 
     @given(point_sets())
     @settings(max_examples=200, deadline=None)
     def test_skyline_filter_identical_indices(self, points):
         # Exact index equality — emission order downstream depends on it.
-        py, np_ = both(kernels.skyline_filter, points)
-        assert list(py) == list(np_)
+        check(list, kernels.skyline_filter, points)
 
 
 class TestScoreOps:
@@ -95,10 +112,8 @@ class TestScoreOps:
     def test_corner_scores_bitwise_equal(self, points):
         e = len(points[0]) if points else 2
         ps = PointSet(e, points)
-        py, np_ = both(kernels.cover_corner_scores, ps)
-        assert _floats(py) == _floats(np_)  # exact: same addition order
-        py_m, np_m = both(kernels.max_corner_score, ps)
-        assert py_m == np_m
+        check(_floats, kernels.cover_corner_scores, ps)  # exact: same order
+        check(float, kernels.max_corner_score, ps)
 
     @given(point_sets(min_size=1), st.data())
     @settings(max_examples=150, deadline=None)
@@ -106,10 +121,8 @@ class TestScoreOps:
         e = len(points[0])
         weights = data.draw(st.tuples(*([st.floats(0.0, 2.0)] * e)))
         ps = PointSet(e, points)
-        py, np_ = both(kernels.cover_corner_scores, ps, weights)
-        assert _floats(py) == _floats(np_)
-        py_m, np_m = both(kernels.max_corner_score, ps, weights)
-        assert py_m == np_m
+        check(_floats, kernels.cover_corner_scores, ps, weights)
+        check(float, kernels.max_corner_score, ps, weights)
 
     @given(
         st.lists(st.floats(0.0, 2.0), max_size=12),
@@ -117,8 +130,7 @@ class TestScoreOps:
     )
     @settings(max_examples=150, deadline=None)
     def test_cross_product_max_equal(self, left, right):
-        py, np_ = both(kernels.cross_product_max, left, right)
-        assert py == np_
+        check(float, kernels.cross_product_max, left, right)
 
 
 class TestCoverOps:
@@ -127,19 +139,20 @@ class TestCoverOps:
     def test_cover_carve_same_point_set(self, observed, skyline_mode):
         e = len(observed[0])
         start = [kernels.ones(e)]
-        py, np_ = both(
-            kernels.cover_carve, start, observed, skyline_mode=skyline_mode
+        check(
+            _points,
+            kernels.cover_carve, start, observed, skyline_mode=skyline_mode,
         )
-        assert _points(py) == _points(np_)
 
     @given(point_sets(min_size=1, max_size=12), st.data())
     @settings(max_examples=150, deadline=None)
     def test_carved_covers_agree_on_probes(self, observed, data):
         e = len(observed[0])
         probe = data.draw(st.tuples(*([coord] * e)))
-        py, np_ = both(kernels.cover_carve, [kernels.ones(e)], observed)
-        py_cov, np_cov = both(kernels.dominates_any, py, probe)
-        assert py_cov == np_cov
+        carved = check(
+            _points, kernels.cover_carve, [kernels.ones(e)], observed
+        )
+        check(bool, kernels.dominates_any, list(carved), probe)
 
 
 class TestGridOps:
@@ -148,19 +161,18 @@ class TestGridOps:
     @given(point_sets(min_size=1, max_size=16), resolutions)
     @settings(max_examples=150, deadline=None)
     def test_grid_cell_assign_equal(self, points, resolution):
-        py, np_ = both(kernels.grid_cell_assign, points, resolution)
         # Per-row assignment: order is meaningful, compare positionally.
-        assert [tuple(int(c) for c in cell) for cell in py] == [
-            tuple(int(c) for c in cell) for cell in np_
-        ]
+        check(
+            lambda cells: [tuple(int(c) for c in cell) for cell in cells],
+            kernels.grid_cell_assign, points, resolution,
+        )
 
     @given(point_sets(min_size=1, max_size=16), resolutions)
     @settings(max_examples=150, deadline=None)
     def test_antichain_same_cell_set(self, points, resolution):
         with use_backend("python"):
             cells = kernels.grid_cell_assign(points, resolution)
-        py, np_ = both(kernels.antichain, cells)
-        assert _cells(py) == _cells(np_)
+        check(_cells, kernels.antichain, cells)
 
     @given(point_sets(min_size=2, max_size=10), resolutions, st.data())
     @settings(max_examples=150, deadline=None)
@@ -171,15 +183,14 @@ class TestGridOps:
             cells = kernels.antichain(
                 kernels.grid_cell_assign(points, resolution)
             )
-        (py_cells, py_changed), (np_cells, np_changed) = both(
-            kernels.grid_carve, cells, vector, resolution
+        check(
+            lambda out: (_cells(out[0]), bool(out[1])),
+            kernels.grid_carve, cells, vector, resolution,
         )
-        assert py_changed == np_changed
-        assert _cells(py_cells) == _cells(np_cells)
 
 
 class TestStructureUsesKernels:
-    """End-to-end geometry structures agree across backends."""
+    """End-to-end geometry structures agree across every kernel."""
 
     @given(point_sets(min_size=1, max_size=16))
     @settings(max_examples=100, deadline=None)
@@ -187,13 +198,14 @@ class TestStructureUsesKernels:
         from repro.geometry.skyline import IncrementalSkyline
 
         results = {}
-        for name in ("python", "numpy"):
+        for name in ["python"] + COMPARE:
             with use_backend(name):
                 sky = IncrementalSkyline()
                 for p in points:
                     sky.add(p)
                 results[name] = sorted(sky.points)
-        assert results["python"] == results["numpy"]
+        for name in COMPARE:
+            assert results[name] == results["python"], name
 
     @given(point_sets(min_size=1, max_size=12), st.data())
     @settings(max_examples=100, deadline=None)
@@ -203,9 +215,10 @@ class TestStructureUsesKernels:
         e = len(observed[0])
         probe = data.draw(st.tuples(*([coord] * e)))
         results = {}
-        for name in ("python", "numpy"):
+        for name in ["python"] + COMPARE:
             with use_backend(name):
                 region = CoverRegion(e, skyline_mode=True)
                 region.update(observed)
                 results[name] = (sorted(region.points), region.covers(probe))
-        assert results["python"] == results["numpy"]
+        for name in COMPARE:
+            assert results[name] == results["python"], name

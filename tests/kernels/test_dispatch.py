@@ -1,0 +1,325 @@
+"""Size-aware per-call dispatch: registry, thresholds, routing, obs.
+
+Covers the three pillars of the dispatch layer:
+
+* :class:`~repro.kernels.registry.KernelRegistry` — per-op registration
+  and *per-op* fallback (a missing tier degrades one op at a time,
+  warned once, tallied — never a silent process-wide flip);
+* :mod:`repro.kernels.dispatch` — threshold resolution (explicit >
+  env file > cache > calibration > defaults), sizers, and the
+  auto/pinned dispatcher routing semantics;
+* the obs contract — ``kernel_calls_total`` labels the backend the
+  dispatcher *chose* per call, ``kernel_fallbacks_total`` records
+  degradations.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro import kernels
+from repro.config import ReproConfig
+from repro.kernels import dispatch
+from repro.kernels.dispatch import (
+    NEVER,
+    AutoDispatcher,
+    PinnedDispatcher,
+)
+from repro.kernels.pointset import HAS_NUMPY
+from repro.kernels.registry import KernelRegistry
+from repro.obs.metrics import MetricRegistry
+
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="requires numpy")
+
+
+@pytest.fixture(autouse=True)
+def _restore_dispatch_state():
+    """Leave backend selection, thresholds and obs sink as found."""
+    previous = kernels.kernel_name()
+    yield
+    dispatch.reset()
+    kernels.unobserve()
+    kernels.set_backend(previous)
+
+
+def _points(n, e=2):
+    return [((i % 9 + 1) / 10.0,) * e for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class _PartialCompiled:
+    """A fake compiled tier implementing exactly one op."""
+
+    name = "numba"
+
+    def dominates_any(self, points, q):
+        return True  # sentinel: proves this impl was selected
+
+
+def _partial_registry():
+    from repro.kernels.reference import ReferenceBackend
+
+    registry = KernelRegistry(kernels.KERNEL_OPS)
+    registry.register("reference", ReferenceBackend())
+    registry.register("compiled", _PartialCompiled())
+    return registry
+
+
+class TestKernelRegistry:
+    def test_resolve_requested_tier(self):
+        registry = _partial_registry()
+        resolved = registry.resolve("dominates_any", "compiled")
+        assert (resolved.requested, resolved.used) == ("numba", "numba")
+        assert not resolved.fallback
+        assert resolved.impl([(0.0,)], (1.0,)) is True
+
+    def test_per_op_fallback_walks_tier_order(self):
+        registry = _partial_registry()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            resolved = registry.resolve("skyline_filter", "compiled")
+        assert resolved.fallback
+        assert (resolved.requested, resolved.used) == ("numba", "python")
+        assert registry.fallbacks[("skyline_filter", "numba", "python")] == 1
+
+    def test_fallback_warns_once_per_pair(self):
+        registry = _partial_registry()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            registry.resolve("skyline_filter", "compiled")
+            registry.resolve("antichain", "compiled")
+        fallback_warnings = [
+            w for w in caught if "kernel_fallbacks_total" in str(w.message)
+        ]
+        assert len(fallback_warnings) == 1
+        # ... but every degradation is tallied individually.
+        assert ("antichain", "numba", "python") in registry.fallbacks
+
+    def test_resolve_all_covers_every_op(self):
+        registry = _partial_registry()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            table = registry.resolve_all("compiled")
+        assert set(table) == set(kernels.KERNEL_OPS)
+        assert not table["dominates_any"].fallback
+        assert table["cover_carve"].fallback
+
+    def test_unknown_op_and_tier_rejected(self):
+        registry = _partial_registry()
+        with pytest.raises(KeyError, match="unknown kernel op"):
+            registry.resolve("transmogrify", "reference")
+        with pytest.raises(ValueError, match="unknown kernel tier"):
+            registry.register("gpu", object())
+
+    def test_backend_names(self):
+        assert "python" in kernels.REGISTRY.backend_names()
+        assert ("numpy" in kernels.REGISTRY.backend_names()) == HAS_NUMPY
+
+
+# ----------------------------------------------------------------------
+# Threshold resolution
+# ----------------------------------------------------------------------
+class TestThresholds:
+    def test_set_thresholds_partial_override(self):
+        dispatch.set_thresholds({"dominates_any": {"numpy": 7}})
+        table = kernels.dispatch_thresholds()
+        assert table["dominates_any"]["numpy"] == 7
+        # Unnamed cells keep their defaults.
+        assert (
+            table["cover_corner_scores"]
+            == dispatch.DEFAULT_THRESHOLDS["cover_corner_scores"]
+        )
+
+    def test_unknown_ops_and_backends_ignored(self):
+        dispatch.set_thresholds(
+            {"warp": {"numpy": 1}, "antichain": {"gpu": 1, "numpy": 5}}
+        )
+        table = kernels.dispatch_thresholds()
+        assert "warp" not in table
+        assert "gpu" not in table["antichain"]
+        assert table["antichain"]["numpy"] == 5
+
+    def test_env_file_override(self, tmp_path, monkeypatch):
+        path = tmp_path / "thresholds.json"
+        path.write_text(json.dumps(
+            {"thresholds": {"skyline_filter": {"numpy": 3}}}
+        ))
+        monkeypatch.setenv(dispatch.ENV_VAR, str(path))
+        dispatch.reset()
+        assert kernels.dispatch_thresholds()["skyline_filter"]["numpy"] == 3
+
+    def test_load_thresholds_file_bare_mapping(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps({"antichain": {"numpy": 11}}))
+        table = dispatch.load_thresholds_file(path)
+        assert table["antichain"]["numpy"] == 11
+
+    def test_cache_roundtrip_and_staleness(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        registry = kernels.REGISTRY
+        dispatch._store_cache(registry, {"dominates_any": {"numpy": 42}})
+        cached = dispatch._load_cache(registry)
+        assert cached is not None
+        assert cached["dominates_any"]["numpy"] == 42
+        # A cache written under a different backend set must be ignored.
+        payload = json.loads(dispatch._cache_path().read_text())
+        payload["meta"]["backends"] = ["python", "cuda"]
+        dispatch._cache_path().write_text(json.dumps(payload))
+        assert dispatch._load_cache(registry) is None
+
+    @needs_numpy
+    def test_calibrate_measures_every_op(self):
+        measured = dispatch.calibrate(kernels.REGISTRY, budget=1.0)
+        assert set(measured) == set(kernels.KERNEL_OPS)
+        for table in measured.values():
+            assert all(isinstance(v, int) and v >= 1 for v in table.values())
+
+    @needs_numpy
+    def test_calibrate_respects_budget(self):
+        # A zero budget measures nothing (every op keeps its defaults).
+        assert dispatch.calibrate(kernels.REGISTRY, budget=0.0) == {}
+
+
+# ----------------------------------------------------------------------
+# Dispatcher routing
+# ----------------------------------------------------------------------
+@needs_numpy
+class TestAutoDispatcher:
+    def test_small_batches_stay_on_reference(self):
+        dispatch.set_thresholds({"cover_corner_scores": {"numpy": 100}})
+        dispatcher = AutoDispatcher(kernels.REGISTRY)
+        small = dispatcher.select("cover_corner_scores", (_points(4),))
+        assert small.used == "python"
+        large = dispatcher.select("cover_corner_scores", (_points(200),))
+        assert large.used == "numpy"
+
+    def test_never_sentinel_disables_backend(self):
+        dispatch.set_thresholds({"skyline_filter": {"numpy": NEVER}})
+        dispatcher = AutoDispatcher(kernels.REGISTRY)
+        chosen = dispatcher.select("skyline_filter", (_points(100_000),))
+        assert chosen.used == "python"
+
+    def test_threshold_change_rebuilds_live_routes(self):
+        dispatch.set_thresholds({"antichain": {"numpy": 5}})
+        dispatcher = AutoDispatcher(kernels.REGISTRY)
+        assert dispatcher.select("antichain", (_points(10),)).used == "numpy"
+        dispatch.set_thresholds({"antichain": {"numpy": NEVER}})
+        assert dispatcher.select("antichain", (_points(10),)).used == "python"
+
+    def test_cross_product_sizer_multiplies(self):
+        dispatch.set_thresholds({"cross_product_max": {"numpy": 100}})
+        dispatcher = AutoDispatcher(kernels.REGISTRY)
+        scores = [0.1] * 20
+        assert dispatcher.select(
+            "cross_product_max", (scores, scores)
+        ).used == "numpy"  # 20 * 20 = 400 >= 100
+        assert dispatcher.select(
+            "cross_product_max", (scores[:4], scores[:4])
+        ).used == "python"  # 16 < 100
+
+    def test_cover_carve_sizer_sums_cover_and_observed(self):
+        dispatch.set_thresholds({"cover_carve": {"numpy": 30}})
+        dispatcher = AutoDispatcher(kernels.REGISTRY)
+        cover, observed = _points(20), _points(20)
+        assert dispatcher.select(
+            "cover_carve", (cover, observed)
+        ).used == "numpy"  # 20 + 20 >= 30
+        assert dispatcher.select(
+            "cover_carve", (cover[:5], observed[:5])
+        ).used == "python"
+
+    def test_routes_snapshot_anchor(self):
+        routes = AutoDispatcher(kernels.REGISTRY).routes_snapshot()
+        assert set(routes) == set(kernels.KERNEL_OPS)
+        for entries in routes.values():
+            sizes = [size for size, _ in entries]
+            assert sizes == sorted(sizes, reverse=True)
+            assert entries[-1] == (0, "python")
+
+
+class TestPinnedDispatcher:
+    def test_python_pin_ignores_batch_size(self):
+        dispatcher = PinnedDispatcher(kernels.REGISTRY, "python")
+        assert dispatcher.select(
+            "cover_corner_scores", (_points(100_000),)
+        ).used == "python"
+
+    @needs_numpy
+    def test_numpy_pin_ignores_batch_size(self):
+        dispatcher = PinnedDispatcher(kernels.REGISTRY, "numpy")
+        assert dispatcher.select(
+            "cover_corner_scores", (_points(1),)
+        ).used == "numpy"
+
+
+# ----------------------------------------------------------------------
+# Observability: chosen-backend counters and fallback counters
+# ----------------------------------------------------------------------
+@needs_numpy
+class TestDispatchObservability:
+    def test_calls_counted_under_chosen_backend(self):
+        dispatch.set_thresholds({"cover_corner_scores": {"numpy": 100}})
+        metrics = MetricRegistry()
+        kernels.observe(metrics)
+        with kernels.use_backend("auto"):
+            kernels.cover_corner_scores(_points(4))
+            kernels.cover_corner_scores(_points(200))
+        assert metrics.value(
+            "kernel_calls_total", kernel="python", fn="cover_corner_scores"
+        ) == 1
+        assert metrics.value(
+            "kernel_calls_total", kernel="numpy", fn="cover_corner_scores"
+        ) == 1
+
+    def test_fallback_counter_on_degraded_pin(self):
+        if kernels.HAS_NUMBA:
+            pytest.skip("needs a missing compiled tier to degrade")
+        metrics = MetricRegistry()
+        kernels.observe(metrics)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with kernels.use_backend("numba"):
+                kernels.dominates_any(_points(4), (0.5, 0.5))
+                kernels.dominates_any(_points(4), (0.5, 0.5))
+        assert metrics.value(
+            "kernel_fallbacks_total",
+            fn="dominates_any", requested="numba", used="numpy",
+        ) == 2
+        # Calls are counted under the backend that actually computed.
+        assert metrics.value(
+            "kernel_calls_total", kernel="numpy", fn="dominates_any"
+        ) == 2
+
+    def test_unobserve_detaches(self):
+        metrics = MetricRegistry()
+        kernels.observe(metrics)
+        kernels.unobserve()
+        with kernels.use_backend("python"):
+            kernels.skyline_filter(_points(3))
+        assert metrics.value(
+            "kernel_calls_total", kernel="python", fn="skyline_filter"
+        ) is None
+
+
+# ----------------------------------------------------------------------
+# Config wiring
+# ----------------------------------------------------------------------
+class TestConfigWiring:
+    def test_numba_is_a_valid_config_kernel(self):
+        assert ReproConfig(kernel="numba").kernel == "numba"
+
+    def test_kernel_thresholds_file_applied(self, tmp_path):
+        path = tmp_path / "thr.json"
+        path.write_text(json.dumps({"grid_carve": {"numpy": 13}}))
+        config = ReproConfig(kernel="auto", kernel_thresholds=str(path))
+        assert config.apply() == "auto"
+        assert kernels.dispatch_thresholds()["grid_carve"]["numpy"] == 13
+
+    def test_from_env_reads_thresholds_var(self, monkeypatch):
+        monkeypatch.setenv(dispatch.ENV_VAR, "/tmp/some-thresholds.json")
+        assert ReproConfig.from_env().kernel_thresholds == (
+            "/tmp/some-thresholds.json"
+        )

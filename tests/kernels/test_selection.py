@@ -33,9 +33,36 @@ class TestSetBackend:
     def test_explicit_numpy(self):
         assert kernels.set_backend("numpy") == "numpy"
 
-    def test_auto_prefers_numpy_when_available(self):
-        resolved = kernels.set_backend("auto")
-        assert resolved == ("numpy" if HAS_NUMPY else "python")
+    def test_auto_is_the_dispatcher(self):
+        # "auto" is per-call dispatch now, not a numpy alias: the active
+        # kernel keeps the name "auto" and routes by batch size.
+        assert kernels.set_backend("auto") == "auto"
+        assert kernels.kernel_name() == "auto"
+        routes = kernels.dispatch_routes()
+        assert set(routes) == set(kernels.KERNEL_OPS)
+        for entries in routes.values():
+            assert entries[-1] == (0, "python")  # reference anchors each op
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="requires numpy")
+    def test_auto_routes_by_batch_size(self):
+        with kernels.use_backend("auto"):
+            dispatcher = kernels.get_backend()
+            small = dispatcher.select("cover_corner_scores", ([(0.5, 0.5)],))
+            assert small.used == "python"
+            bulk = [(i / 70000, 1 - i / 70000) for i in range(50_000)]
+            large = dispatcher.select("cover_corner_scores", (bulk,))
+            assert large.used in ("numpy", "numba")
+
+    def test_pinned_numba_keeps_its_name(self):
+        # A pinned name never silently renames itself; missing tiers
+        # degrade per op (warned once, tallied) instead.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            assert kernels.set_backend("numba") == "numba"
+            assert kernels.kernel_name() == "numba"
+            assert kernels.dominates_any([(0.9, 0.9)], (0.5, 0.5)) is True
 
     def test_none_means_auto(self):
         assert kernels.set_backend(None) == kernels.set_backend("auto")
@@ -84,10 +111,12 @@ class TestEnvVar:
     def test_env_selects_python(self):
         assert self._probe("python").stdout.strip() == "python"
 
+    def test_env_selects_auto_dispatch(self):
+        assert self._probe("auto").stdout.strip() == "auto"
+
     def test_invalid_env_warns_and_falls_back_to_auto(self):
         proc = self._probe("no-such-backend")
-        expected = "numpy" if HAS_NUMPY else "python"
-        assert proc.stdout.strip() == expected
+        assert proc.stdout.strip() == "auto"
         assert "REPRO_KERNEL" in proc.stderr  # RuntimeWarning mentions the var
 
 

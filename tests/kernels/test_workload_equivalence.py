@@ -1,10 +1,12 @@
-"""Seed-workload invariant: both kernel backends run the operator stack to
-the *same* answer and the *same* cost.
+"""Seed-workload invariant: every kernel runs the operator stack to the
+*same* answer and the *same* cost.
 
 For each of the four seed workloads (tpch / zipf / uniform /
 anticorrelated — see tests/exec/conftest.py) the FR-family operators must
 produce an identical top-K (scores AND emission order) and identical
-sumDepths under ``python`` and ``numpy`` kernels.  This is the strongest
+sumDepths under the ``python``, ``numpy`` and — when installed —
+``numba`` kernels, and under size-aware ``auto`` dispatch (whose per-call
+tier choices must be invisible in the results).  This is the strongest
 form of the bit-identity claim: a single float divergence anywhere in the
 bound pipeline changes a stopping decision and shows up here as a depth
 mismatch.
@@ -13,13 +15,13 @@ mismatch.
 import pytest
 
 from repro.core.operators import make_operator
-from repro.kernels import use_backend
+from repro.kernels import HAS_NUMBA, use_backend
 from repro.kernels.pointset import HAS_NUMPY
 
 from tests.exec.conftest import WORKLOAD_BUILDERS
 
 pytestmark = pytest.mark.skipif(
-    not HAS_NUMPY, reason="equivalence needs both backends installed"
+    not HAS_NUMPY, reason="equivalence needs the vectorized tier installed"
 )
 
 #: FR-family operators exercising corner, FR* and adaptive aFR bounds.
@@ -27,6 +29,9 @@ pytestmark = pytest.mark.skipif(
 #: pure-python leg of this matrix; its bound geometry is covered by the
 #: property tests.)
 OPERATORS_UNDER_TEST = ("HRJN*", "FRPA", "a-FRPA")
+
+#: Kernels compared against the "python" reference.
+COMPARE = ("numpy",) + (("numba",) if HAS_NUMBA else ()) + ("auto",)
 
 
 def _run(workload_name, operator_name, backend):
@@ -45,7 +50,9 @@ def _run(workload_name, operator_name, backend):
 @pytest.mark.parametrize("operator", OPERATORS_UNDER_TEST)
 def test_identical_topk_and_sumdepths(workload, operator):
     py_results, py_depths = _run(workload, operator, "python")
-    np_results, np_depths = _run(workload, operator, "numpy")
-    assert py_results == np_results  # same scores, same emission order
-    assert py_depths == np_depths  # same sumDepths: identical stop decisions
     assert len(py_results) > 0
+    for backend in COMPARE:
+        results, depths = _run(workload, operator, backend)
+        # Same scores, same emission order, same stop decisions.
+        assert results == py_results, backend
+        assert depths == py_depths, backend

@@ -50,6 +50,22 @@ class TestCoefficients:
         assert COEFFS.kernel_factor("python", 100) < 1.0
         assert COEFFS.kernel_factor("python", 100_000) > 1.0
 
+    def test_kernel_factor_auto_is_lower_envelope(self):
+        # Per-call dispatch rides the winning tier on both sides of the
+        # crossover, so auto is never beaten by any pinned backend.
+        for size in (100, 100_000):
+            auto = COEFFS.kernel_factor("auto", size)
+            assert auto == COEFFS.kernel_factor(None, size)
+            for pinned in ("python", "numpy", "numba"):
+                assert auto <= COEFFS.kernel_factor(pinned, size)
+
+    def test_kernel_factor_pinned_penalties(self):
+        # Pinned vector tiers pay per-call overhead on tiny batches;
+        # pinned python pays the no-vectorization tax on bulk.
+        assert COEFFS.kernel_factor("numpy", 100) > 1.0
+        assert COEFFS.kernel_factor("numba", 100) > 1.0
+        assert COEFFS.kernel_factor("numba", 100_000) == 1.0
+
     def test_env_file_resolution(self, tmp_path, monkeypatch):
         path = tmp_path / "coeffs.json"
         path.write_text(json.dumps({"pull_pbrj": 7.5e-7}))

@@ -270,3 +270,87 @@ class TestServiceCaching:
         service.run_until_complete()
         assert session.state is SessionState.FAILED
         assert service.cache.lookup(key, 1) is None
+
+
+class TestPlanAwareCacheKeys:
+    """Auto specs key the cache by their *resolved* plan (PR 8 follow-up).
+
+    A pinned :class:`QuerySpec` and an ``auto`` spec the planner resolves
+    to the same plan must hit the same :class:`ResultCache` entry — in
+    both directions.  Likewise a kernel pin: every kernel tier (and
+    size-aware ``auto`` dispatch) is bit-identical by contract, so the
+    kernel axis must be invisible to the cache key.
+    """
+
+    @staticmethod
+    def _auto_and_pinned():
+        instance = make_instance()
+        auto_spec = QuerySpec(
+            relations=(instance.left, instance.right),
+            k=10,
+            algorithm="auto",
+            shards="auto",
+        )
+        resolved = auto_spec.resolve()
+        # An independent, fully static spec describing the same plan —
+        # built from scratch, not by aliasing the resolved object.
+        pinned = QuerySpec(
+            relations=auto_spec.relations,
+            k=auto_spec.k,
+            algorithm=resolved.algorithm,
+            operator=resolved.operator,
+            shards=resolved.shards,
+            exec_backend=resolved.exec_backend,
+            partitioner=resolved.partitioner,
+        )
+        assert not pinned.is_auto
+        return auto_spec, pinned
+
+    def test_auto_resolves_to_pinned_fingerprint(self):
+        auto_spec, pinned = self._auto_and_pinned()
+        assert auto_spec.fingerprint() == pinned.fingerprint()
+
+    def test_pinned_run_warms_cache_for_auto(self):
+        auto_spec, pinned = self._auto_and_pinned()
+        obs = Observability()
+        service = QueryService(obs=obs)
+        first = service.run_query(pinned)
+        pulls = service.scheduler.stats()["pulls"]
+        second = service.run_query(auto_spec)
+        assert [r.score for r in second] == [r.score for r in first]
+        assert service.scheduler.stats()["pulls"] == pulls  # zero new pulls
+        assert obs.metrics.value("service_cache_hits_total") == 1
+        assert service.scheduler.finished_sessions[-1].from_cache
+
+    def test_auto_run_warms_cache_for_pinned(self):
+        auto_spec, pinned = self._auto_and_pinned()
+        service = QueryService()
+        first = service.run_query(auto_spec)
+        pulls = service.scheduler.stats()["pulls"]
+        second = service.run_query(pinned)
+        assert [r.score for r in second] == [r.score for r in first]
+        assert service.scheduler.stats()["pulls"] == pulls
+        assert service.scheduler.finished_sessions[-1].from_cache
+
+    def test_kernel_pin_is_cache_invisible(self):
+        # Kernel tiers are bit-identical, so a run pinned to the Python
+        # reference must warm the cache for an auto-dispatch run.
+        instance = make_instance()
+        pinned = QuerySpec(
+            relations=(instance.left, instance.right), k=10, kernel="python"
+        )
+        dispatched = QuerySpec(
+            relations=(instance.left, instance.right), k=10, kernel="auto"
+        )
+        inherited = QuerySpec(
+            relations=(instance.left, instance.right), k=10
+        )
+        assert pinned.fingerprint() == dispatched.fingerprint()
+        assert pinned.fingerprint() == inherited.fingerprint()
+        service = QueryService()
+        first = service.run_query(pinned)
+        pulls = service.scheduler.stats()["pulls"]
+        second = service.run_query(dispatched)
+        assert [r.score for r in second] == [r.score for r in first]
+        assert service.scheduler.stats()["pulls"] == pulls
+        assert service.scheduler.finished_sessions[-1].from_cache
