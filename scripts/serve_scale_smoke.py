@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""CI smoke test for the streaming serve fleet.
+
+Boots ``python -m repro serve --workers 2`` as a subprocess, drives a
+scaled-down soak (50 concurrent streaming sessions by default) through
+the front-end, and checks the streaming contract end to end: strictly
+sequential event indexes, the streamed sequence equal to the terminal
+snapshot, identical answers across sessions of the same query, fleet
+stats reporting every worker alive, and a clean shutdown.  Exits
+nonzero on any failure; the CI step wraps it in a hard ``timeout``.
+
+Usage: python scripts/serve_scale_smoke.py [--sessions 50] [--workers 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import threading
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service import ServiceClient  # noqa: E402
+
+
+def start_fleet(scale: float, workers: int) -> tuple[subprocess.Popen, str, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(os.path.dirname(__file__), "..", "src"),
+                    env.get("PYTHONPATH")) if p
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--scale", str(scale), "--workers", str(workers),
+         "--quantum", "32"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    for line in process.stdout:
+        print(f"[fleet] {line.rstrip()}")
+        match = re.search(r"serving on ([\d.]+):(\d+)", line)
+        if match:
+            return process, match.group(1), int(match.group(2))
+    raise RuntimeError(f"fleet exited (rc={process.wait()}) before listening")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--sessions", type=int, default=50)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--threads", type=int, default=10)
+    parser.add_argument("--scale", type=float, default=0.0005)
+    args = parser.parse_args()
+
+    process, host, port = start_fleet(args.scale, args.workers)
+
+    def drain():
+        for line in process.stdout:
+            print(f"[fleet] {line.rstrip()}")
+
+    threading.Thread(target=drain, daemon=True).start()
+
+    errors: list[str] = []
+    by_k: dict[int, list] = {}
+    lock = threading.Lock()
+    per_thread = args.sessions // args.threads
+
+    def soak(slot: int) -> None:
+        try:
+            with ServiceClient(host, port, timeout=120.0) as client:
+                for j in range(per_thread):
+                    index = slot * per_thread + j
+                    k = 2 + index % 8
+                    sid = client.submit(left="lineitem", right="orders",
+                                        k=k, operator="FRPA")
+                    scores, indexes, done = [], [], None
+                    for event in client.stream(sid):
+                        if event["event"] == "result":
+                            scores.append(event["score"])
+                            indexes.append(event["index"])
+                        else:
+                            done = event
+                    if indexes != list(range(len(scores))):
+                        errors.append(f"{sid}: indexes {indexes}")
+                    elif done is None or done["state"] != "DONE":
+                        errors.append(f"{sid}: bad terminal event")
+                    elif done["scores"] != scores:
+                        errors.append(f"{sid}: streamed != snapshot")
+                    elif len(scores) != k:
+                        errors.append(f"{sid}: {len(scores)}/{k} results")
+                    with lock:
+                        by_k.setdefault(k, []).append(scores)
+        except Exception as exc:  # noqa: BLE001 - reported below
+            errors.append(f"soak {slot}: {type(exc).__name__}: {exc}")
+
+    threads = [threading.Thread(target=soak, args=(slot,))
+               for slot in range(args.threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=180.0)
+
+    # Every session of the same query streamed the identical sequence,
+    # and shorter-k sequences are prefixes of longer-k ones.
+    for k, sequences in sorted(by_k.items()):
+        if any(seq != sequences[0] for seq in sequences):
+            errors.append(f"k={k}: sessions disagree")
+    longest = max(by_k) if by_k else 0
+    for k, sequences in sorted(by_k.items()):
+        if sequences and by_k.get(longest) \
+                and by_k[longest][0][:k] != sequences[0]:
+            errors.append(f"k={k} is not a prefix of k={longest}")
+
+    try:
+        with ServiceClient(host, port) as client:
+            stats = client.stats()
+            if stats["fleet"]["alive"] != args.workers:
+                errors.append(f"fleet degraded: {stats['fleet']}")
+            client.shutdown()
+        returncode = process.wait(timeout=60.0)
+    except Exception as exc:  # noqa: BLE001 - reported below
+        errors.append(f"shutdown: {type(exc).__name__}: {exc}")
+        process.kill()
+        returncode = -1
+
+    total = sum(len(sequences) for sequences in by_k.values())
+    if total != per_thread * args.threads:
+        errors.append(f"only {total}/{per_thread * args.threads} sessions ran")
+    if returncode != 0:
+        errors.append(f"fleet exited with status {returncode}")
+
+    if errors:
+        print("SMOKE FAILED:")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    print(
+        f"SMOKE OK: {total} streaming sessions over {args.workers} workers, "
+        f"cache hit rate {stats['cache']['hit_rate']:.2f}, "
+        f"{stats['cache']['shared_hits']} shared-tier hits, clean shutdown"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -358,6 +358,22 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_cache(args: argparse.Namespace, obs):
+    """A shared-dir-backed ResultCache for single-server serve, or None.
+
+    None lets :class:`QueryService` build its plain in-memory cache from
+    ``cache_capacity``/``cache_ttl`` as before.
+    """
+    if args.shared_cache_dir is None or args.cache_capacity < 1:
+        return None
+    from repro.service import ResultCache
+
+    return ResultCache(
+        capacity=args.cache_capacity, ttl=args.cache_ttl,
+        shared_dir=args.shared_cache_dir, obs=obs,
+    )
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Start the concurrent query service over shared synthetic relations."""
     from repro.data.tpch import generate_tpch
@@ -377,19 +393,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         algorithm = "auto"
         default_shards = "auto"
     obs = _build_obs(args, "serve") or Observability()
-    try:
-        service = QueryService(
-            policy=args.policy,
-            max_live=args.max_sessions,
-            quantum=args.quantum,
-            cache_capacity=args.cache_capacity,
-            cache_ttl=args.cache_ttl,
-            default_max_pulls=args.max_pulls,
-            obs=obs,
-        )
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    quotas = None
+    if args.tenant_rate > 0:
+        from repro.service import TenantQuotas
+
+        quotas = TenantQuotas(rate=args.tenant_rate, burst=args.tenant_burst)
     tables = generate_tpch(params.tpch_config(), seed=params.seed)
     relations = {
         "lineitem": tables["lineitem"].to_relation("orderkey"),
@@ -404,11 +412,58 @@ def cmd_serve(args: argparse.Namespace) -> int:
             error_rate=args.chaos_error_rate,
             delay_rate=args.chaos_delay_rate,
         )
-    server = RankJoinServer(
-        service, relations, host=args.host, port=args.port,
-        default_shards=default_shards, default_algorithm=algorithm,
-        chaos=chaos,
-    )
+    if args.workers > 1:
+        from repro.service import ServeFleet
+
+        if chaos is not None:
+            print("note: request chaos applies to single-server mode only; "
+                  "ignoring --chaos-* with --workers > 1", file=sys.stderr)
+        try:
+            server = ServeFleet(
+                relations,
+                workers=args.workers,
+                host=args.host,
+                port=args.port,
+                quotas=quotas,
+                shared_cache_dir=args.shared_cache_dir,
+                service_kwargs={
+                    "policy": args.policy,
+                    "max_live": args.max_sessions,
+                    "quantum": args.quantum,
+                    "cache_capacity": args.cache_capacity,
+                    "cache_ttl": args.cache_ttl,
+                    "default_max_pulls": args.max_pulls,
+                },
+                server_kwargs={
+                    "default_shards": default_shards,
+                    "default_algorithm": algorithm,
+                },
+                obs=obs,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        try:
+            service = QueryService(
+                policy=args.policy,
+                max_live=args.max_sessions,
+                quantum=args.quantum,
+                cache=_serve_cache(args, obs),
+                cache_capacity=args.cache_capacity,
+                cache_ttl=args.cache_ttl,
+                default_max_pulls=args.max_pulls,
+                quotas=quotas,
+                obs=obs,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        server = RankJoinServer(
+            service, relations, host=args.host, port=args.port,
+            default_shards=default_shards, default_algorithm=algorithm,
+            chaos=chaos,
+        )
     sizes = ", ".join(f"{name}={len(rel)}" for name, rel in relations.items())
     print(f"relations loaded: {sizes}", flush=True)
 
@@ -482,6 +537,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         kinds=tuple(args.kinds),
         operator=args.operator,
         reshard=args.reshard,
+        stream=args.stream,
     )
     print(render_report(cases))
     return 0 if all(case.ok for case in cases) else 1
@@ -592,6 +648,17 @@ def main(argv: list[str] | None = None) -> int:
                          help="'auto' makes the planner choose algorithm "
                               "and shards for every query that does not "
                               "pin them")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="server worker processes (1 = single server; "
+                              "N>1 boots a fleet behind one front-end)")
+    p_serve.add_argument("--tenant-rate", type=float, default=0.0,
+                         help="per-tenant admitted submits per second "
+                              "(0 disables quotas)")
+    p_serve.add_argument("--tenant-burst", type=float, default=20.0,
+                         help="per-tenant admission burst capacity")
+    p_serve.add_argument("--shared-cache-dir", default=None,
+                         help="cross-process result-cache directory "
+                              "(fleet default: a private temp dir)")
     p_serve.add_argument("--chaos-seed", type=int, default=0,
                          help="request-chaos RNG seed")
     p_serve.add_argument("--chaos-error-rate", type=float, default=0.0,
@@ -649,6 +716,10 @@ def main(argv: list[str] | None = None) -> int:
     p_chaos.add_argument("--reshard", action="store_true",
                          help="also fire each fault DURING a live re-shard "
                               "migration (planner adaptivity path)")
+    p_chaos.add_argument("--stream", action="store_true",
+                         help="also consume each case over the server's "
+                              "stream verb under request-level chaos "
+                              "(event-sequence bit-identity)")
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_info = sub.add_parser("info", help="library inventory")

@@ -80,6 +80,25 @@ class WorkerLost(ShardError):
         super().__init__(f"shard {shard} {detail}", shard=shard)
 
 
+class QuotaExceeded(ReproError):
+    """A tenant's token bucket is empty; the submission was rejected.
+
+    Carries the admission-control backpressure hint: retrying before
+    ``retry_after`` seconds have passed is guaranteed to be rejected
+    again, so well-behaved clients should wait at least that long.  The
+    server surfaces this as a ``retryable`` reject response with a
+    ``retry_after`` field.
+    """
+
+    def __init__(self, tenant: str, retry_after: float) -> None:
+        super().__init__(
+            f"tenant {tenant!r} is over its admission quota; "
+            f"retry after {retry_after:.3f}s"
+        )
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
 class BudgetExhausted(ReproError):
     """A query session spent its pull budget before completing its top-K.
 

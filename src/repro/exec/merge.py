@@ -27,6 +27,7 @@ backend.  That is the invariant the sharded-equals-serial test enforces.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any
 
 from repro.core.pbrj import SCORE_EPS
@@ -55,15 +56,26 @@ def result_identity(result: JoinResult) -> tuple:
 
 
 class GlobalTopKMerger:
-    """k-heap over shard outputs with the frontier emit gate."""
+    """k-heap over shard outputs with the frontier emit gate.
 
-    def __init__(self, shards: list[int]) -> None:
+    ``on_release`` (optional) is invoked as ``on_release(result, moment)``
+    at the exact instant a candidate passes the gate — *the* release
+    moment the streaming serving layer pushes on, rather than waiting for
+    session DONE.  ``clock`` injects a virtual clock for tests.
+    """
+
+    def __init__(self, shards: list[int], *, on_release=None,
+                 clock=time.perf_counter) -> None:
         #: Candidate heap: (-score, canonical identity, result).
         self._heap: list[tuple[float, tuple, JoinResult]] = []
         #: Shard id → current frontier; removed once the shard exhausts.
         self._frontiers: dict[int, float] = {shard: float("inf") for shard in shards}
         self._offered = 0
         self._released = 0
+        self._clock = clock
+        self._on_release = on_release
+        #: Clock reading of the most recent gate release (None before any).
+        self.last_release_at: float | None = None
 
     # ------------------------------------------------------------------
     # Feeding
@@ -96,7 +108,11 @@ class GlobalTopKMerger:
         ):
             return None
         self._released += 1
-        return heapq.heappop(self._heap)[2]
+        result = heapq.heappop(self._heap)[2]
+        self.last_release_at = self._clock()
+        if self._on_release is not None:
+            self._on_release(result, self.last_release_at)
+        return result
 
     def done(self) -> bool:
         """True when no shard is live and every candidate was released."""
@@ -151,4 +167,5 @@ class GlobalTopKMerger:
             "pending_candidates": self.pending_candidates,
             "offered": self._offered,
             "released": self._released,
+            "last_release_at": self.last_release_at,
         }

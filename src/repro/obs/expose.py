@@ -121,14 +121,32 @@ def compute_slos(registry: MetricRegistry) -> dict:
     Returns a plain dict (JSON-friendly; absent signals are ``None``)::
 
         {"session_seconds": {"p50": ..., "p95": ..., "p99": ...},
+         "first_result_seconds": {"p50": ..., "p95": ..., "p99": ...},
          "sessions_finished": int, "queue_depth": ..., "live_sessions": ...,
-         "cache_hit_ratio": ..., "shard_imbalance_max": ...}
+         "cache_hit_ratio": ..., "shard_imbalance_max": ...,
+         "throttled_total": int}
+
+    ``first_result_seconds`` is time-to-first-result — the anytime
+    latency the ``stream`` verb serves; ``throttled_total`` counts
+    per-tenant quota rejections across all tenants.
     """
     latency = _merged_histogram(registry, "service_session_seconds")
     percentiles: dict[str, float | None] = {}
     for quantile in SLO_QUANTILES:
         key = f"p{int(quantile * 100)}"
         percentiles[key] = latency.percentile(quantile) if latency else None
+
+    first = _merged_histogram(registry, "service_first_result_seconds")
+    first_percentiles: dict[str, float | None] = {}
+    for quantile in SLO_QUANTILES:
+        key = f"p{int(quantile * 100)}"
+        first_percentiles[key] = first.percentile(quantile) if first else None
+
+    throttled = 0
+    for _, _, metric in registry.metrics_named(
+        "service_throttled_total", kind="counter"
+    ):
+        throttled += metric.value
 
     hits = misses = 0
     for _, _, metric in registry.metrics_named(
@@ -151,11 +169,13 @@ def compute_slos(registry: MetricRegistry) -> dict:
 
     return {
         "session_seconds": percentiles,
+        "first_result_seconds": first_percentiles,
         "sessions_finished": latency.count if latency else 0,
         "queue_depth": registry.value("service_queue_depth"),
         "live_sessions": registry.value("service_live_sessions"),
         "cache_hit_ratio": hit_ratio,
         "shard_imbalance_max": imbalance,
+        "throttled_total": throttled,
     }
 
 
@@ -172,6 +192,12 @@ def set_slo_gauges(registry: MetricRegistry) -> dict:
             if value is not None:
                 quantile = f"0.{key[1:]}" if key != "p50" else "0.5"
                 registry.gauge("slo_session_seconds", quantile=quantile).set(value)
+        for key, value in slos["first_result_seconds"].items():
+            if value is not None:
+                quantile = f"0.{key[1:]}" if key != "p50" else "0.5"
+                registry.gauge(
+                    "slo_first_result_seconds", quantile=quantile
+                ).set(value)
         if slos["cache_hit_ratio"] is not None:
             registry.gauge("slo_cache_hit_ratio").set(slos["cache_hit_ratio"])
         if slos["shard_imbalance_max"] is not None:

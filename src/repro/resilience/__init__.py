@@ -46,6 +46,7 @@ from repro.resilience.chaos import (
     reshard_chaos_run,
     run_chaos_suite,
     seed_instance,
+    stream_chaos_run,
 )
 from repro.resilience.faults import (
     FAULT_KINDS,
@@ -88,5 +89,6 @@ __all__ = [
     "render_report",
     "reshard_chaos_run",
     "run_chaos_suite",
+    "stream_chaos_run",
     "seed_instance",
 ]

@@ -114,6 +114,8 @@ class ChaosCase:
     degraded: bool
     #: Completed live re-shard migrations (reshard cases require exactly 1).
     reshards: int = 0
+    #: Request-level injected errors ridden through (stream cases).
+    injected: int = 0
 
     @property
     def ok(self) -> bool:
@@ -225,6 +227,123 @@ def reshard_chaos_run(
     )
 
 
+def stream_chaos_run(
+    workload: str,
+    shards: int,
+    backend: str,
+    kind: str,
+    *,
+    seed: int = 0,
+    operator: str = "FRPA",
+    error_rate: float = 0.25,
+) -> ChaosCase:
+    """Stream a query off a chaotic server; verify the event sequence.
+
+    Two fault layers run at once: the seeded exec-level plan
+    (worker-kill / transients inside the sharded engine, with
+    respawn-replay) *and* request-level chaos intercepting the
+    ``submit``/``poll``/``stream`` verbs.  The client rides both through
+    the **raw** stream reader — no client-side dedup or reordering — so
+    the case passes only if the *server* itself never emitted a wrong,
+    duplicated, or out-of-order event: every result event's index must
+    equal the strict cursor and its score must match the fault-free
+    serial reference at that index, across any number of mid-stream
+    reattachments.  Already-streamed prefixes must survive respawn-replay
+    untouched (indexes only ever append).
+    """
+    import threading
+
+    from repro.resilience.faults import RequestChaos
+    from repro.service import QueryService, RankJoinServer, ServiceClient
+    from repro.service.client import ServiceError
+
+    instance = seed_instance(workload)
+    reference = [
+        round(r.score, 6) for r in reference_run(instance, shards, operator)
+    ]
+    plan = chaos_plan(kind, shards, seed)
+    obs = Observability()
+    service = QueryService(quantum=16, obs=obs)
+    chaos = RequestChaos(
+        seed=seed,
+        error_rate=error_rate,
+        verbs=("submit", "poll", "stream"),
+        sleep=lambda _delay: None,
+    )
+    server = RankJoinServer(
+        service,
+        {"left": instance.left, "right": instance.right},
+        default_shards=shards,
+        resilience=ResilienceConfig(plan=plan, retry=CHAOS_RETRY, seed=seed),
+        chaos=chaos,
+    )
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    server.ready.wait(10.0)
+
+    matched = True
+    degraded = False
+    cursor = 0
+    reattach = 0
+    try:
+        with ServiceClient(server.host, server.port) as client:
+            response = client.request({
+                "verb": "submit", "left": "left", "right": "right",
+                "k": instance.k, "operator": operator, "backend": backend,
+            }, max_retries=16)
+            sid = response["session"]
+            done = None
+            while done is None:
+                try:
+                    for event in client.stream_raw(sid, from_index=cursor):
+                        if event.get("event") == "result":
+                            if (
+                                event["index"] != cursor
+                                or cursor >= len(reference)
+                                or round(event["score"], 6) != reference[cursor]
+                            ):
+                                matched = False
+                            cursor += 1
+                        elif event.get("event") == "done":
+                            done = event
+                except ServiceError as error:
+                    if not error.retryable or reattach >= 64:
+                        matched = False
+                        break
+                    reattach += 1
+            if done is not None:
+                degraded = bool(done.get("degraded"))
+                if done.get("scores") != reference or cursor != len(reference):
+                    matched = False
+            else:
+                matched = False
+    finally:
+        try:
+            with ServiceClient(server.host, server.port) as closer:
+                closer.shutdown()
+        except (OSError, ConnectionError, ServiceError):  # pragma: no cover
+            pass
+        thread.join(timeout=10.0)
+
+    respawns = obs.metrics.value("worker_respawns_total") or 0
+    retries = sum(
+        obs.metrics.value("resilience_retries_total", kind=k) or 0
+        for k in ("transient", "worker-lost")
+    )
+    return ChaosCase(
+        workload=workload,
+        shards=shards,
+        backend=backend,
+        kind=f"{kind}+stream",
+        matched=matched,
+        fired=respawns + retries + chaos.injected_errors,
+        respawns=respawns,
+        retries=retries,
+        degraded=degraded,
+        injected=chaos.injected_errors,
+    )
+
+
 def run_chaos_suite(
     *,
     seed: int = 0,
@@ -234,12 +353,15 @@ def run_chaos_suite(
     kinds: tuple[str, ...] = CHAOS_KINDS,
     operator: str = "FRPA",
     reshard: bool = False,
+    stream: bool = False,
 ) -> list[ChaosCase]:
     """The full chaos matrix: workload × shards × backend × fault kind.
 
     ``reshard=True`` appends one extra case per matrix point with the
     fault firing during a live re-shard migration (see
-    :func:`reshard_chaos_run`).
+    :func:`reshard_chaos_run`); ``stream=True`` appends one with the
+    query consumed over the server's ``stream`` verb under request-level
+    chaos (see :func:`stream_chaos_run`).
     """
     cases = []
     for workload in workloads:
@@ -255,6 +377,13 @@ def run_chaos_suite(
                     if reshard:
                         cases.append(
                             reshard_chaos_run(
+                                workload, n_shards, backend, kind,
+                                seed=seed, operator=operator,
+                            )
+                        )
+                    if stream:
+                        cases.append(
+                            stream_chaos_run(
                                 workload, n_shards, backend, kind,
                                 seed=seed, operator=operator,
                             )

@@ -33,7 +33,9 @@ Quickstart (in-process)::
 
 from repro.service.cache import CacheEntry, ResultCache
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.fleet import ServeFleet
 from repro.service.query import QuerySpec, scoring_fingerprint
+from repro.service.quota import TenantQuotas, TokenBucket
 from repro.service.scheduler import (
     POLICIES,
     BoundGapPolicy,
@@ -66,9 +68,12 @@ __all__ = [
     "RoundRobinPolicy",
     "Scheduler",
     "SchedulingPolicy",
+    "ServeFleet",
     "ServiceClient",
     "ServiceError",
     "SessionState",
+    "TenantQuotas",
+    "TokenBucket",
     "make_policy",
     "render_dashboard",
     "run_top",

@@ -16,13 +16,24 @@ longest top-K prefix computed so far for each distinct query:
 
 Eviction is LRU over a bounded number of entries, with an optional TTL so
 long-lived servers do not serve stale answers after relation reloads.
+
+A second, *shared* tier (``shared_dir``) backs the in-memory cache with
+one pickle file per fingerprint, written atomically — the cross-process
+tier the serve fleet uses so a prefix computed by any worker answers the
+same query on every other worker.  Only the answer prefix travels through
+the shared tier; suspended continuation operators (which own threads and
+child processes) stay memory-local to the worker that built them.
 """
 
 from __future__ import annotations
 
+import contextlib
+import os
+import pickle
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 from repro.obs import Observability
@@ -50,6 +61,7 @@ class ResultCache:
         *,
         capacity: int = 128,
         ttl: float | None = None,
+        shared_dir: str | os.PathLike | None = None,
         obs: Observability | None = None,
         clock=time.monotonic,
     ) -> None:
@@ -57,6 +69,9 @@ class ResultCache:
             raise ValueError("capacity must be at least 1")
         self.capacity = capacity
         self.ttl = ttl
+        self.shared_dir = Path(shared_dir) if shared_dir is not None else None
+        if self.shared_dir is not None:
+            self.shared_dir.mkdir(parents=True, exist_ok=True)
         self._clock = clock
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
         # Default to an enabled exporter-less pipeline so hit/miss/eviction
@@ -68,6 +83,8 @@ class ResultCache:
         self._m_evictions = metrics.counter("service_cache_evictions_total")
         self._m_expirations = metrics.counter("service_cache_expirations_total")
         self._m_size = metrics.gauge("service_cache_size")
+        self._m_shared_hits = metrics.counter("service_cache_shared_hits_total")
+        self._m_shared_stores = metrics.counter("service_cache_shared_stores_total")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -85,6 +102,31 @@ class ResultCache:
         if entry is not None and entry.covers(k):
             entry.hits += 1
             self._entries.move_to_end(key)
+            self._m_hits.inc()
+            return list(entry.results[:k])
+        # Memory miss: consult the shared cross-process tier.  A usable
+        # prefix found there is promoted into this worker's memory entry.
+        shared = self._shared_load(key)
+        if shared is not None and (
+            shared.exhausted or len(shared.results) >= k
+        ):
+            if entry is None:
+                entry = CacheEntry(created_at=self._clock())
+                self._entries[key] = entry
+            if len(shared.results) > len(entry.results):
+                entry.results = list(shared.results)
+                # Any checked-in continuation is suspended at the *old*
+                # shorter prefix; extending from it after adopting the
+                # longer shared prefix would re-emit results it already
+                # produced.  Drop it — correctness over resumability.
+                if entry.operator is not None:
+                    _dispose_operator(entry.operator)
+                    entry.operator = None
+            entry.exhausted = entry.exhausted or shared.exhausted
+            entry.hits += 1
+            self._entries.move_to_end(key)
+            self._trim()
+            self._m_shared_hits.inc()
             self._m_hits.inc()
             return list(entry.results[:k])
         self._m_misses.inc()
@@ -140,6 +182,10 @@ class ResultCache:
                 and len(results) == len(entry.results) and not entry.exhausted:
             entry.operator = operator
         self._entries.move_to_end(key)
+        self._trim()
+        self._shared_store(key, entry)
+
+    def _trim(self) -> None:
         while len(self._entries) > self.capacity:
             _, evicted = self._entries.popitem(last=False)
             _dispose_operator(evicted.operator)
@@ -181,6 +227,9 @@ class ResultCache:
             "evictions": self._m_evictions.value,
             "expirations": self._m_expirations.value,
             "hit_rate": self.hit_rate(),
+            "shared_dir": str(self.shared_dir) if self.shared_dir else None,
+            "shared_hits": self._m_shared_hits.value,
+            "shared_stores": self._m_shared_stores.value,
         }
 
     def hit_rate(self) -> float:
@@ -202,6 +251,74 @@ class ResultCache:
             self._m_size.set(len(self._entries))
             return None
         return entry
+
+    # ------------------------------------------------------------------
+    # Shared tier
+    # ------------------------------------------------------------------
+    def _shared_path(self, key: str) -> Path:
+        return self.shared_dir / f"{key}.pkl"
+
+    def _shared_load(self, key: str) -> CacheEntry | None:
+        """Read the shared tier's entry for ``key`` (best effort).
+
+        Missing, truncated (a concurrent writer died mid-``os.replace``
+        is impossible, but a corrupt disk is not), or expired files all
+        read as a clean miss — the shared tier only ever accelerates.
+        """
+        if self.shared_dir is None:
+            return None
+        path = self._shared_path(key)
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+            entry = CacheEntry(
+                results=list(payload["results"]),
+                exhausted=bool(payload["exhausted"]),
+                created_at=float(payload.get("created_at", 0.0)),
+            )
+        except (OSError, pickle.PickleError, KeyError, TypeError,
+                ValueError, EOFError, AttributeError):
+            return None
+        if self.ttl is not None and entry.created_at:
+            if time.time() - entry.created_at > self.ttl:
+                with contextlib.suppress(OSError):
+                    path.unlink()
+                return None
+        return entry
+
+    def _shared_store(self, key: str, entry: CacheEntry) -> None:
+        """Write ``entry``'s prefix through to the shared tier if longer.
+
+        Atomic publish: pickle to a pid-suffixed temp file, then
+        ``os.replace`` — concurrent workers racing on the same key each
+        publish a complete file and last-writer-wins is safe because the
+        check below only lets a strictly-improving prefix overwrite.
+        """
+        if self.shared_dir is None:
+            return
+        existing = self._shared_load(key)
+        if existing is not None and (
+            len(existing.results) >= len(entry.results)
+            and existing.exhausted >= entry.exhausted
+        ):
+            return
+        path = self._shared_path(key)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        try:
+            with tmp.open("wb") as handle:
+                pickle.dump({
+                    "results": list(entry.results),
+                    "exhausted": entry.exhausted,
+                    # Wall clock, not the injectable monotonic clock:
+                    # shared entries outlive this process and must expire
+                    # on a clock every worker agrees on.
+                    "created_at": time.time(),
+                }, handle)
+            os.replace(tmp, path)
+            self._m_shared_stores.inc()
+        except (OSError, pickle.PickleError):
+            with contextlib.suppress(OSError):
+                tmp.unlink()
 
 
 def _dispose_operator(operator: Any) -> None:

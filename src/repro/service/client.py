@@ -24,11 +24,20 @@ class ServiceError(RuntimeError):
 
     ``retryable`` is True when the server marked the failure transient
     (e.g. injected request chaos) — resending the same request is safe.
+    ``retry_after`` carries the server's backpressure hint, when present
+    (per-tenant quota rejections): resending sooner is guaranteed futile.
     """
 
-    def __init__(self, message: str, *, retryable: bool = False) -> None:
+    def __init__(
+        self,
+        message: str,
+        *,
+        retryable: bool = False,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(message)
         self.retryable = retryable
+        self.retry_after = retry_after
 
 
 class ServiceClient:
@@ -42,6 +51,9 @@ class ServiceClient:
         self._file = None
         #: Trace id of the most recent submit (for log correlation).
         self.last_trace: str | None = None
+        #: Set False once the server rejects the ``stream`` verb; ``wait``
+        #: then stops attempting the streaming fast path.
+        self._stream_supported = True
 
     # ------------------------------------------------------------------
     # Connection management
@@ -77,13 +89,18 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # Protocol
     # ------------------------------------------------------------------
-    def request(self, payload: dict, *, max_retries: int = 2) -> dict:
+    def request(
+        self, payload: dict, *, max_retries: int = 2, sleep=time.sleep
+    ) -> dict:
         """Send one request object, return the decoded response.
 
         Server-marked *retryable* failures (injected chaos, transient
-        overload) are resent up to ``max_retries`` times.  Raises
-        :class:`ServiceError` on a final ``ok: false`` answer and
-        ``ConnectionError`` if the server hung up mid-exchange.
+        overload) are resent up to ``max_retries`` times; a quota
+        rejection's ``retry_after`` hint is honoured first (capped at 1s)
+        so a throttled client backs off exactly as long as the server
+        asked instead of hammering it.  Raises :class:`ServiceError` on a
+        final ``ok: false`` answer and ``ConnectionError`` if the server
+        hung up mid-exchange.
         """
         for attempt in range(max_retries + 1):
             self.connect()
@@ -98,9 +115,12 @@ class ServiceClient:
             error = ServiceError(
                 response.get("error", "unknown server error"),
                 retryable=bool(response.get("retryable", False)),
+                retry_after=response.get("retry_after"),
             )
             if not error.retryable or attempt >= max_retries:
                 raise error
+            if error.retry_after:
+                sleep(min(float(error.retry_after), 1.0))
 
     # ------------------------------------------------------------------
     # Verbs
@@ -137,6 +157,78 @@ class ServiceClient:
         self.request({"verb": "shutdown"})
 
     # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def stream_raw(self, session_id: str, *, from_index: int = 0):
+        """Yield stream events exactly as the server sends them (no retry).
+
+        One ``stream`` request, then one yielded dict per event line —
+        ``{"event": "result", "index": i, "score": s, "ts": t}`` per
+        released result and a final ``{"event": "done", ...snapshot}``.
+        An ``ok: false`` line raises :class:`ServiceError` (the connection
+        is back in request mode at that point, so retrying is safe).  No
+        client-side dedup or reordering happens here — the chaos harness
+        uses this path to prove the *server* never emits a duplicate or
+        out-of-order event.
+        """
+        self.connect()
+        self._file.write((json.dumps(
+            {"verb": "stream", "session": session_id, "from": from_index}
+        ) + "\n").encode())
+        self._file.flush()
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError("server closed the connection mid-stream")
+            event = json.loads(line)
+            if not event.get("ok", False):
+                raise ServiceError(
+                    event.get("error", "unknown server error"),
+                    retryable=bool(event.get("retryable", False)),
+                    retry_after=event.get("retry_after"),
+                )
+            yield event
+            if event.get("event") == "done":
+                return
+
+    def stream(
+        self,
+        session_id: str,
+        *,
+        from_index: int = 0,
+        max_retries: int = 8,
+        sleep=time.sleep,
+    ):
+        """Resilient stream: ride retryable faults, resume from the cursor.
+
+        Yields every ``result`` event exactly once, in release order, then
+        the terminal ``done`` event.  On a server-marked retryable error
+        (injected chaos, shutdown race) the stream is re-issued starting
+        at the next unseen index; replayed results below the cursor are
+        dropped, so consumers see a clean exactly-once sequence even
+        while the request layer is faulting.
+        """
+        cursor = from_index
+        attempt = 0
+        while True:
+            try:
+                for event in self.stream_raw(session_id, from_index=cursor):
+                    if event.get("event") == "result":
+                        if event["index"] < cursor:
+                            continue  # replay below the resume point
+                        cursor = event["index"] + 1
+                    yield event
+                    if event.get("event") == "done":
+                        return
+                return
+            except ServiceError as error:
+                if not error.retryable or attempt >= max_retries:
+                    raise
+                attempt += 1
+                if error.retry_after:
+                    sleep(min(float(error.retry_after), 1.0))
+
+    # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------
     def wait(
@@ -149,14 +241,29 @@ class ServiceClient:
         backoff: float = 1.5,
         sleep=time.sleep,
     ) -> dict:
-        """Poll until the session reaches a terminal state.
+        """Block until the session reaches a terminal state.
 
-        Returns the final snapshot; raises ``TimeoutError`` if the session
-        is still live after ``timeout`` seconds.  The poll interval backs
-        off geometrically from ``interval`` to ``max_interval``, so a slow
-        session costs O(log) requests early and a bounded steady rate
-        after — never a busy spin against the server.
+        Rides the ``stream`` verb when the server supports it: one
+        request, zero polls — the server pushes the ``done`` snapshot the
+        moment the session ends, so completion latency is wire latency,
+        not a poll interval.  Servers without the verb (answering
+        ``unknown verb``) flip the client to the classic poll loop, whose
+        interval backs off geometrically from ``interval`` to
+        ``max_interval`` — O(log) requests early and a bounded steady
+        rate after, never a busy spin against the server.
+
+        Returns the final snapshot; raises ``TimeoutError`` if the
+        session is still live after ``timeout`` seconds (on the stream
+        path the check runs between pushed events, with the socket
+        timeout as the hard bound on a silent server).
         """
+        if self._stream_supported:
+            try:
+                return self._wait_streaming(session_id, timeout=timeout)
+            except ServiceError as error:
+                if "unknown verb" not in str(error):
+                    raise
+                self._stream_supported = False
         deadline = time.monotonic() + timeout
         delay = max(interval, 1e-4)
         while True:
@@ -170,6 +277,20 @@ class ServiceClient:
                 )
             sleep(delay)
             delay = min(delay * backoff, max_interval)
+
+    def _wait_streaming(self, session_id: str, *, timeout: float) -> dict:
+        deadline = time.monotonic() + timeout
+        for event in self.stream(session_id):
+            if event.get("event") == "done":
+                return {k: v for k, v in event.items() if k != "event"}
+            if time.monotonic() > deadline:
+                # The stream is still mid-flight on this connection;
+                # drop it so the next request starts clean.
+                self.close()
+                raise TimeoutError(
+                    f"session {session_id} still streaming after {timeout}s"
+                )
+        raise ConnectionError("stream ended without a done event")
 
     def run(self, *, timeout: float = 30.0, **query) -> dict:
         """Submit, wait, and return the final snapshot in one call."""

@@ -1,0 +1,660 @@
+"""Multi-process serve fleet: N server workers behind one front-end.
+
+One :class:`~repro.service.server.RankJoinServer` is bounded by a single
+scheduler thread; the fleet multiplies it.  ``python -m repro serve
+--workers N`` boots N full server processes — each with its own event
+loop, scheduler, and operators — plus a lightweight asyncio front-end
+that all clients talk to.  The front-end speaks the exact same JSON-lines
+protocol, so every existing client (:class:`~repro.service.client.
+ServiceClient`, ``repro top``, the smoke scripts) works unchanged.
+
+Routing and shared state:
+
+* **Admission** is shared: per-tenant token-bucket quotas
+  (:class:`~repro.service.quota.TenantQuotas`) are enforced once, at the
+  front-end, so a tenant's budget spans the whole fleet rather than
+  multiplying by N.
+* **Placement** is least-outstanding: a submit goes to the live worker
+  with the fewest in-flight sessions (ties to the lowest index —
+  deterministic).  Tests may pin a submit with a ``"worker": n`` field.
+* **Session ids** are namespaced on the wire: worker 2's ``s7`` is
+  ``w2:s7`` to clients, so poll/cancel/stream route straight back to the
+  owning worker with no session table lookups.
+* **The result cache** spans processes through the disk-backed shared
+  tier (:class:`~repro.service.cache.ResultCache` ``shared_dir``): a
+  prefix computed by any worker answers the same fingerprint on every
+  other worker, preserving the single-server cache semantics (prefix
+  reuse included) fleet-wide.
+
+A worker that dies is marked dead; requests routed at it fail with a
+*retryable* ``worker lost`` error so clients resubmit (landing on a live
+worker).  Shutdown is graceful: the shutdown verb fans out to every
+worker, the worker processes are joined, and only then does the
+front-end stop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import multiprocessing as mp
+import shutil
+import signal
+import tempfile
+import threading
+
+from repro.errors import QuotaExceeded
+from repro.obs import Observability
+from repro.service.cache import ResultCache
+from repro.service.quota import TenantQuotas
+from repro.service.server import RankJoinServer
+from repro.service.service import QueryService
+
+#: Session states after which a session will never progress again.
+_TERMINAL = ("DONE", "CANCELLED", "FAILED")
+
+
+def _merge_slo(into: dict, worker_slo: dict) -> None:
+    """Fold one worker's SLO block into the fleet aggregate.
+
+    Latency quantiles (nested dicts) and gauges merge by max — the
+    fleet-level objective is bounded by its worst worker; plain counts
+    (``sessions_finished``, ``throttled_total``, ``queue_depth``) sum.
+    """
+    summed = ("sessions_finished", "throttled_total", "queue_depth",
+              "live_sessions")
+    for name, value in worker_slo.items():
+        if isinstance(value, dict):
+            bucket = into.setdefault(name, {})
+            for key, sub in value.items():
+                if isinstance(sub, (int, float)):
+                    bucket[key] = max(bucket.get(key) or 0.0, sub)
+                elif key not in bucket:
+                    bucket[key] = sub
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            if name in summed:
+                into[name] = (into.get(name) or 0) + value
+            else:
+                into[name] = max(into.get(name) or 0.0, value)
+        elif name not in into:
+            into[name] = value
+
+
+def _fleet_worker_main(
+    index: int,
+    conn,
+    relations: dict,
+    service_kwargs: dict,
+    server_kwargs: dict,
+    shared_cache_dir: str,
+) -> None:
+    """Entry point of one worker process: a full server on port 0.
+
+    Announces the bound (ephemeral) port back over ``conn`` as soon as
+    the socket listens, then serves until the shutdown verb arrives.
+    """
+    service = QueryService(
+        cache=ResultCache(
+            capacity=service_kwargs.pop("cache_capacity", 128),
+            ttl=service_kwargs.pop("cache_ttl", None),
+            shared_dir=shared_cache_dir,
+        ),
+        obs=Observability(),
+        **service_kwargs,
+    )
+    server = RankJoinServer(service, relations, port=0, **server_kwargs)
+
+    def announce() -> None:
+        server.ready.wait()
+        try:
+            conn.send(server.port)
+        except (OSError, BrokenPipeError):  # pragma: no cover - parent died
+            pass
+
+    threading.Thread(target=announce, daemon=True).start()
+    try:
+        server.run()
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass
+
+
+class _Worker:
+    """Front-end bookkeeping for one worker process."""
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.port: int | None = None
+        self.outstanding = 0
+        self.dead = False
+
+    @property
+    def alive(self) -> bool:
+        return not self.dead and self.process.is_alive()
+
+
+class ServeFleet:
+    """N server workers behind one protocol-compatible front-end.
+
+    Mirrors the :class:`~repro.service.server.RankJoinServer` lifecycle
+    surface (``ready``, ``host``/``port``, blocking :meth:`run`,
+    :meth:`begin_shutdown`) so the CLI and scripts drive either
+    interchangeably.
+    """
+
+    def __init__(
+        self,
+        relations: dict,
+        *,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quotas: TenantQuotas | None = None,
+        shared_cache_dir: str | None = None,
+        service_kwargs: dict | None = None,
+        server_kwargs: dict | None = None,
+        obs: Observability | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.relations = dict(relations)
+        self.num_workers = workers
+        self.host = host
+        self.port = port  # 0 → ephemeral; updated once bound
+        self.quotas = quotas
+        self.service_kwargs = dict(service_kwargs or {})
+        self.server_kwargs = dict(server_kwargs or {})
+        self.obs = obs if obs is not None else Observability()
+        self._owns_cache_dir = shared_cache_dir is None
+        self.shared_cache_dir = (
+            shared_cache_dir
+            if shared_cache_dir is not None
+            else tempfile.mkdtemp(prefix="repro-fleet-cache-")
+        )
+        self.ready = threading.Event()
+        self.draining = False
+        self._workers: list[_Worker] = []
+        #: Rotation counter for tie-breaking the least-outstanding router.
+        self._rr_next = 0
+        #: Namespaced session id → owning worker index, while in flight.
+        self._pending: dict[str, int] = {}
+        self._shutdown: asyncio.Event | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Spawn the workers, serve until shutdown, tear down (blocking)."""
+        self._spawn_workers()
+        try:
+            asyncio.run(self._main())
+        finally:
+            self._join_workers()
+            if self._owns_cache_dir:
+                shutil.rmtree(self.shared_cache_dir, ignore_errors=True)
+
+    def _spawn_workers(self) -> None:
+        context = mp.get_context()
+        for index in range(self.num_workers):
+            parent_conn, child_conn = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_fleet_worker_main,
+                args=(
+                    index,
+                    child_conn,
+                    self.relations,
+                    dict(self.service_kwargs),
+                    dict(self.server_kwargs),
+                    self.shared_cache_dir,
+                ),
+                # Not daemonic: workers must be allowed children of their
+                # own (the process execution backend forks shard workers).
+                daemon=False,
+                name=f"repro-fleet-w{index}",
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append(_Worker(index, process, parent_conn))
+        for worker in self._workers:
+            if worker.conn.poll(30.0):
+                worker.port = worker.conn.recv()
+            else:  # pragma: no cover - spawn failure
+                worker.dead = True
+        if not any(w.alive and w.port for w in self._workers):
+            self._join_workers()
+            raise RuntimeError("no fleet worker became ready")
+
+    async def _main(self) -> None:
+        self._shutdown = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        self._install_signal_handlers()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.ready.set()
+        try:
+            await self._shutdown.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            self._remove_signal_handlers()
+            self._loop = None
+            self.obs.flush()
+
+    def begin_shutdown(self) -> None:
+        """Thread-safe shutdown trigger (signal handlers, tests)."""
+        loop = self._loop
+        if loop is None or self._shutdown is None:
+            return
+        self.draining = True
+        with contextlib.suppress(RuntimeError):
+            loop.call_soon_threadsafe(
+                lambda: asyncio.ensure_future(self._stop_everything())
+            )
+
+    async def _stop_everything(self) -> None:
+        self.draining = True
+        await self._shutdown_workers()
+        self._shutdown.set()
+
+    async def _shutdown_workers(self) -> None:
+        for worker in self._workers:
+            if not worker.alive:
+                continue
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(self.host, worker.port), timeout=5.0
+                )
+                writer.write(b'{"verb": "shutdown"}\n')
+                await writer.drain()
+                await asyncio.wait_for(reader.readline(), timeout=10.0)
+                writer.close()
+                with contextlib.suppress(Exception):
+                    await writer.wait_closed()
+            except (OSError, asyncio.TimeoutError):
+                worker.dead = True
+
+    def _join_workers(self) -> None:
+        for worker in self._workers:
+            worker.process.join(timeout=10.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            worker.conn.close()
+
+    def _install_signal_handlers(self) -> None:
+        self._signals_installed = False
+        try:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                self._loop.add_signal_handler(signum, self.begin_shutdown)
+            self._signals_installed = True
+        except (NotImplementedError, ValueError, RuntimeError):
+            pass
+
+    def _remove_signal_handlers(self) -> None:
+        if not getattr(self, "_signals_installed", False):
+            return
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(Exception):
+                self._loop.remove_signal_handler(signum)
+        self._signals_installed = False
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _pick_worker(self, request: dict) -> _Worker | None:
+        pinned = request.get("worker")
+        if pinned is not None:
+            worker = self._workers[int(pinned)]
+            return worker if worker.alive else None
+        candidates = [w for w in self._workers if w.alive]
+        if not candidates:
+            return None
+        # Least-outstanding, rotating among ties.  Cache-hit sessions are
+        # born DONE and never count as outstanding, so a pure min-index
+        # tie-break would pin ALL warm traffic onto worker 0; rotation
+        # spreads it (the shared cache tier makes every worker equally
+        # warm).
+        best = min(w.outstanding for w in candidates)
+        tied = [w for w in candidates if w.outstanding == best]
+        self._rr_next += 1
+        return tied[self._rr_next % len(tied)]
+
+    def _route_session(self, wire_id: str) -> tuple[_Worker, str] | None:
+        """Split a namespaced ``wN:sM`` id into (worker, local id)."""
+        prefix, _, local = wire_id.partition(":")
+        if not local or not prefix.startswith("w"):
+            return None
+        try:
+            worker = self._workers[int(prefix[1:])]
+        except (ValueError, IndexError):
+            return None
+        return worker, local
+
+    @staticmethod
+    def _rewrite(payload: dict, worker: _Worker) -> dict:
+        """Namespace any session id in a relayed worker payload."""
+        if isinstance(payload.get("session"), str):
+            payload = dict(payload)
+            payload["session"] = f"w{worker.index}:{payload['session']}"
+        return payload
+
+    def _settle(self, worker: _Worker, payload: dict) -> None:
+        """Retire an in-flight session when a relayed payload ends it."""
+        wire_id = payload.get("session")
+        terminal = (
+            payload.get("state") in _TERMINAL
+            or payload.get("event") == "done"
+            or payload.get("cancelled") is True
+        )
+        if terminal and wire_id in self._pending:
+            del self._pending[wire_id]
+            worker.outstanding = max(0, worker.outstanding - 1)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # One lazily-opened upstream connection per worker, owned by this
+        # client connection — requests on one client socket are serial, so
+        # the relays below never interleave on an upstream.
+        upstreams: dict[int, tuple] = {}
+        try:
+            while not reader.at_eof():
+                line = await reader.readline()
+                if not line:
+                    break
+                stop = await self._serve_line(line, writer, upstreams)
+                if stop:
+                    break
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        except asyncio.CancelledError:
+            # Absorbed at loop teardown (idle keep-alive connections);
+            # see RankJoinServer._handle_connection.
+            pass
+        finally:
+            # Suppress CancelledError too: at loop teardown the cleanup
+            # awaits themselves get cancelled, and the close() calls above
+            # have already done the real work.
+            for up_reader, up_writer in upstreams.values():
+                up_writer.close()
+                with contextlib.suppress(Exception, asyncio.CancelledError):
+                    await up_writer.wait_closed()
+            writer.close()
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _serve_line(self, line: bytes, writer, upstreams) -> bool:
+        """Handle one request line; True when the connection should stop."""
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            await self._send(writer, {"ok": False, "error": f"invalid JSON: {exc}"})
+            return False
+        if not isinstance(request, dict):
+            await self._send(
+                writer, {"ok": False, "error": "request must be a JSON object"}
+            )
+            return False
+        verb = request.get("verb")
+        if verb == "submit":
+            await self._front_submit(request, writer, upstreams)
+        elif verb in ("poll", "cancel"):
+            await self._front_relay(request, writer, upstreams)
+        elif verb == "stream":
+            await self._front_stream(request, writer, upstreams)
+        elif verb == "stats":
+            await self._front_stats(writer, upstreams)
+        elif verb == "metrics":
+            await self._front_metrics(writer)
+        elif verb == "shutdown":
+            await self._send(writer, {"ok": True, "shutting_down": True})
+            await self._stop_everything()
+            return True
+        else:
+            await self._send(writer, {"ok": False, "error": f"unknown verb {verb!r}"})
+        return False
+
+    async def _front_submit(self, request: dict, writer, upstreams) -> None:
+        if self.draining:
+            await self._send(writer, {
+                "ok": False,
+                "error": "fleet is draining (shutdown in progress); "
+                         "not accepting new queries",
+                "draining": True,
+            })
+            return
+        tenant = str(request.get("tenant", "anonymous"))
+        if self.quotas is not None:
+            try:
+                self.quotas.admit(tenant)
+            except QuotaExceeded as exc:
+                self.obs.metrics.counter(
+                    "service_throttled_total", tenant=tenant
+                ).inc()
+                await self._send(writer, {
+                    "ok": False,
+                    "error": f"tenant {tenant!r} is over its admission "
+                             f"quota; retry after {exc.retry_after:.3f}s",
+                    "throttled": True,
+                    "retryable": True,
+                    "retry_after": exc.retry_after,
+                    "tenant": tenant,
+                })
+                return
+        worker = self._pick_worker(request)
+        if worker is None:
+            await self._send(writer, {
+                "ok": False, "error": "no live fleet worker", "retryable": True,
+            })
+            return
+        forward = {k: v for k, v in request.items() if k != "worker"}
+        response = await self._exchange(worker, forward, upstreams)
+        if response is None:
+            await self._send(writer, {
+                "ok": False,
+                "error": f"worker {worker.index} lost mid-submit",
+                "retryable": True,
+            })
+            return
+        response = self._rewrite(response, worker)
+        if response.get("ok") and "session" in response:
+            self.obs.metrics.counter(
+                "fleet_routed_total", worker=str(worker.index)
+            ).inc()
+            if response.get("state") in _TERMINAL:
+                pass  # born DONE (cache hit): never outstanding
+            else:
+                worker.outstanding += 1
+                self._pending[response["session"]] = worker.index
+        await self._send(writer, response)
+
+    async def _front_relay(self, request: dict, writer, upstreams) -> None:
+        routed = self._route_session(str(request.get("session", "")))
+        if routed is None:
+            await self._send(writer, {
+                "ok": False,
+                "error": f"no session {request.get('session')!r}",
+            })
+            return
+        worker, local = routed
+        if not worker.alive:
+            await self._send(writer, {
+                "ok": False,
+                "error": f"worker {worker.index} lost",
+                "retryable": True,
+            })
+            return
+        forward = dict(request, session=local)
+        response = await self._exchange(worker, forward, upstreams)
+        if response is None:
+            await self._send(writer, {
+                "ok": False,
+                "error": f"worker {worker.index} lost",
+                "retryable": True,
+            })
+            return
+        response = self._rewrite(response, worker)
+        if request.get("verb") == "cancel":
+            # Cancel responses carry no session id; settle explicitly.
+            wire_id = str(request["session"])
+            if response.get("cancelled") and wire_id in self._pending:
+                del self._pending[wire_id]
+                worker.outstanding = max(0, worker.outstanding - 1)
+        else:
+            self._settle(worker, response)
+        await self._send(writer, response)
+
+    async def _front_stream(self, request: dict, writer, upstreams) -> None:
+        routed = self._route_session(str(request.get("session", "")))
+        if routed is None:
+            await self._send(writer, {
+                "ok": False,
+                "error": f"no session {request.get('session')!r}",
+            })
+            return
+        worker, local = routed
+        if not worker.alive:
+            await self._send(writer, {
+                "ok": False,
+                "error": f"worker {worker.index} lost",
+                "retryable": True,
+            })
+            return
+        try:
+            up_reader, up_writer = await self._upstream(worker, upstreams)
+            up_writer.write((json.dumps(
+                dict(request, session=local)
+            ) + "\n").encode())
+            await up_writer.drain()
+            while True:
+                raw = await up_reader.readline()
+                if not raw:
+                    raise ConnectionError
+                event = json.loads(raw)
+                event = self._rewrite(event, worker)
+                self._settle(worker, event)
+                await self._send(writer, event)
+                if not event.get("ok", False) or event.get("event") == "done":
+                    return
+        except (OSError, ConnectionError, asyncio.TimeoutError):
+            self._mark_dead(worker, upstreams)
+            await self._send(writer, {
+                "ok": False,
+                "error": f"worker {worker.index} lost mid-stream",
+                "retryable": True,
+            })
+
+    async def _front_stats(self, writer, upstreams) -> None:
+        merged = {
+            "fleet": {
+                "workers": self.num_workers,
+                "alive": sum(1 for w in self._workers if w.alive),
+                "outstanding": {
+                    f"w{w.index}": w.outstanding for w in self._workers
+                },
+                "quotas": self.quotas.stats() if self.quotas else None,
+                "shared_cache_dir": self.shared_cache_dir,
+            },
+            "workers": {},
+            "draining": self.draining,
+            "relations": {
+                name: len(rel) for name, rel in self.relations.items()
+            },
+        }
+        scheduler = {"live": 0, "queued": 0, "pulls": 0, "finished": {}}
+        cache = {"hits": 0, "misses": 0, "entries": 0,
+                 "shared_hits": 0, "shared_stores": 0}
+        slo: dict = {}
+        sessions: list = []
+        for worker in self._workers:
+            if not worker.alive:
+                merged["workers"][f"w{worker.index}"] = {"alive": False}
+                continue
+            stats = await self._exchange(worker, {"verb": "stats"}, upstreams)
+            if stats is None:
+                self._mark_dead(worker, upstreams)
+                merged["workers"][f"w{worker.index}"] = {"alive": False}
+                continue
+            merged["workers"][f"w{worker.index}"] = stats
+            wsched = stats.get("scheduler") or {}
+            scheduler["live"] += wsched.get("live", 0)
+            scheduler["queued"] += wsched.get("queued", 0)
+            scheduler["pulls"] += wsched.get("pulls", 0)
+            for state, count in (wsched.get("finished") or {}).items():
+                scheduler["finished"][state] = (
+                    scheduler["finished"].get(state, 0) + count
+                )
+            wcache = stats.get("cache") or {}
+            for field in cache:
+                cache[field] += wcache.get(field, 0) or 0
+            _merge_slo(slo, stats.get("slo") or {})
+            for brief in stats.get("sessions") or []:
+                sessions.append(self._rewrite(brief, worker))
+        total = cache["hits"] + cache["misses"]
+        cache["hit_rate"] = cache["hits"] / total if total else 0.0
+        merged["scheduler"] = scheduler
+        merged["cache"] = cache
+        merged["slo"] = slo
+        merged["sessions"] = sessions
+        await self._send(writer, {"ok": True, **merged})
+
+    async def _front_metrics(self, writer) -> None:
+        # The front-end's own registry: throttle counters and routing
+        # counts.  Per-worker execution metrics are on each worker's own
+        # endpoint (and aggregated numerically by the stats verb) —
+        # concatenating N registries would emit duplicate series.
+        from repro.obs import render_prometheus
+
+        await self._send(
+            writer, {"ok": True, "text": render_prometheus(self.obs.metrics)}
+        )
+
+    # ------------------------------------------------------------------
+    # Upstream plumbing
+    # ------------------------------------------------------------------
+    async def _upstream(self, worker: _Worker, upstreams: dict):
+        pair = upstreams.get(worker.index)
+        if pair is None:
+            pair = await asyncio.wait_for(
+                asyncio.open_connection(self.host, worker.port), timeout=10.0
+            )
+            upstreams[worker.index] = pair
+        return pair
+
+    async def _exchange(
+        self, worker: _Worker, request: dict, upstreams: dict
+    ) -> dict | None:
+        """One request/response round trip to a worker; None if it died."""
+        try:
+            up_reader, up_writer = await self._upstream(worker, upstreams)
+            up_writer.write((json.dumps(request) + "\n").encode())
+            await up_writer.drain()
+            raw = await up_reader.readline()
+            if not raw:
+                raise ConnectionError
+            return json.loads(raw)
+        except (OSError, ConnectionError, asyncio.TimeoutError,
+                json.JSONDecodeError):
+            self._mark_dead(worker, upstreams)
+            return None
+
+    def _mark_dead(self, worker: _Worker, upstreams: dict) -> None:
+        if not worker.process.is_alive():
+            worker.dead = True
+        pair = upstreams.pop(worker.index, None)
+        if pair is not None:
+            pair[1].close()
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, payload: dict) -> None:
+        writer.write((json.dumps(payload) + "\n").encode())
+        await writer.drain()

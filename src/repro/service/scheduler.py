@@ -164,6 +164,13 @@ class Scheduler:
             "service_session_seconds", buckets=LATENCY_BUCKETS,
             policy=self.policy.name,
         )
+        # Time-to-first-result: the anytime metric incremental streaming
+        # optimizes for (submit → first released result), alongside the
+        # submit → DONE latency above.
+        self._m_first_result = metrics.histogram(
+            "service_first_result_seconds", buckets=LATENCY_BUCKETS,
+            policy=self.policy.name,
+        )
         self._m_finished = {
             state: metrics.counter("service_sessions_total", state=state.value)
             for state in (SessionState.DONE, SessionState.CANCELLED, SessionState.FAILED)
@@ -309,6 +316,8 @@ class Scheduler:
         self._m_finished.get(session.state, self._m_finished[SessionState.DONE]).inc()
         if session.latency is not None:
             self._m_latency.observe(session.latency)
+        if session.time_to_first is not None:
+            self._m_first_result.observe(session.time_to_first)
         if session.trace is not None:
             # The session span closes here: one timed record tying the
             # whole execution subtree (exec/shards/quanta) back to the

@@ -19,6 +19,21 @@ Verbs (the ``verb`` field selects one):
 ``cancel``
     ``{"verb": "cancel", "session": "s7"}`` → ``{"ok": true, "cancelled":
     true}``.
+``stream``
+    ``{"verb": "stream", "session": "s7", "from": 0}`` switches the
+    connection into *event mode*: each result is pushed as its own line
+    ``{"ok": true, "event": "result", "session": "s7", "index": 0,
+    "score": 1.234567, "ts": ...}`` the moment the merge gate (or the
+    serial operator) releases it — in exact final top-K order — and the
+    terminal line ``{"ok": true, "event": "done", ...}`` carries the
+    full session snapshot, after which the connection returns to
+    request/response mode.  ``from`` (default 0) resumes an interrupted
+    stream at a result index: already-released results replay instantly
+    from the session prefix, so a client that lost its connection
+    mid-stream reattaches without recomputation and without duplicates.
+    Errors (unknown session, injected chaos, shutdown) are a single
+    ``{"ok": false, ...}`` line, also returning the connection to
+    request mode.
 ``stats``
     scheduler + cache + relation inventory, plus the live telemetry
     block: computed SLOs (``slo`` — p50/p95/p99 session latency, queue
@@ -57,7 +72,7 @@ import signal
 import threading
 
 from repro.core.scoring import SumScore, WeightedSum
-from repro.errors import ReproError
+from repro.errors import QuotaExceeded, ReproError
 from repro.obs import TraceContext
 from repro.relation.relation import Relation
 from repro.service.query import QuerySpec
@@ -111,6 +126,11 @@ class RankJoinServer:
         self._shutdown: asyncio.Event | None = None
         self._server: asyncio.base_events.Server | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
+        #: Edge-triggered progress signal: replaced (not cleared) after
+        #: every productive scheduler tick, so stream handlers holding the
+        #: *old* event can never miss a wakeup between their emit scan and
+        #: their wait.
+        self._progress: asyncio.Event | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -121,6 +141,7 @@ class RankJoinServer:
 
     async def _main(self) -> None:
         self._shutdown = asyncio.Event()
+        self._progress = asyncio.Event()
         self._loop = asyncio.get_running_loop()
         self._install_signal_handlers()
         self._server = await asyncio.start_server(
@@ -149,6 +170,11 @@ class RankJoinServer:
         """Advance the scheduler one quantum at a time, cooperatively."""
         while True:
             progressed = self.service.tick()
+            if progressed:
+                # Wake every waiting stream, then arm a fresh event for
+                # the next round (edge-triggered fan-out).
+                self._progress.set()
+                self._progress = asyncio.Event()
             if self.draining and not progressed and self._idle():
                 self._shutdown.set()
                 return
@@ -214,13 +240,31 @@ class RankJoinServer:
                 line = await reader.readline()
                 if not line:
                     break
-                response = self._dispatch_line(line)
-                writer.write((json.dumps(response) + "\n").encode())
-                await writer.drain()
+                request, error = self._decode(line)
+                if error is not None:
+                    await self._send(writer, error)
+                    continue
+                if self.chaos is not None:
+                    injected = self.chaos.intercept(request)
+                    if injected is not None:
+                        await self._send(writer, injected)
+                        continue
+                if request.get("verb") == "stream":
+                    # Event mode: many lines out for one line in.
+                    await self._verb_stream(request, writer)
+                    continue
+                response = self._dispatch_request(request)
+                await self._send(writer, response)
                 if response.get("shutting_down"):
                     self._shutdown.set()
                     break
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown cancelled a handler still waiting for its
+            # next request (e.g. an idle keep-alive connection at
+            # shutdown).  Absorb it so asyncio does not log a spurious
+            # "exception in callback" for the cancelled reader.
             pass
         finally:
             writer.close()
@@ -228,18 +272,42 @@ class RankJoinServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass
+            except asyncio.CancelledError:
+                # The cleanup await itself can be cancelled at loop
+                # teardown; close() above already did the real work.
+                pass
 
-    def _dispatch_line(self, line: bytes) -> dict:
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, payload: dict) -> None:
+        """Write one JSON line and drain — the drain is the per-connection
+        backpressure: a slow stream consumer suspends only its own handler
+        task, never the scheduler driver or other connections."""
+        writer.write((json.dumps(payload) + "\n").encode())
+        await writer.drain()
+
+    @staticmethod
+    def _decode(line: bytes) -> tuple[dict | None, dict | None]:
+        """Parse one request line → ``(request, None)`` or ``(None, error)``."""
         try:
             request = json.loads(line)
         except json.JSONDecodeError as exc:
-            return {"ok": False, "error": f"invalid JSON: {exc}"}
+            return None, {"ok": False, "error": f"invalid JSON: {exc}"}
         if not isinstance(request, dict):
-            return {"ok": False, "error": "request must be a JSON object"}
+            return None, {"ok": False, "error": "request must be a JSON object"}
+        return request, None
+
+    def _dispatch_line(self, line: bytes) -> dict:
+        """Decode + dispatch one request/response line (test convenience)."""
+        request, error = self._decode(line)
+        if error is not None:
+            return error
         if self.chaos is not None:
             injected = self.chaos.intercept(request)
             if injected is not None:
                 return injected
+        return self._dispatch_request(request)
+
+    def _dispatch_request(self, request: dict) -> dict:
         verb = request.get("verb")
         handler = {
             "submit": self._verb_submit,
@@ -277,13 +345,26 @@ class RankJoinServer:
             ctx = TraceContext.root()
         else:
             ctx = None
-        session_id = self.service.submit(
-            spec,
-            priority=int(request.get("priority", 0)),
-            deadline=request.get("deadline"),
-            max_pulls=request.get("max_pulls"),
-            trace=ctx,
-        )
+        try:
+            session_id = self.service.submit(
+                spec,
+                priority=int(request.get("priority", 0)),
+                deadline=request.get("deadline"),
+                max_pulls=request.get("max_pulls"),
+                tenant=str(request.get("tenant", "anonymous")),
+                trace=ctx,
+            )
+        except QuotaExceeded as exc:
+            # Backpressure, not failure: the reject carries the precise
+            # earliest time a resend can succeed.
+            return {
+                "ok": False,
+                "error": str(exc),
+                "throttled": True,
+                "retryable": True,
+                "retry_after": exc.retry_after,
+                "tenant": exc.tenant,
+            }
         session = self.service.session(session_id)
         response = {
             "ok": True,
@@ -304,6 +385,59 @@ class RankJoinServer:
     def _verb_cancel(self, request: dict) -> dict:
         cancelled = self.service.cancel(str(request["session"]))
         return {"ok": True, "cancelled": cancelled}
+
+    async def _verb_stream(
+        self, request: dict, writer: asyncio.StreamWriter
+    ) -> None:
+        """Push each released result as its own event line.
+
+        The handler races nothing: it scans the session's result prefix
+        from a cursor (so reattaching clients replay instantly and never
+        see duplicates), emits anything new, and waits on the driver's
+        edge-triggered progress event.  The short wait timeout guards the
+        transitions that report no scheduler progress (deadline sweeps,
+        cancellation) so a terminal session always gets its ``done`` line.
+        """
+        try:
+            session_id = str(request["session"])
+            cursor = max(0, int(request.get("from", 0)))
+        except (KeyError, TypeError, ValueError) as exc:
+            await self._send(writer, {"ok": False, "error": f"bad request: {exc}"})
+            return
+        while True:
+            session = self.service.session(session_id)
+            if session is None:
+                await self._send(
+                    writer, {"ok": False, "error": f"no session {session_id!r}"}
+                )
+                return
+            limit = min(len(session.results), session.k)
+            while cursor < limit:
+                result = session.results[cursor]
+                await self._send(writer, {
+                    "ok": True,
+                    "event": "result",
+                    "session": session_id,
+                    "index": cursor,
+                    "score": round(result.score, 6),
+                    "ts": session.released_at[cursor],
+                })
+                cursor += 1
+            if session.done:
+                await self._send(
+                    writer, {"ok": True, "event": "done", **session.snapshot()}
+                )
+                return
+            if self._shutdown.is_set():
+                await self._send(writer, {
+                    "ok": False,
+                    "error": "server stopped mid-stream",
+                    "retryable": True,
+                })
+                return
+            waiter = self._progress
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(waiter.wait(), timeout=0.05)
 
     def _verb_stats(self, request: dict) -> dict:
         payload = self.service.stats()

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import itertools
 
+from repro.errors import QuotaExceeded
 from repro.obs import (
     Observability,
     TraceContext,
@@ -28,6 +29,7 @@ from repro.obs import (
 )
 from repro.service.cache import ResultCache
 from repro.service.query import QuerySpec
+from repro.service.quota import TenantQuotas
 from repro.service.scheduler import Scheduler, SchedulingPolicy
 from repro.service.session import DEFAULT_QUANTUM, QuerySession, SessionState
 
@@ -49,6 +51,12 @@ class QueryService:
         disable caching entirely).
     default_max_pulls:
         Pull budget applied to sessions that do not specify their own.
+    quotas:
+        Optional :class:`~repro.service.quota.TenantQuotas` — when set,
+        every submission spends a token from its tenant's bucket and an
+        empty bucket raises :class:`~repro.errors.QuotaExceeded` with a
+        ``retry_after`` hint (counted as
+        ``service_throttled_total{tenant}``).
     """
 
     def __init__(
@@ -61,6 +69,7 @@ class QueryService:
         cache_capacity: int = 128,
         cache_ttl: float | None = None,
         default_max_pulls: int | None = None,
+        quotas: TenantQuotas | None = None,
         obs: Observability | None = None,
     ) -> None:
         # The service defaults to an *enabled* in-memory pipeline (no
@@ -79,6 +88,7 @@ class QueryService:
             self.cache = None
         self.quantum = quantum
         self.default_max_pulls = default_max_pulls
+        self.quotas = quotas
         self._ids = itertools.count(1)
         self._specs: dict[str, QuerySpec] = {}
         self.scheduler.on_finish(self._store_in_cache)
@@ -94,17 +104,30 @@ class QueryService:
         deadline: float | None = None,
         max_pulls: int | None = None,
         quantum: int | None = None,
+        tenant: str = "anonymous",
         trace: TraceContext | None = None,
     ) -> str:
         """Admit a query; returns the session id immediately.
 
         The session may already be ``DONE`` on return (cache hit).
 
+        ``tenant`` is the client id the session is billed to; with quotas
+        configured an over-quota tenant is rejected here — before any
+        operator work — with :class:`~repro.errors.QuotaExceeded`.
+
         ``trace`` is the request's root span context (minted by the
         server/client, or here for in-process callers with an enabled
         pipeline); the whole execution — session, exec, shards, worker
         quanta, retries — parents back to it.
         """
+        if self.quotas is not None:
+            try:
+                self.quotas.admit(tenant)
+            except QuotaExceeded:
+                self.obs.metrics.counter(
+                    "service_throttled_total", tenant=tenant
+                ).inc()
+                raise
         session_id = f"s{next(self._ids)}"
         # Resolve any planner-delegated axes up front: the fingerprint,
         # cache entry, session label and telemetry all describe the
@@ -149,6 +172,7 @@ class QueryService:
             preloaded=cached_answer if cached_answer is not None else preloaded,
             cache_key=key,
             label=spec.describe(),
+            tenant=tenant,
             trace=session_ctx,
         )
         self._specs[session_id] = spec
@@ -203,6 +227,7 @@ class QueryService:
         # in-flight session — everything ``repro top`` renders.
         payload["slo"] = set_slo_gauges(self.obs.metrics)
         payload["shards"] = shard_pull_counts(self.obs.metrics)
+        payload["quotas"] = self.quotas.stats() if self.quotas is not None else None
         payload["sessions"] = [
             self._brief(session)
             for session in (

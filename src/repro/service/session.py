@@ -86,6 +86,7 @@ class QuerySession:
         preloaded: list | None = None,
         cache_key: str | None = None,
         label: str = "",
+        tenant: str = "anonymous",
         trace=None,
         clock=time.perf_counter,
     ) -> None:
@@ -104,6 +105,8 @@ class QuerySession:
         self.deadline = deadline
         self.cache_key = cache_key
         self.label = label
+        #: Client id this session is billed to (per-tenant quotas).
+        self.tenant = tenant
         self.results: list = list(preloaded) if preloaded else []
         self.state = SessionState.PENDING
         self.error: str | None = None
@@ -113,6 +116,12 @@ class QuerySession:
         self.from_cache = False  # answered without touching the operator
         self._clock = clock
         self.submitted_at = clock()
+        #: Release moment of each result, aligned with :attr:`results` —
+        #: the clock reading at which the merge gate (or the serial
+        #: operator's ``try_next``) proved that result safe to emit.
+        #: Preloaded (cache-reused) results are stamped at submission:
+        #: they were releasable before the session even started.
+        self.released_at: list[float] = [self.submitted_at] * len(self.results)
         self.started_at: float | None = None
         self.finished_at: float | None = None
         self._pulls_at_attach = operator.pulls if operator is not None else 0
@@ -148,6 +157,18 @@ class QuerySession:
         if self.finished_at is None:
             return None
         return self.finished_at - self.submitted_at
+
+    @property
+    def time_to_first(self) -> float | None:
+        """Submit-to-first-released-result wall time (None before then).
+
+        The anytime metric streaming serves: a client riding the
+        ``stream`` verb sees the first result after this long, not after
+        :attr:`latency`.
+        """
+        if not self.released_at:
+            return None
+        return max(0.0, self.released_at[0] - self.submitted_at)
 
     def bound_gap(self) -> float:
         """Distance from proving the next result: bound minus best buffered.
@@ -212,6 +233,7 @@ class QuerySession:
                 self._finish(SessionState.DONE)
                 return True
             self.results.append(outcome)
+            self.released_at.append(self._clock())
             if spent_here >= quantum:
                 break
         if len(self.results) >= self.k:
@@ -294,6 +316,8 @@ class QuerySession:
             "from_cache": self.from_cache,
             "error": self.error,
             "latency": self.latency,
+            "first_result_latency": self.time_to_first,
+            "tenant": self.tenant,
             "trace": self.trace.trace_id if self.trace is not None else None,
         }
 

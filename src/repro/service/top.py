@@ -70,6 +70,27 @@ def render_dashboard(
         f"p99={_fmt_seconds(percentiles.get('p99'))} "
         f"(n={slo.get('sessions_finished', 0)})"
     )
+    first = slo.get("first_result_seconds") or {}
+    if any(value is not None for value in first.values()):
+        lines.append(
+            "ttfr      "
+            f"p50={_fmt_seconds(first.get('p50'))} "
+            f"p95={_fmt_seconds(first.get('p95'))} "
+            f"p99={_fmt_seconds(first.get('p99'))}"
+        )
+    fleet = stats.get("fleet")
+    if fleet:
+        outstanding = fleet.get("outstanding") or {}
+        spread = " ".join(
+            f"{name}={count}" for name, count in sorted(outstanding.items())
+        )
+        lines.append(
+            f"fleet     workers={fleet.get('alive', 0)}"
+            f"/{fleet.get('workers', 0)} {spread}"
+        )
+    throttled = slo.get("throttled_total")
+    if throttled:
+        lines.append(f"throttled {throttled} rejections (per-tenant quotas)")
     cache = stats.get("cache")
     if cache:
         lines.append(

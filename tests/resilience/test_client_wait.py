@@ -37,7 +37,12 @@ class FakeClock:
 
 
 class ScriptedClient(ServiceClient):
-    """A client whose ``poll`` is served from a script, not a socket."""
+    """A client whose ``poll`` is served from a script, not a socket.
+
+    Scripts a *legacy* server: the ``stream`` verb is unknown, so these
+    tests pin down the geometric-backoff fallback path ``wait`` takes
+    when it cannot ride the stream.
+    """
 
     def __init__(self, clock: FakeClock, done_at: float) -> None:
         super().__init__("nowhere", 0)
@@ -49,6 +54,10 @@ class ScriptedClient(ServiceClient):
         self.polls += 1
         state = "DONE" if self._clock.now >= self._done_at else "RUNNING"
         return {"session": session_id, "state": state}
+
+    def stream_raw(self, session_id: str, *, from_index: int = 0):
+        raise ServiceError("unknown verb 'stream'")
+        yield  # pragma: no cover - generator marker
 
 
 @pytest.fixture

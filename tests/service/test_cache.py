@@ -354,3 +354,74 @@ class TestPlanAwareCacheKeys:
         assert [r.score for r in second] == [r.score for r in first]
         assert service.scheduler.stats()["pulls"] == pulls
         assert service.scheduler.finished_sessions[-1].from_cache
+
+
+class TestSharedTier:
+    """The cross-process disk tier behind the serve fleet."""
+
+    def test_write_through_and_cross_instance_hit(self, tmp_path):
+        writer = ResultCache(capacity=4, shared_dir=tmp_path)
+        writer.store("q1", ["a", "b", "c"])
+        # A different cache instance (another worker, in the fleet) finds
+        # the prefix on disk and promotes it into its own memory.
+        reader = ResultCache(capacity=4, shared_dir=tmp_path)
+        assert reader.lookup("q1", 3) == ["a", "b", "c"]
+        assert reader.stats()["shared_hits"] == 1
+        assert reader.stats()["hits"] == 1
+        # Second lookup is a plain memory hit — the disk is not re-read.
+        assert reader.lookup("q1", 2) == ["a", "b"]
+        assert reader.stats()["shared_hits"] == 1
+
+    def test_shorter_prefix_never_overwrites_longer_on_disk(self, tmp_path):
+        a = ResultCache(capacity=4, shared_dir=tmp_path)
+        b = ResultCache(capacity=4, shared_dir=tmp_path)
+        a.store("q1", ["a", "b", "c"])
+        b.store("q1", ["a"])  # late short answer must not shrink the file
+        fresh = ResultCache(capacity=4, shared_dir=tmp_path)
+        assert fresh.lookup("q1", 3) == ["a", "b", "c"]
+
+    def test_promotion_drops_stale_continuation(self, tmp_path):
+        """Regression: adopting a longer shared prefix must invalidate a
+        continuation suspended at the old shorter prefix, or a later
+        extension re-emits results the operator already produced."""
+
+        class Closeable:
+            closed = False
+
+            def close(self):
+                self.closed = True
+
+        operator = Closeable()
+        cache = ResultCache(capacity=4, shared_dir=tmp_path)
+        cache.store("q1", ["a", "b"], operator=operator)
+        # Another worker publishes a longer prefix for the same query.
+        other = ResultCache(capacity=4, shared_dir=tmp_path)
+        other.store("q1", ["a", "b", "c", "d"])
+        # This worker misses in memory for k=4, promotes the shared
+        # prefix — and must NOT hand back the operator positioned at 2.
+        assert cache.lookup("q1", 4) == ["a", "b", "c", "d"]
+        assert cache.take_continuation("q1") is None
+        assert operator.closed
+
+    def test_exhausted_travels_through_the_shared_tier(self, tmp_path):
+        a = ResultCache(capacity=4, shared_dir=tmp_path)
+        a.store("q1", ["a", "b"], exhausted=True)
+        b = ResultCache(capacity=4, shared_dir=tmp_path)
+        assert b.lookup("q1", 100) == ["a", "b"]
+
+    def test_shared_ttl_expires_on_wall_clock(self, tmp_path, monkeypatch):
+        import repro.service.cache as cache_module
+
+        now = [1000.0]
+        monkeypatch.setattr(cache_module.time, "time", lambda: now[0])
+        a = ResultCache(capacity=4, ttl=10.0, shared_dir=tmp_path)
+        a.store("q1", ["a"])
+        now[0] = 1020.0
+        b = ResultCache(capacity=4, ttl=10.0, shared_dir=tmp_path)
+        assert b.lookup("q1", 1) is None
+        assert not list(tmp_path.glob("*.pkl")), "expired file not reaped"
+
+    def test_corrupt_shared_file_is_a_clean_miss(self, tmp_path):
+        (tmp_path / "q1.pkl").write_bytes(b"not a pickle")
+        cache = ResultCache(capacity=4, shared_dir=tmp_path)
+        assert cache.lookup("q1", 1) is None

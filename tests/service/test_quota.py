@@ -1,0 +1,147 @@
+"""Per-tenant admission quotas: token buckets, service wiring, the wire.
+
+Unit tests run under an injectable virtual clock (no sleeping); the
+over-the-wire tests check the reject shape (``throttled`` +
+``retry_after``) and that a backed-off client rides through throttling.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import QuotaExceeded
+from repro.service import ServiceClient, ServiceError, TenantQuotas, TokenBucket
+
+from tests.service.test_server import running_server
+
+
+class Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTokenBucket:
+    def test_starts_full_and_spends_down_to_empty(self):
+        clock = Clock()
+        bucket = TokenBucket(rate=10.0, burst=3, clock=clock)
+        assert bucket.tokens == 3.0
+        assert [bucket.try_acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+        retry_after = bucket.try_acquire()
+        assert retry_after == pytest.approx(0.1)  # 1 token at 10/s
+
+    def test_refills_at_rate_and_caps_at_burst(self):
+        clock = Clock()
+        bucket = TokenBucket(rate=2.0, burst=4, clock=clock)
+        for _ in range(4):
+            bucket.try_acquire()
+        clock.now = 1.0  # 2 tokens refilled
+        assert bucket.tokens == pytest.approx(2.0)
+        clock.now = 100.0  # refill never exceeds burst
+        assert bucket.tokens == pytest.approx(4.0)
+
+    def test_retry_after_is_exact_time_to_next_token(self):
+        clock = Clock()
+        bucket = TokenBucket(rate=4.0, burst=1, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        clock.now = 0.1  # 0.4 tokens exist; 0.6 more needed at 4/s
+        assert bucket.try_acquire() == pytest.approx(0.15)
+
+    def test_rejects_nonsense_parameters(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(rate=0.0, burst=5)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestTenantQuotas:
+    def test_buckets_are_lazy_and_isolated(self):
+        clock = Clock()
+        quotas = TenantQuotas(rate=5.0, burst=2, clock=clock)
+        for _ in range(2):
+            quotas.admit("alice")
+        with pytest.raises(QuotaExceeded) as excinfo:
+            quotas.admit("alice")
+        assert excinfo.value.tenant == "alice"
+        assert excinfo.value.retry_after == pytest.approx(0.2)
+        # Alice's empty bucket says nothing about Bob's.
+        quotas.admit("bob")
+
+    def test_overrides_grant_bigger_allowances(self):
+        clock = Clock()
+        quotas = TenantQuotas(
+            rate=1.0, burst=1, overrides={"batch": (100.0, 50.0)}, clock=clock
+        )
+        for _ in range(50):
+            quotas.admit("batch")
+        quotas.admit("interactive")
+        with pytest.raises(QuotaExceeded):
+            quotas.admit("interactive")
+
+    def test_stats_report_tokens_and_throttle_counts(self):
+        clock = Clock()
+        quotas = TenantQuotas(rate=5.0, burst=2, clock=clock)
+        quotas.admit("alice")
+        for _ in range(3):
+            with pytest.raises(QuotaExceeded):
+                for _ in range(5):
+                    quotas.admit("alice")
+        stats = quotas.stats()
+        assert stats["rate"] == 5.0 and stats["burst"] == 2.0
+        assert stats["tenants"]["alice"] == 0.0
+        assert stats["throttled"]["alice"] == 3
+
+
+class TestQuotasOverTheWire:
+    def test_over_quota_submit_is_rejected_with_retry_after(self):
+        quotas = TenantQuotas(rate=0.5, burst=2)
+        with running_server(quotas=quotas) as server:
+            with ServiceClient(server.host, server.port) as client:
+                for _ in range(2):
+                    client.submit(left="lineitem", right="orders", k=2,
+                                  tenant="alice")
+                with pytest.raises(ServiceError, match="quota") as excinfo:
+                    client.request({
+                        "verb": "submit", "left": "lineitem",
+                        "right": "orders", "k": 2, "tenant": "alice",
+                    }, max_retries=0)
+                # Another tenant is admitted while alice is throttled.
+                client.submit(left="lineitem", right="orders", k=2,
+                              tenant="bob")
+                metrics = client.metrics()
+                stats = client.stats()
+        assert excinfo.value.retryable
+        assert excinfo.value.retry_after == pytest.approx(2.0, rel=0.2)
+        assert 'service_throttled_total{tenant="alice"} 1' in metrics
+        assert stats["quotas"]["throttled"] == {"alice": 1}
+
+    def test_client_backs_off_and_rides_through_throttling(self):
+        sleeps: list[float] = []
+
+        def recording_sleep(seconds: float) -> None:
+            sleeps.append(seconds)
+            time.sleep(seconds)  # real wait: the bucket must refill
+
+        quotas = TenantQuotas(rate=50.0, burst=1)
+        with running_server(quotas=quotas) as server:
+            with ServiceClient(server.host, server.port) as client:
+                client.submit(left="lineitem", right="orders", k=2, tenant="t")
+                # Bucket empty: the reject carries retry_after and the
+                # request layer sleeps exactly that hint, then succeeds.
+                response = client.request(
+                    {"verb": "submit", "left": "lineitem", "right": "orders",
+                     "k": 2, "tenant": "t"},
+                    max_retries=4, sleep=recording_sleep,
+                )
+        assert response["ok"] is True
+        assert sleeps and all(0.0 < s <= 1.0 for s in sleeps)
+
+    def test_no_quotas_means_no_throttling(self):
+        with running_server() as server:
+            with ServiceClient(server.host, server.port) as client:
+                for _ in range(10):
+                    client.submit(left="lineitem", right="orders", k=1,
+                                  tenant="alice")
+                assert client.stats()["quotas"] is None

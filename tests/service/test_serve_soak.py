@@ -1,0 +1,88 @@
+"""Soak tier: hundreds of concurrent streaming sessions over the fleet.
+
+Quarantined behind the ``soak`` marker (like ``chaos``): run with
+``-m soak``, exclude with ``-m "not soak"``.  The contract under load is
+exactly the single-query contract — every streamed prefix bit-identical
+to the serial oracle, strictly sequential indexes, and zero leaked
+worker processes at teardown.
+"""
+
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.service import ServiceClient
+
+from tests.service.test_fleet import running_fleet
+from tests.service.test_stream import ROUNDED_REFERENCE
+
+pytestmark = pytest.mark.soak
+
+SESSIONS = 208
+THREADS = 16
+
+
+def test_soak_200_concurrent_streaming_sessions():
+    failures: list[str] = []
+    finished = [0] * THREADS
+
+    def worker(slot: int):
+        try:
+            with ServiceClient(fleet.host, fleet.port, timeout=120.0) as client:
+                for j in range(SESSIONS // THREADS):
+                    i = slot * (SESSIONS // THREADS) + j
+                    k = (i % 20) + 1
+                    sid = client.submit(
+                        left="lineitem", right="orders", k=k,
+                        tenant=f"tenant-{i % 8}",
+                    )
+                    scores, indexes, done = [], [], None
+                    for event in client.stream(sid):
+                        if event["event"] == "result":
+                            scores.append(event["score"])
+                            indexes.append(event["index"])
+                        else:
+                            done = event
+                    # Every streamed prefix is the serial oracle prefix,
+                    # pushed in order with no gap, dup, or reorder.
+                    if indexes != list(range(len(scores))):
+                        failures.append(f"{sid}: indexes {indexes}")
+                    for length in range(1, len(scores) + 1):
+                        if scores[:length] != ROUNDED_REFERENCE[:length]:
+                            failures.append(
+                                f"{sid}: prefix {length} diverges: "
+                                f"{scores[:length]}"
+                            )
+                            break
+                    if done is None or done["state"] != "DONE":
+                        failures.append(f"{sid}: bad terminal event {done}")
+                    elif done["scores"] != scores:
+                        failures.append(f"{sid}: done != streamed")
+                    elif len(scores) != k:
+                        failures.append(f"{sid}: {len(scores)}/{k} results")
+                    finished[slot] += 1
+        except Exception as exc:  # surfaced to the main thread below
+            failures.append(f"worker {slot}: {type(exc).__name__}: {exc}")
+
+    with running_fleet(workers=2) as fleet:
+        threads = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=240.0)
+        alive = [t for t in threads if t.is_alive()]
+        with ServiceClient(fleet.host, fleet.port) as client:
+            stats = client.stats()
+    # The context manager has already asserted a clean front-end exit and
+    # zero leaked fleet workers; re-check the whole process table here so
+    # a leak from *this* load pattern names the test, not the teardown.
+    assert multiprocessing.active_children() == []
+    assert not alive, f"{len(alive)} client threads hung"
+    assert not failures, failures[:10]
+    assert sum(finished) == SESSIONS
+    assert stats["slo"]["sessions_finished"] >= SESSIONS
+    assert stats["fleet"]["alive"] == 2
